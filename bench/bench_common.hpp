@@ -1,0 +1,67 @@
+// Shared setup for the benchmark harness: standard workloads, interval
+// samplers and pretty-printers used by every experiment binary.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/timestamps.hpp"
+#include "nonatomic/cut_timestamps.hpp"
+#include "sim/interval_picker.hpp"
+#include "sim/workload.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace syncon::bench {
+
+/// The standard benchmark substrate: one execution, its timestamps, and a
+/// pool of sampled interval pairs.
+struct Substrate {
+  Execution exec;
+  std::unique_ptr<Timestamps> ts;
+  std::vector<NonatomicEvent> intervals;
+
+  Substrate(Substrate&&) = delete;  // NonatomicEvents hold &exec
+
+  explicit Substrate(const WorkloadConfig& cfg, const IntervalSpec& spec,
+                     std::size_t interval_count, std::uint64_t sample_seed)
+      : exec(generate_execution(cfg)) {
+    ts = std::make_unique<Timestamps>(exec);
+    Xoshiro256StarStar rng(sample_seed);
+    intervals = random_intervals(exec, rng, spec, interval_count);
+  }
+};
+
+inline WorkloadConfig standard_workload(std::size_t processes,
+                                        std::size_t events_per_process,
+                                        std::uint64_t seed = 12345) {
+  WorkloadConfig cfg;
+  cfg.process_count = processes;
+  cfg.events_per_process = events_per_process;
+  cfg.send_probability = 0.35;
+  cfg.receive_probability = 0.7;
+  cfg.topology = Topology::Random;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline IntervalSpec standard_spec(std::size_t nodes,
+                                  std::size_t events_per_node) {
+  IntervalSpec spec;
+  spec.node_count = nodes;
+  spec.max_events_per_node = events_per_node;
+  return spec;
+}
+
+/// Prints a banner so the harness output reads like the paper artifact it
+/// regenerates.
+inline void banner(const char* experiment, const char* paper_artifact,
+                   const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — reproduces %s\n%s\n", experiment, paper_artifact, what);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace syncon::bench

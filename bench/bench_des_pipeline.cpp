@@ -1,0 +1,121 @@
+// E11 (extension) — the full analysis pipeline on simulator-generated
+// traces: discrete-event simulation → vector-clock stamping → relation
+// evaluation. Measures each stage's throughput so downstream users can
+// budget an end-to-end monitoring deployment.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "model/timestamps.hpp"
+#include "relations/evaluator.hpp"
+#include "sim/air_defense_des.hpp"
+
+namespace {
+
+using namespace syncon;
+using namespace syncon::bench;
+
+AirDefenseDesConfig scaled_config(std::size_t rounds) {
+  AirDefenseDesConfig cfg;
+  cfg.radars = 4;
+  cfg.batteries = 3;
+  cfg.rounds = rounds;
+  cfg.network.seed = 99;
+  return cfg;
+}
+
+void print_pipeline() {
+  banner("E11: bench_des_pipeline", "extension: end-to-end pipeline",
+         "simulate → stamp → evaluate, per stage");
+  const DesEngine::Result r = make_air_defense_des(scaled_config(24));
+  const Timestamps ts(*r.execution);
+  RelationEvaluator eval(ts);
+  std::vector<RelationEvaluator::Handle> handles;
+  for (const NonatomicEvent& iv : r.intervals) {
+    handles.push_back(eval.add_event(iv));
+  }
+  std::size_t holding = 0, pairs = 0;
+  for (std::size_t x = 0; x < handles.size(); ++x) {
+    for (std::size_t y = 0; y < handles.size(); ++y) {
+      if (x == y) continue;
+      holding += eval.all_holding_pruned(x, y).holding.size();
+      ++pairs;
+    }
+  }
+  TextTable table({"stage", "value"});
+  table.new_row()
+      .add_cell(std::string("simulated events"))
+      .add_cell(r.execution->total_real_count());
+  table.new_row()
+      .add_cell(std::string("simulated horizon (µs)"))
+      .add_cell(static_cast<std::uint64_t>(r.times->horizon()));
+  table.new_row()
+      .add_cell(std::string("intervals"))
+      .add_cell(r.intervals.size());
+  table.new_row().add_cell(std::string("ordered pairs")).add_cell(pairs);
+  table.new_row()
+      .add_cell(std::string("relations holding"))
+      .add_cell(holding);
+  table.new_row()
+      .add_cell(std::string("comparisons spent"))
+      .add_cell(with_thousands(eval.counter().integer_comparisons));
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_Simulate(benchmark::State& state) {
+  const auto rounds = static_cast<std::size_t>(state.range(0));
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const DesEngine::Result r = make_air_defense_des(scaled_config(rounds));
+    events = r.execution->total_real_count();
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetLabel(std::to_string(events) + " events");
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::int64_t>(events)));
+}
+
+void BM_Stamp(benchmark::State& state) {
+  const auto rounds = static_cast<std::size_t>(state.range(0));
+  const DesEngine::Result r = make_air_defense_des(scaled_config(rounds));
+  for (auto _ : state) {
+    const Timestamps ts(*r.execution);
+    benchmark::DoNotOptimize(&ts);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() *
+      static_cast<std::int64_t>(r.execution->total_real_count())));
+}
+
+void BM_EvaluateAllPairs(benchmark::State& state) {
+  const auto rounds = static_cast<std::size_t>(state.range(0));
+  const DesEngine::Result r = make_air_defense_des(scaled_config(rounds));
+  const Timestamps ts(*r.execution);
+  RelationEvaluator eval(ts);
+  std::vector<RelationEvaluator::Handle> handles;
+  for (const NonatomicEvent& iv : r.intervals) {
+    handles.push_back(eval.add_event(iv));
+  }
+  for (auto _ : state) {
+    std::size_t holding = 0;
+    for (std::size_t x = 0; x < handles.size(); ++x) {
+      for (std::size_t y = 0; y < handles.size(); ++y) {
+        if (x != y) holding += eval.all_holding_pruned(x, y).holding.size();
+      }
+    }
+    benchmark::DoNotOptimize(holding);
+  }
+}
+
+BENCHMARK(BM_Simulate)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Stamp)->Arg(8)->Arg(32);
+BENCHMARK(BM_EvaluateAllPairs)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_pipeline();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E5 — reproduces Figures 1 and 3: the proxies L_X / U_X of a nonatomic
+// event (Figure 1) and the four cuts of each proxy (Figure 3). Prints the
+// replica structures and benches proxy construction under both Defn 2 and
+// Defn 3.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fig_render.hpp"
+#include "sim/scenarios.hpp"
+
+namespace {
+
+using namespace syncon;
+using namespace syncon::bench;
+
+void print_figures() {
+  banner("E5: bench_fig13_proxies", "Figures 1 and 3",
+         "proxies L_X / U_X and the cuts of each proxy");
+  const Scenario fig = make_figure2();
+  const Timestamps ts(fig.execution());
+  const NonatomicEvent& x = fig.interval("X");
+  const NonatomicEvent& lx = fig.interval("L(X)");
+  const NonatomicEvent& ux = fig.interval("U(X)");
+
+  std::printf("Figure 1 content — X and its proxies (Defn 2):\n");
+  std::printf("  X    = { ");
+  for (const EventId& e : x.events()) std::printf("%u.%u ", e.process, e.index);
+  std::printf("}\n  L_X  = { ");
+  for (const EventId& e : lx.events())
+    std::printf("%u.%u ", e.process, e.index);
+  std::printf("}\n  U_X  = { ");
+  for (const EventId& e : ux.events())
+    std::printf("%u.%u ", e.process, e.index);
+  std::printf("}\n\n");
+
+  for (const NonatomicEvent* proxy : {&lx, &ux}) {
+    const EventCuts cuts(ts, *proxy);
+    std::printf("Figure 3 content — cuts of %s:\n", proxy->label().c_str());
+    const std::vector<std::pair<std::string, const VectorClock*>> rows = {
+        {"C1", &cuts.intersect_past()},
+        {"C2", &cuts.union_past()},
+        {"C3", &cuts.intersect_future()},
+        {"C4", &cuts.union_future()},
+    };
+    render_event_and_cuts(fig.execution(), *proxy, rows);
+    std::printf("\n");
+  }
+
+  // Defn 3 proxies on the same poset: X is a causal chain head-to-tail, so
+  // the global extrema exist.
+  const auto l3 = x.proxy_global(ProxyKind::Begin, ts);
+  const auto u3 = x.proxy_global(ProxyKind::End, ts);
+  std::printf("Defn 3 proxies: L3 %s, U3 %s\n\n",
+              l3 ? ("= {" + std::to_string(l3->events()[0].process) + "." +
+                    std::to_string(l3->events()[0].index) + "}")
+                       .c_str()
+                 : "does not exist",
+              u3 ? ("= {" + std::to_string(u3->events()[0].process) + "." +
+                    std::to_string(u3->events()[0].index) + "}")
+                       .c_str()
+                 : "does not exist");
+}
+
+void BM_ProxyPerNode(benchmark::State& state) {
+  static Substrate s(standard_workload(32, 120), standard_spec(16, 8), 8,
+                     606);
+  const auto idx = static_cast<std::size_t>(state.range(0));
+  const NonatomicEvent& x = s.intervals[idx];
+  for (auto _ : state) {
+    const NonatomicEvent l = x.proxy_per_node(ProxyKind::Begin);
+    benchmark::DoNotOptimize(l.size());
+  }
+  state.SetLabel("|X|=" + std::to_string(x.size()));
+}
+
+void BM_ProxyGlobal(benchmark::State& state) {
+  static Substrate s(standard_workload(32, 120), standard_spec(16, 8), 8,
+                     606);
+  const auto idx = static_cast<std::size_t>(state.range(0));
+  const NonatomicEvent& x = s.intervals[idx];
+  for (auto _ : state) {
+    const auto l = x.proxy_global(ProxyKind::Begin, *s.ts);
+    benchmark::DoNotOptimize(l.has_value());
+  }
+  state.SetLabel("|X|=" + std::to_string(x.size()));
+}
+
+void BM_ProxyCuts(benchmark::State& state) {
+  static Substrate s(standard_workload(32, 120), standard_spec(16, 8), 8,
+                     606);
+  const auto idx = static_cast<std::size_t>(state.range(0));
+  const NonatomicEvent proxy =
+      s.intervals[idx].proxy_per_node(ProxyKind::End);
+  for (auto _ : state) {
+    const EventCuts cuts(*s.ts, proxy);
+    benchmark::DoNotOptimize(cuts.union_future()[0]);
+  }
+}
+
+BENCHMARK(BM_ProxyPerNode)->DenseRange(0, 3);
+BENCHMARK(BM_ProxyGlobal)->DenseRange(0, 3);
+BENCHMARK(BM_ProxyCuts)->DenseRange(0, 3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

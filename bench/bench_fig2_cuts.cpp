@@ -1,0 +1,91 @@
+// E6 — reproduces Figure 2: the cuts C1(X)..C4(X) of an eight-event poset
+// on four nodes. Prints the replica's cut surfaces as ASCII (the figure's
+// content) and benches cut construction as |X|, |N_X| and |P| grow.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fig_render.hpp"
+#include "sim/scenarios.hpp"
+
+namespace {
+
+using namespace syncon;
+using namespace syncon::bench;
+
+void print_figure2() {
+  banner("E6: bench_fig2_cuts", "Figure 2",
+         "the four cuts of an 8-event poset across four nodes");
+  const Scenario fig = make_figure2();
+  const Timestamps ts(fig.execution());
+  const NonatomicEvent& x = fig.interval("X");
+  const EventCuts cuts(ts, x);
+  const std::vector<std::pair<std::string, const VectorClock*>> rows = {
+      {"C1", &cuts.intersect_past()},
+      {"C2", &cuts.union_past()},
+      {"C3", &cuts.intersect_future()},
+      {"C4", &cuts.union_future()},
+  };
+  render_event_and_cuts(fig.execution(), x, rows);
+
+  TextTable table({"cut", "definition", "timestamp (per-process counts)",
+                   "globally consistent"});
+  const char* defs[] = {"∩⇓X  (past all know)", "∪⇓X  (past some know)",
+                        "∩⇑X  (future of some)", "∪⇑X  (future of all)"};
+  const PosetCut kinds[] = {PosetCut::IntersectPast, PosetCut::UnionPast,
+                            PosetCut::IntersectFuture, PosetCut::UnionFuture};
+  for (int i = 0; i < 4; ++i) {
+    std::string stamp;
+    for (std::size_t p = 0; p < fig.execution().process_count(); ++p) {
+      stamp += std::to_string(cuts.counts(kinds[i])[p]) + " ";
+    }
+    table.new_row()
+        .add_cell("C" + std::to_string(i + 1))
+        .add_cell(std::string(defs[i]))
+        .add_cell(stamp)
+        .add_cell(cuts.cut(kinds[i]).globally_consistent(ts));
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+}
+
+void BM_CutConstruction(benchmark::State& state) {
+  const auto processes = static_cast<std::size_t>(state.range(0));
+  const auto span = static_cast<std::size_t>(state.range(1));
+  static std::vector<std::unique_ptr<Substrate>> cache;
+  Substrate* sub = nullptr;
+  for (auto& c : cache) {
+    if (c->exec.process_count() == processes) sub = c.get();
+  }
+  if (sub == nullptr) {
+    cache.push_back(std::make_unique<Substrate>(
+        standard_workload(processes, 60, 5000 + processes),
+        standard_spec(2, 2), 2, 1));
+    sub = cache.back().get();
+  }
+  Xoshiro256StarStar rng(9 + span);
+  const NonatomicEvent x =
+      random_interval(sub->exec, rng, standard_spec(span, 6), "X");
+  for (auto _ : state) {
+    const EventCuts cuts(*sub->ts, x);
+    benchmark::DoNotOptimize(cuts.union_future()[0]);
+  }
+  state.SetLabel("|P|=" + std::to_string(processes) +
+                 " |N_X|=" + std::to_string(x.node_count()) +
+                 " |X|=" + std::to_string(x.size()));
+}
+
+BENCHMARK(BM_CutConstruction)
+    ->Args({8, 4})
+    ->Args({32, 4})
+    ->Args({32, 16})
+    ->Args({128, 16})
+    ->Args({128, 64});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

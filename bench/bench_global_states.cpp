@@ -1,0 +1,120 @@
+// E10 (extension) — the consistent-global-state lattice substrate used for
+// distributed predicate detection (the application context of the paper's
+// reference [11]). Measures lattice size and Possibly/Definitely detection
+// cost as trace size and coupling grow, and contrasts it with the paper's
+// point: relation queries on nonatomic events stay LINEAR while state-space
+// analysis explodes combinatorially.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "cuts/global_states.hpp"
+#include "relations/fast.hpp"
+
+namespace {
+
+using namespace syncon;
+using namespace syncon::bench;
+
+WorkloadConfig lattice_workload(std::size_t processes, std::size_t events,
+                                double send_p) {
+  WorkloadConfig cfg;
+  cfg.process_count = processes;
+  cfg.events_per_process = events;
+  cfg.send_probability = send_p;
+  cfg.receive_probability = 0.9;
+  cfg.topology = Topology::Random;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+void print_lattice_sizes() {
+  banner("E10: bench_global_states", "extension: predicate detection",
+         "consistent-state lattice size vs message coupling");
+  TextTable table({"|P|", "events/proc", "send prob", "events",
+                   "consistent states", "states per event"});
+  for (const double send_p : {0.0, 0.2, 0.5}) {
+    for (const std::size_t events : {4u, 8u}) {
+      const WorkloadConfig cfg = lattice_workload(3, events, send_p);
+      const Execution exec = generate_execution(cfg);
+      const Timestamps ts(exec);
+      LatticeOptions opts;
+      opts.max_states = 4u << 20;
+      const std::size_t states = count_consistent_cuts(ts, opts);
+      table.new_row()
+          .add_cell(std::size_t{3})
+          .add_cell(events)
+          .add_cell(send_p, 1)
+          .add_cell(exec.total_real_count())
+          .add_cell(states)
+          .add_cell(static_cast<double>(states) /
+                        static_cast<double>(exec.total_real_count()),
+                    1);
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("messages prune the lattice (receives force sender progress), "
+              "but growth stays\ncombinatorial — which is why the paper's "
+              "linear per-relation tests matter.\n\n");
+}
+
+void BM_LatticeEnumeration(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  const Execution exec =
+      generate_execution(lattice_workload(3, events, 0.3));
+  const Timestamps ts(exec);
+  LatticeOptions opts;
+  opts.max_states = 4u << 20;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    states = count_consistent_cuts(ts, opts);
+    benchmark::DoNotOptimize(states);
+  }
+  state.SetLabel(std::to_string(states) + " states");
+}
+
+void BM_PossiblyDetection(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  const Execution exec =
+      generate_execution(lattice_workload(3, events, 0.3));
+  const Timestamps ts(exec);
+  LatticeOptions opts;
+  opts.max_states = 4u << 20;
+  // A predicate that never holds — worst case, full exploration.
+  const CutPredicate phi = [](const Cut& cut) {
+    return cut.counts()[0] == 0;  // impossible
+  };
+  for (auto _ : state) {
+    const bool v = possibly(ts, phi, opts);
+    benchmark::DoNotOptimize(v);
+  }
+}
+
+void BM_DefinitelyDetection(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  const Execution exec =
+      generate_execution(lattice_workload(3, events, 0.3));
+  const Timestamps ts(exec);
+  LatticeOptions opts;
+  opts.max_states = 4u << 20;
+  const CutPredicate phi = [](const Cut& cut) {
+    return cut.counts()[0] >= 3 && cut.counts()[1] >= 3;
+  };
+  for (auto _ : state) {
+    const bool v = definitely(ts, phi, opts);
+    benchmark::DoNotOptimize(v);
+  }
+}
+
+BENCHMARK(BM_LatticeEnumeration)->Arg(4)->Arg(8)->Arg(12);
+BENCHMARK(BM_PossiblyDetection)->Arg(4)->Arg(8);
+BENCHMARK(BM_DefinitelyDetection)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_lattice_sizes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,176 @@
+// E7 — reproduces Key Idea 1 and Problem 4(ii): evaluating all 32 relations
+// over every ordered pair of a registered interval set.
+//
+// Ablations:
+//   cached       one-time EventCuts per interval, reused across pairs
+//   uncached     EventCuts rebuilt for every pair (no Key Idea 1)
+//   pruned       cached + implication-lattice pruning of the 32 queries
+//   naive        per-pair quantifier evaluation on proxies (pre-paper)
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "relations/evaluator.hpp"
+#include "relations/fast.hpp"
+#include "relations/naive.hpp"
+
+namespace {
+
+using namespace syncon;
+using namespace syncon::bench;
+
+constexpr std::size_t kProcesses = 32;
+constexpr std::size_t kEventsPerProcess = 120;
+constexpr std::size_t kIntervals = 24;
+
+Substrate& substrate() {
+  static Substrate s(standard_workload(kProcesses, kEventsPerProcess),
+                     standard_spec(12, 6), kIntervals, 888);
+  return s;
+}
+
+RelationEvaluator& evaluator() {
+  static RelationEvaluator eval = [] {
+    RelationEvaluator e(*substrate().ts);
+    for (const NonatomicEvent& iv : substrate().intervals) e.add_event(iv);
+    return e;
+  }();
+  return eval;
+}
+
+void print_summary() {
+  banner("E7: bench_problem4_all_pairs", "Key Idea 1 / Problem 4(ii)",
+         "all 32 relations over all ordered interval pairs");
+  RelationEvaluator& eval = evaluator();
+  eval.reset_counter();
+
+  std::size_t holding_total = 0, evaluated_exhaustive = 0,
+              evaluated_pruned = 0;
+  for (std::size_t x = 0; x < kIntervals; ++x) {
+    for (std::size_t y = 0; y < kIntervals; ++y) {
+      if (x == y) continue;
+      const auto full = eval.all_holding(x, y);
+      const auto pruned = eval.all_holding_pruned(x, y);
+      holding_total += full.holding.size();
+      evaluated_exhaustive += full.evaluated;
+      evaluated_pruned += pruned.evaluated;
+    }
+  }
+  const std::size_t pairs = kIntervals * (kIntervals - 1);
+  TextTable table({"metric", "value"});
+  table.new_row().add_cell(std::string("intervals")).add_cell(kIntervals);
+  table.new_row().add_cell(std::string("ordered pairs")).add_cell(pairs);
+  table.new_row()
+      .add_cell(std::string("relations holding (total)"))
+      .add_cell(holding_total);
+  table.new_row()
+      .add_cell(std::string("relation evaluations, exhaustive"))
+      .add_cell(evaluated_exhaustive);
+  table.new_row()
+      .add_cell(std::string("relation evaluations, lattice-pruned"))
+      .add_cell(evaluated_pruned);
+  table.new_row()
+      .add_cell(std::string("pruning saves"))
+      .add_cell(100.0 *
+                    (1.0 - static_cast<double>(evaluated_pruned) /
+                               static_cast<double>(evaluated_exhaustive)),
+                1);
+  table.new_row()
+      .add_cell(std::string("integer comparisons (both passes)"))
+      .add_cell(with_thousands(eval.counter().integer_comparisons));
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+// Cached: Key Idea 1 — proxies + cut timestamps computed once per interval.
+void BM_AllPairsCached(benchmark::State& state) {
+  RelationEvaluator& eval = evaluator();
+  for (auto _ : state) {
+    std::size_t holding = 0;
+    for (std::size_t x = 0; x < kIntervals; ++x) {
+      for (std::size_t y = 0; y < kIntervals; ++y) {
+        if (x != y) holding += eval.all_holding(x, y).holding.size();
+      }
+    }
+    benchmark::DoNotOptimize(holding);
+  }
+}
+
+// Pruned: cached + hierarchy propagation.
+void BM_AllPairsPruned(benchmark::State& state) {
+  RelationEvaluator& eval = evaluator();
+  for (auto _ : state) {
+    std::size_t holding = 0;
+    for (std::size_t x = 0; x < kIntervals; ++x) {
+      for (std::size_t y = 0; y < kIntervals; ++y) {
+        if (x != y) holding += eval.all_holding_pruned(x, y).holding.size();
+      }
+    }
+    benchmark::DoNotOptimize(holding);
+  }
+}
+
+// Uncached: rebuild the cut timestamps for every pair (ablates Key Idea 1).
+void BM_AllPairsUncached(benchmark::State& state) {
+  Substrate& s = substrate();
+  for (auto _ : state) {
+    std::size_t holding = 0;
+    for (std::size_t xi = 0; xi < kIntervals; ++xi) {
+      for (std::size_t yi = 0; yi < kIntervals; ++yi) {
+        if (xi == yi) continue;
+        ComparisonCounter counter;
+        for (const RelationId& id : all_relation_ids()) {
+          const NonatomicEvent px =
+              s.intervals[xi].proxy_per_node(id.proxy_x);
+          const NonatomicEvent py =
+              s.intervals[yi].proxy_per_node(id.proxy_y);
+          const EventCuts xc(*s.ts, px), yc(*s.ts, py);
+          holding += evaluate_fast(id.relation, xc, yc, counter) ? 1 : 0;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(holding);
+  }
+}
+
+// Naive: per-pair quantifier evaluation over proxies (|N_X|·|N_Y| checks).
+void BM_AllPairsNaive(benchmark::State& state) {
+  Substrate& s = substrate();
+  std::vector<NonatomicEvent> begin_proxies, end_proxies;
+  for (const NonatomicEvent& iv : s.intervals) {
+    begin_proxies.push_back(iv.proxy_per_node(ProxyKind::Begin));
+    end_proxies.push_back(iv.proxy_per_node(ProxyKind::End));
+  }
+  auto proxy_of = [&](std::size_t i, ProxyKind k) -> const NonatomicEvent& {
+    return k == ProxyKind::Begin ? begin_proxies[i] : end_proxies[i];
+  };
+  for (auto _ : state) {
+    std::size_t holding = 0;
+    for (std::size_t xi = 0; xi < kIntervals; ++xi) {
+      for (std::size_t yi = 0; yi < kIntervals; ++yi) {
+        if (xi == yi) continue;
+        for (const RelationId& id : all_relation_ids()) {
+          holding += evaluate_proxy_naive(
+                         id.relation, proxy_of(xi, id.proxy_x),
+                         proxy_of(yi, id.proxy_y), *s.ts, Semantics::Weak)
+                         ? 1
+                         : 0;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(holding);
+  }
+}
+
+BENCHMARK(BM_AllPairsCached)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AllPairsPruned)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AllPairsUncached)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AllPairsNaive)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// ASCII rendering of executions, nonatomic events and cut surfaces — used by
+// the figure-reproduction benches (E5, E6) to print the structures the
+// paper's Figures 1–3 draw.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "model/execution.hpp"
+#include "model/vector_clock.hpp"
+#include "nonatomic/interval.hpp"
+
+namespace syncon::bench {
+
+// One row per process: '#' marks a member of X, 'o' other real events,
+// 'B'/'T' the dummies. Below each row, one line per cut with '-' inside the
+// cut and '|' at its surface.
+inline void render_event_and_cuts(
+    const Execution& exec, const NonatomicEvent& x,
+    const std::vector<std::pair<std::string, const VectorClock*>>& cuts) {
+  for (ProcessId p = 0; p < exec.process_count(); ++p) {
+    std::string row = "p" + std::to_string(p) + "  ";
+    for (EventIndex k = 0; k < exec.total_count(p); ++k) {
+      if (exec.is_initial(EventId{p, k})) {
+        row += "B ";
+      } else if (exec.is_final(EventId{p, k})) {
+        row += "T ";
+      } else {
+        row += x.contains(EventId{p, k}) ? "# " : "o ";
+      }
+    }
+    std::printf("%s\n", row.c_str());
+    for (const auto& [label, counts] : cuts) {
+      std::string cut_row = "  " + label;
+      cut_row.resize(4, ' ');
+      const ClockValue c = (*counts)[p];
+      for (EventIndex k = 0; k < exec.total_count(p); ++k) {
+        if (k + 1 < c) {
+          cut_row += "--";
+        } else if (k + 1 == c) {
+          cut_row += "| ";
+        } else {
+          cut_row += "  ";
+        }
+      }
+      std::printf("%s\n", cut_row.c_str());
+    }
+  }
+  std::printf("legend: # member of the nonatomic event, o other event, "
+              "B/T dummy initial/final;\n'|' marks each cut's surface "
+              "event on that process line.\n");
+}
+
+}  // namespace syncon::bench

@@ -1,0 +1,187 @@
+// Offline trace analysis tool: generate (or load) a trace and an interval
+// set, then answer synchronization queries from the command line — the
+// workflow of the paper's Problem 4.
+//
+// Examples:
+//   # generate a trace + windowed intervals, list all fully-ordered pairs
+//   ./trace_analysis --generate --processes=6 --events=30 --find="R1(U,L)"
+//   # save them for later analysis
+//   ./trace_analysis --generate --save-trace=t.trace --save-intervals=i.txt
+//   # reload and query a specific pair
+//   ./trace_analysis --trace=t.trace --intervals=i.txt --x=W0 --y=W2 \
+//       --condition="R1(U,L) & !R3'"
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "monitor/monitor.hpp"
+#include "monitor/report.hpp"
+#include "relations/interaction_types.hpp"
+#include "monitor/trace_io.hpp"
+#include "sim/interval_picker.hpp"
+#include "sim/workload.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+using namespace syncon;
+
+int main(int argc, char** argv) {
+  CliParser cli("trace_analysis",
+                "query causality relations on recorded distributed traces");
+  cli.add_flag("generate", "generate a synthetic trace instead of loading");
+  cli.add_option("processes", "6", "processes (with --generate)");
+  cli.add_option("events", "30", "events per process (with --generate)");
+  cli.add_option("topology", "random",
+                 "random|ring|client-server|broadcast|phases");
+  cli.add_option("seed", "1", "generation seed");
+  cli.add_option("window", "8", "interval window width (with --generate)");
+  cli.add_option("trace", "", "trace file to load");
+  cli.add_option("intervals", "", "interval file to load");
+  cli.add_option("save-trace", "", "write the trace to this file");
+  cli.add_option("save-intervals", "", "write the intervals to this file");
+  cli.add_option("x", "", "label of X for a single query");
+  cli.add_option("y", "", "label of Y for a single query");
+  cli.add_option("condition", "R1(U,L)", "synchronization condition");
+  cli.add_option("find", "", "list all ordered pairs satisfying condition");
+  cli.add_flag("matrix", "print the interaction-type matrix of all intervals");
+  cli.add_option("dot", "", "write a Graphviz rendering to this file");
+  cli.add_flag("report", "print the full analysis report");
+  if (!cli.parse(argc, argv)) return 1;
+
+  // --- obtain the execution -------------------------------------------------
+  std::shared_ptr<const Execution> exec;
+  std::vector<NonatomicEvent> intervals;
+  if (cli.get_flag("generate")) {
+    WorkloadConfig cfg;
+    cfg.process_count = cli.get_uint("processes");
+    cfg.events_per_process = cli.get_uint("events");
+    cfg.seed = cli.get_uint("seed");
+    const std::string topo = cli.get("topology");
+    if (topo == "ring") cfg.topology = Topology::Ring;
+    else if (topo == "client-server") cfg.topology = Topology::ClientServer;
+    else if (topo == "broadcast") cfg.topology = Topology::Broadcast;
+    else if (topo == "phases") cfg.topology = Topology::Phases;
+    else cfg.topology = Topology::Random;
+    exec = std::make_shared<const Execution>(generate_execution(cfg));
+    intervals = windowed_intervals(*exec, cli.get_uint("window"));
+  } else if (!cli.get("trace").empty()) {
+    std::ifstream in(cli.get("trace"));
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", cli.get("trace").c_str());
+      return 1;
+    }
+    exec = std::make_shared<const Execution>(read_trace(in));
+    if (!cli.get("intervals").empty()) {
+      std::ifstream iv(cli.get("intervals"));
+      if (!iv) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     cli.get("intervals").c_str());
+        return 1;
+      }
+      intervals = read_intervals(iv, *exec);
+    } else {
+      intervals = windowed_intervals(*exec, cli.get_uint("window"));
+    }
+  } else {
+    std::fprintf(stderr, "need --generate or --trace=<file>\n");
+    return 1;
+  }
+
+  std::printf("trace: %zu processes, %zu events, %zu messages; %zu intervals\n",
+              exec->process_count(), exec->total_real_count(),
+              exec->messages().size(), intervals.size());
+
+  if (!cli.get("save-trace").empty()) {
+    std::ofstream out(cli.get("save-trace"));
+    write_trace(out, *exec);
+    std::printf("wrote trace to %s\n", cli.get("save-trace").c_str());
+  }
+  if (!cli.get("save-intervals").empty()) {
+    std::ofstream out(cli.get("save-intervals"));
+    write_intervals(out, intervals);
+    std::printf("wrote intervals to %s\n",
+                cli.get("save-intervals").c_str());
+  }
+
+  if (!cli.get("dot").empty()) {
+    std::ofstream out(cli.get("dot"));
+    write_dot(out, *exec, intervals);
+    std::printf("wrote Graphviz rendering to %s\n", cli.get("dot").c_str());
+  }
+
+  SyncMonitor monitor(exec);
+  for (const NonatomicEvent& iv : intervals) monitor.add_interval(iv);
+
+  // --- queries ---------------------------------------------------------------
+  if (!cli.get("x").empty() && !cli.get("y").empty()) {
+    const std::string cond_text = cli.get("condition");
+    const SyncCondition cond = SyncCondition::parse(cond_text);
+    const bool holds =
+        monitor.check(cond, monitor.handle(cli.get("x")),
+                      monitor.handle(cli.get("y")));
+    std::printf("\n%s (X=%s, Y=%s) : %s\n", cond.to_string().c_str(),
+                cli.get("x").c_str(), cli.get("y").c_str(),
+                holds ? "HOLDS" : "does not hold");
+    // Also report everything that holds (Problem 4 ii).
+    std::printf("all relations holding for this pair:\n ");
+    for (const RelationId& id : monitor.relations_between(
+             monitor.handle(cli.get("x")), monitor.handle(cli.get("y")))) {
+      std::printf(" %s", to_string(id).c_str());
+    }
+    std::printf("\n");
+  }
+
+  if (!cli.get("find").empty()) {
+    const SyncCondition cond = SyncCondition::parse(cli.get("find"));
+    const auto pairs = monitor.find_pairs(cond);
+    std::printf("\npairs satisfying %s:\n", cond.to_string().c_str());
+    TextTable table({"X", "Y"});
+    for (const auto& [hx, hy] : pairs) {
+      table.new_row()
+          .add_cell(monitor.interval(hx).label())
+          .add_cell(monitor.interval(hy).label());
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf("%zu of %zu ordered pairs\n", pairs.size(),
+                monitor.interval_count() * (monitor.interval_count() - 1));
+  }
+
+  if (cli.get_flag("matrix")) {
+    const std::size_t n = monitor.interval_count();
+    std::vector<std::string> headers{"X \\ Y"};
+    for (std::size_t i = 0; i < n; ++i) {
+      headers.push_back(monitor.interval(i).label());
+    }
+    TextTable matrix(headers);
+    for (std::size_t x = 0; x < n; ++x) {
+      matrix.new_row().add_cell(monitor.interval(x).label());
+      const EventCuts xc(monitor.timestamps(), monitor.interval(x));
+      for (std::size_t y = 0; y < n; ++y) {
+        if (x == y) {
+          matrix.add_cell(std::string("·"));
+          continue;
+        }
+        const EventCuts yc(monitor.timestamps(), monitor.interval(y));
+        ComparisonCounter counter;
+        matrix.add_cell(std::string(
+            to_string(classify(relation_profile(xc, yc, counter)))));
+      }
+    }
+    std::printf("\ninteraction-type matrix:\n%s", matrix.to_string().c_str());
+  }
+
+  if (cli.get_flag("report")) {
+    const SyncCondition headline = SyncCondition::parse(cli.get("condition"));
+    ReportOptions report_options;
+    report_options.headline = &headline;
+    std::printf("\n%s", report_to_string(monitor, report_options).c_str());
+  }
+
+  std::printf("\ncost: %llu integer comparisons, %llu causality checks\n",
+              static_cast<unsigned long long>(
+                  monitor.evaluator().counter().integer_comparisons),
+              static_cast<unsigned long long>(
+                  monitor.evaluator().counter().causality_checks));
+  return 0;
+}

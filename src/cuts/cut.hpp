@@ -1,0 +1,84 @@
+// Cuts of an execution (Defn 5): unions of per-process prefixes of each E_i.
+//
+// Because Defn 5 closes downward only within each process's linear order, a
+// cut is fully determined by how many events of each process it contains —
+// which is exactly its timestamp T(C) under Defn 15 (whose max is taken over
+// the events of C *on node i*). A Cut therefore stores one `counts` vector:
+//   counts[i] = |C ∩ E_i|, with 1 <= counts[i] <= n_i + 2
+// (>= 1 because E^⊥ ⊆ C). The surface S(C) (Defn 6) at node i is the event
+// with index counts[i] - 1.
+#pragma once
+
+#include <vector>
+
+#include "model/execution.hpp"
+#include "model/timestamps.hpp"
+#include "model/types.hpp"
+#include "model/vector_clock.hpp"
+
+namespace syncon {
+
+class Cut {
+ public:
+  /// Wraps a counts vector; validates 1 <= counts[i] <= total_count(i).
+  Cut(const Execution& exec, VectorClock counts);
+
+  /// The bottom cut E^⊥ = {⊥_0, …, ⊥_{P-1}}.
+  static Cut bottom(const Execution& exec);
+  /// The full execution (every event of every process).
+  static Cut full(const Execution& exec);
+
+  const Execution& execution() const { return *exec_; }
+  /// T(C) (Defn 15) — identical to the per-process membership counts.
+  const VectorClock& counts() const { return counts_; }
+  std::size_t process_count() const { return counts_.size(); }
+
+  bool contains(EventId e) const;
+
+  /// The single surface event of C at node i (Defn 6): latest event in C∩E_i.
+  EventId surface_event(ProcessId i) const;
+  /// S(C): surface events of every process, by process id.
+  std::vector<EventId> surface() const;
+
+  /// N_C (Defn 1): processes whose portion of C is not just {⊥_i} —
+  /// equivalently counts[i] >= 2 excluding the degenerate {⊥_i, ⊤_i}-only
+  /// processes (n_i = 0), which Defn 1 excludes from every node set.
+  std::vector<ProcessId> node_set() const;
+  bool node_in_node_set(ProcessId i) const;
+
+  bool is_bottom() const;
+  /// Total number of events in the cut (dummies included).
+  std::size_t event_count() const;
+
+  bool subset_of(const Cut& other) const;
+  bool proper_subset_of(const Cut& other) const;
+
+  /// Lattice operations; by Lemma 16 these are componentwise max / min.
+  static Cut set_union(const Cut& a, const Cut& b);
+  static Cut set_intersection(const Cut& a, const Cut& b);
+
+  /// True iff the cut is also downward-closed in the *global* order (E, ≺),
+  /// i.e. a consistent global state. ↓-style cuts are; ↑-style generally
+  /// are not (the paper notes this after Defn 10).
+  bool globally_consistent(const Timestamps& ts) const;
+
+  /// Messages sent inside the cut but not yet received — the channel state
+  /// of the global snapshot this cut represents.
+  std::vector<Message> in_transit() const;
+
+  /// Messages whose receive is inside the cut but whose send is not. A
+  /// per-process-prefix cut is a consistent global state iff it has no
+  /// orphans and contains a final dummy only when it contains every real
+  /// event (verified against globally_consistent() in tests).
+  std::vector<Message> orphan_messages() const;
+
+  friend bool operator==(const Cut& a, const Cut& b) {
+    return a.exec_ == b.exec_ && a.counts_ == b.counts_;
+  }
+
+ private:
+  const Execution* exec_;
+  VectorClock counts_;
+};
+
+}  // namespace syncon

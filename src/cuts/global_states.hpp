@@ -1,0 +1,54 @@
+// The lattice of consistent global states and weak/strong predicate
+// detection (Possibly / Definitely in the Cooper–Marzullo sense). The paper
+// leans on this classical picture ("the set of all cuts forms a lattice
+// ordered by ⊆", §2.1) and its reference [11] uses the relations for
+// distributed predicate specification; this module supplies the substrate.
+//
+// Enumeration is exponential in the worst case (that is inherent); it is
+// intended for verification-scale executions and guarded by an explicit
+// budget.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "cuts/cut.hpp"
+#include "model/timestamps.hpp"
+
+namespace syncon {
+
+/// A predicate over consistent global states.
+using CutPredicate = std::function<bool(const Cut&)>;
+
+struct LatticeOptions {
+  /// Hard cap on visited states; exceeding it throws ContractViolation.
+  std::size_t max_states = 1u << 20;
+  /// When false (default), the dummy final events are excluded — the
+  /// lattice ranges over states of the computation proper. (Because
+  /// e ≺ ⊤_j for every event e, any state containing a ⊤ contains every
+  /// real event, which is rarely what a predicate is about.)
+  bool include_final_dummies = false;
+};
+
+/// Visits every consistent global state exactly once, in BFS order by event
+/// count, starting from E^⊥. Stops early if `visit` returns false.
+/// Returns the number of states visited.
+std::size_t for_each_consistent_cut(const Timestamps& ts,
+                                    const std::function<bool(const Cut&)>& visit,
+                                    const LatticeOptions& options = {});
+
+/// Number of consistent global states.
+std::size_t count_consistent_cuts(const Timestamps& ts,
+                                  const LatticeOptions& options = {});
+
+/// Possibly(φ): some consistent global state satisfies φ — some observer
+/// could have seen φ.
+bool possibly(const Timestamps& ts, const CutPredicate& predicate,
+              const LatticeOptions& options = {});
+
+/// Definitely(φ): every observation (every maximal path through the state
+/// lattice) passes through a state satisfying φ.
+bool definitely(const Timestamps& ts, const CutPredicate& predicate,
+                const LatticeOptions& options = {});
+
+}  // namespace syncon

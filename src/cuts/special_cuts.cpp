@@ -1,0 +1,56 @@
+#include "cuts/special_cuts.hpp"
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+Cut past_cut(const Timestamps& ts, EventId e) {
+  SYNCON_REQUIRE(ts.execution().is_real(e),
+                 "↓e is defined here for real events only");
+  return Cut(ts.execution(), ts.past_cut_counts(e));
+}
+
+Cut future_cut(const Timestamps& ts, EventId e) {
+  SYNCON_REQUIRE(ts.execution().is_real(e),
+                 "e↑ is defined here for real events only");
+  return Cut(ts.execution(), ts.future_cut_counts(e));
+}
+
+Cut past_cut_reference(const ReachabilityOracle& oracle, EventId e) {
+  const Execution& exec = oracle.execution();
+  SYNCON_REQUIRE(exec.is_real(e), "↓e is defined here for real events only");
+  VectorClock counts(exec.process_count(), 0);
+  for (ProcessId p = 0; p < exec.process_count(); ++p) {
+    // Events of p that ⪯ e form a prefix; count them directly.
+    ClockValue c = 0;
+    for (EventIndex k = 0; k < exec.total_count(p); ++k) {
+      if (oracle.leq(EventId{p, k}, e)) {
+        c = k + 1;
+      }
+    }
+    counts[p] = c;
+  }
+  return Cut(exec, std::move(counts));
+}
+
+Cut future_cut_reference(const ReachabilityOracle& oracle, EventId e) {
+  const Execution& exec = oracle.execution();
+  SYNCON_REQUIRE(exec.is_real(e), "e↑ is defined here for real events only");
+  VectorClock counts(exec.process_count(), 0);
+  for (ProcessId p = 0; p < exec.process_count(); ++p) {
+    // Defn 9: everything that ⋡ e, plus the earliest event on p that ⪰ e.
+    ClockValue earliest = exec.total_count(p);  // sentinel
+    for (EventIndex k = 0; k < exec.total_count(p); ++k) {
+      if (oracle.leq(e, EventId{p, k})) {
+        earliest = k;
+        break;
+      }
+    }
+    SYNCON_ASSERT(earliest < exec.total_count(p),
+                  "⊤_p must causally follow every real event");
+    counts[p] = earliest + 1;
+  }
+  return Cut(exec, std::move(counts));
+}
+
+}  // namespace syncon

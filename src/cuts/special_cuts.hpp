@@ -1,0 +1,29 @@
+// The two special cuts of an atomic event (Defns 8 and 9):
+//   ↓e — the causal past CP(e): maximal set of events that ⪯ e;
+//   e↑ — the complement of the causal future CCF(e): the prefix reaching, on
+//        every process, exactly up to (and including) the first event ⪰ e.
+//
+// Each is provided in two implementations: the O(|P|) timestamp-based one
+// used by the library, and an extensional reference built by scanning every
+// event against the ReachabilityOracle (used to cross-validate in tests).
+#pragma once
+
+#include "cuts/cut.hpp"
+#include "model/reachability.hpp"
+#include "model/timestamps.hpp"
+
+namespace syncon {
+
+/// ↓e via timestamps: counts = T(e). Requires a real event.
+Cut past_cut(const Timestamps& ts, EventId e);
+
+/// e↑ via timestamps: counts[i] = F(e)[i] + 1. Requires a real event.
+Cut future_cut(const Timestamps& ts, EventId e);
+
+/// ↓e by brute-force reachability scan (reference).
+Cut past_cut_reference(const ReachabilityOracle& oracle, EventId e);
+
+/// e↑ by brute-force reachability scan (reference).
+Cut future_cut_reference(const ReachabilityOracle& oracle, EventId e);
+
+}  // namespace syncon

@@ -1,0 +1,130 @@
+// A recorded distributed computation (E, ≺): per-process linear sequences of
+// events plus message edges. This is the "recorded trace" of the paper's
+// Problem 4.
+//
+// Executions are immutable; construct them through ExecutionBuilder, which
+// guarantees acyclicity by construction (a message can only be received by an
+// event created after its send event), yielding a ready-made topological
+// order for the timestamping passes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace syncon {
+
+/// One message edge: send event ≺ receive event (different processes).
+struct Message {
+  EventId source;
+  EventId target;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+class ExecutionBuilder;
+
+class Execution {
+ public:
+  /// Number of processes |P|.
+  std::size_t process_count() const { return processes_.size(); }
+
+  /// Number of real (non-dummy) events of process p: n_p.
+  EventIndex real_count(ProcessId p) const;
+
+  /// Number of events of process p including ⊥_p and ⊤_p: |E_p| = n_p + 2.
+  EventIndex total_count(ProcessId p) const { return real_count(p) + 2; }
+
+  /// Total number of real events across all processes.
+  std::size_t total_real_count() const { return order_.size(); }
+
+  EventId initial(ProcessId p) const;                  // ⊥_p
+  EventId final(ProcessId p) const;                    // ⊤_p
+  EventId event(ProcessId p, EventIndex index) const;  // checked accessor
+
+  bool valid_event(EventId e) const;
+  bool is_initial(EventId e) const { return e.index == 0; }
+  bool is_final(EventId e) const { return e.index == real_count(e.process) + 1; }
+  bool is_dummy(EventId e) const { return is_initial(e) || is_final(e); }
+  bool is_real(EventId e) const { return valid_event(e) && !is_dummy(e); }
+
+  /// All real events in a topological (creation) order of ≺.
+  const std::vector<EventId>& topological_order() const { return order_; }
+
+  /// Position of a real event within topological_order().
+  std::uint32_t topological_index(EventId e) const;
+
+  /// Message edges whose receive is `e` (empty for non-receive events).
+  std::span<const EventId> incoming(EventId e) const;
+
+  /// All message edges, in creation order of their receive events.
+  const std::vector<Message>& messages() const { return messages_; }
+
+ private:
+  friend class ExecutionBuilder;
+  Execution() = default;
+
+  struct ProcessInfo {
+    EventIndex real_count = 0;
+    std::vector<std::uint32_t> seq_by_index;  // real event index-1 -> seq
+  };
+
+  std::uint32_t seq_of(EventId e) const;  // requires is_real(e)
+
+  std::vector<ProcessInfo> processes_;
+  std::vector<EventId> order_;                  // seq -> event
+  std::vector<std::vector<EventId>> incoming_;  // seq -> message sources
+  std::vector<Message> messages_;
+};
+
+/// Token returned by ExecutionBuilder::send, consumed by receive. A token may
+/// be received any number of times (multicast) by later events.
+class MessageToken {
+ public:
+  EventId source() const { return source_; }
+
+ private:
+  friend class ExecutionBuilder;
+  explicit MessageToken(EventId source) : source_(source) {}
+  EventId source_;
+};
+
+class ExecutionBuilder {
+ public:
+  explicit ExecutionBuilder(std::size_t process_count);
+
+  std::size_t process_count() const { return exec_.processes_.size(); }
+  EventIndex real_count(ProcessId p) const { return exec_.real_count(p); }
+
+  /// Appends an internal event to process p.
+  EventId local(ProcessId p);
+
+  /// Appends a send event to process p and returns the message token.
+  MessageToken send(ProcessId p, EventId* event_out = nullptr);
+
+  /// Appends a receive event to process p consuming `token`. The receiving
+  /// process must differ from the sender's.
+  EventId receive(ProcessId p, const MessageToken& token);
+
+  /// Appends one event to process p that receives several messages at once
+  /// (e.g. the commit point of a barrier or a gather).
+  EventId receive_all(ProcessId p, std::span<const MessageToken> tokens);
+
+  /// Appends a receive event whose message sources are given as raw event
+  /// ids (used by trace deserialization). Every source must be an already
+  /// built real event of another process, which preserves acyclicity.
+  EventId receive_from(ProcessId p, std::span<const EventId> sources);
+
+  /// Finalizes the execution. The builder must not be reused afterwards.
+  Execution build();
+
+ private:
+  EventId append(ProcessId p, std::vector<EventId> sources);
+
+  Execution exec_;
+  bool built_ = false;
+};
+
+}  // namespace syncon

@@ -1,0 +1,53 @@
+#include "model/reachability.hpp"
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+ReachabilityOracle::ReachabilityOracle(const Execution& exec) : exec_(&exec) {
+  const auto& order = exec.topological_order();
+  const std::size_t n = order.size();
+  words_per_event_ = (n + 63) / 64;
+  ancestors_.assign(n * words_per_event_, 0);
+
+  auto row = [&](std::size_t seq) {
+    return ancestors_.data() + seq * words_per_event_;
+  };
+  auto merge = [&](std::uint64_t* dst, const std::uint64_t* src) {
+    for (std::size_t w = 0; w < words_per_event_; ++w) dst[w] |= src[w];
+  };
+
+  for (std::size_t seq = 0; seq < n; ++seq) {
+    const EventId e = order[seq];
+    std::uint64_t* self = row(seq);
+    if (e.index > 1) {
+      merge(self, row(exec.topological_index({e.process, e.index - 1})));
+    }
+    for (const EventId& src : exec.incoming(e)) {
+      merge(self, row(exec.topological_index(src)));
+    }
+    self[seq / 64] |= std::uint64_t{1} << (seq % 64);
+  }
+}
+
+bool ReachabilityOracle::real_leq_real(EventId a, EventId b) const {
+  const std::size_t sa = exec_->topological_index(a);
+  const std::size_t sb = exec_->topological_index(b);
+  const std::uint64_t* anc = ancestors_.data() + sb * words_per_event_;
+  return (anc[sa / 64] >> (sa % 64)) & 1;
+}
+
+bool ReachabilityOracle::leq(EventId a, EventId b) const {
+  SYNCON_REQUIRE(exec_->valid_event(a) && exec_->valid_event(b),
+                 "leq() of invalid event");
+  if (a == b) return true;
+  if (exec_->is_initial(a)) {
+    return !(exec_->is_initial(b) && b.process != a.process);
+  }
+  if (exec_->is_final(a)) return false;
+  if (exec_->is_initial(b)) return false;
+  if (exec_->is_final(b)) return true;
+  return real_leq_real(a, b);
+}
+
+}  // namespace syncon

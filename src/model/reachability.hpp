@@ -1,0 +1,40 @@
+// Ground-truth causality oracle: explicit transitive closure of the event
+// DAG (process edges + message edges), independent of vector clocks.
+//
+// This exists to validate the timestamp machinery in tests and to provide
+// the "naive" baseline semantics. Memory is Θ(|E|² / 64) bits, so it is meant
+// for verification-scale executions, not production traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/execution.hpp"
+#include "model/types.hpp"
+
+namespace syncon {
+
+class ReachabilityOracle {
+ public:
+  explicit ReachabilityOracle(const Execution& exec);
+
+  const Execution& execution() const { return *exec_; }
+
+  /// a ⪯ b under the full model (dummy axioms included).
+  bool leq(EventId a, EventId b) const;
+  bool lt(EventId a, EventId b) const { return a != b && leq(a, b); }
+  bool concurrent(EventId a, EventId b) const {
+    return !leq(a, b) && !leq(b, a);
+  }
+
+ private:
+  bool real_leq_real(EventId a, EventId b) const;
+
+  const Execution* exec_;
+  std::size_t words_per_event_;
+  // ancestors_[seq] is a bitset over topological sequence numbers: bit s set
+  // iff real event s ⪯ real event seq (reflexive).
+  std::vector<std::uint64_t> ancestors_;
+};
+
+}  // namespace syncon

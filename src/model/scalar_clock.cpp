@@ -1,0 +1,31 @@
+#include "model/scalar_clock.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+ScalarClocks::ScalarClocks(const Execution& exec) : exec_(&exec) {
+  const auto& order = exec.topological_order();
+  clocks_.resize(order.size());
+  for (std::size_t seq = 0; seq < order.size(); ++seq) {
+    const EventId e = order[seq];
+    std::uint64_t c = 0;
+    if (e.index > 1) {
+      c = clocks_[exec.topological_index({e.process, e.index - 1})];
+    }
+    for (const EventId& src : exec.incoming(e)) {
+      c = std::max(c, clocks_[exec.topological_index(src)]);
+    }
+    clocks_[seq] = c + 1;
+    max_clock_ = std::max(max_clock_, c + 1);
+  }
+}
+
+std::uint64_t ScalarClocks::at(EventId e) const {
+  SYNCON_REQUIRE(exec_->is_real(e), "scalar clocks cover real events");
+  return clocks_[exec_->topological_index(e)];
+}
+
+}  // namespace syncon

@@ -1,0 +1,40 @@
+// Lamport scalar clocks — the classic single-integer timestamps satisfying
+//   e ≺ e'  ⟹  C(e) < C(e')
+// but NOT the converse. They exist here as the counterpoint to Defn 13's
+// remark that |P|-component vector clocks are the MINIMUM structure whose
+// order is isomorphic to causality: tests/scalar_clock_test.cpp exhibits
+// concurrent events that scalar clocks order, and relations that would be
+// misjudged from scalar order alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/execution.hpp"
+#include "model/types.hpp"
+
+namespace syncon {
+
+class ScalarClocks {
+ public:
+  /// Assigns C(e) = 1 + max over predecessors, in one O(|E|) pass.
+  explicit ScalarClocks(const Execution& exec);
+
+  const Execution& execution() const { return *exec_; }
+
+  /// Clock of a real event.
+  std::uint64_t at(EventId e) const;
+
+  /// The one sound deduction scalar clocks allow: C(a) >= C(b) ⟹ a ⊀ b.
+  bool cannot_precede(EventId a, EventId b) const { return at(a) >= at(b); }
+
+  /// Length of the longest causal chain (the computation's critical path).
+  std::uint64_t critical_path_length() const { return max_clock_; }
+
+ private:
+  const Execution* exec_;
+  std::vector<std::uint64_t> clocks_;  // by topological index
+  std::uint64_t max_clock_ = 0;
+};
+
+}  // namespace syncon

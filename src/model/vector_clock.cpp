@@ -1,0 +1,77 @@
+#include "model/vector_clock.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+VectorClock::VectorClock(std::size_t size, ClockValue fill)
+    : components_(size, fill) {}
+
+VectorClock::VectorClock(std::vector<ClockValue> components)
+    : components_(std::move(components)) {}
+
+ClockValue VectorClock::operator[](std::size_t i) const {
+  SYNCON_REQUIRE(i < components_.size(), "clock component out of range");
+  return components_[i];
+}
+
+ClockValue& VectorClock::operator[](std::size_t i) {
+  SYNCON_REQUIRE(i < components_.size(), "clock component out of range");
+  return components_[i];
+}
+
+void VectorClock::merge_max(const VectorClock& other) {
+  SYNCON_REQUIRE(size() == other.size(), "merging clocks of different size");
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    components_[i] = std::max(components_[i], other.components_[i]);
+  }
+}
+
+void VectorClock::merge_min(const VectorClock& other) {
+  SYNCON_REQUIRE(size() == other.size(), "merging clocks of different size");
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    components_[i] = std::min(components_[i], other.components_[i]);
+  }
+}
+
+bool VectorClock::leq(const VectorClock& other) const {
+  SYNCON_REQUIRE(size() == other.size(), "comparing clocks of different size");
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] > other.components_[i]) return false;
+  }
+  return true;
+}
+
+bool VectorClock::lt(const VectorClock& other) const {
+  return leq(other) && components_ != other.components_;
+}
+
+bool VectorClock::incomparable(const VectorClock& other) const {
+  return !leq(other) && !other.leq(*this);
+}
+
+std::ostream& operator<<(std::ostream& os, const VectorClock& vc) {
+  os << '[';
+  for (std::size_t i = 0; i < vc.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << vc[i];
+  }
+  return os << ']';
+}
+
+VectorClock component_max(const VectorClock& a, const VectorClock& b) {
+  VectorClock out = a;
+  out.merge_max(b);
+  return out;
+}
+
+VectorClock component_min(const VectorClock& a, const VectorClock& b) {
+  VectorClock out = a;
+  out.merge_min(b);
+  return out;
+}
+
+}  // namespace syncon

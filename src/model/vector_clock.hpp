@@ -1,0 +1,56 @@
+// Vector timestamps (Fidge/Mattern canonical vector clocks, Defn 13 of the
+// paper) and the componentwise operations the paper's Lemma 16 relies on.
+//
+// A VectorClock of size |P| is also the representation of a *cut timestamp*
+// (Defn 15): component i is the number of events of process i inside the cut.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace syncon {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  /// All components initialized to `fill`.
+  explicit VectorClock(std::size_t size, ClockValue fill = 0);
+  explicit VectorClock(std::vector<ClockValue> components);
+  VectorClock(std::initializer_list<ClockValue> components)
+      : components_(components) {}
+
+  std::size_t size() const { return components_.size(); }
+  ClockValue operator[](std::size_t i) const;
+  ClockValue& operator[](std::size_t i);
+
+  const std::vector<ClockValue>& components() const { return components_; }
+
+  /// this[i] = max(this[i], other[i]) for every i (Lemma 16, union of cuts).
+  void merge_max(const VectorClock& other);
+  /// this[i] = min(this[i], other[i]) for every i (Lemma 16, intersection).
+  void merge_min(const VectorClock& other);
+
+  /// Componentwise order: true iff this[i] <= other[i] for all i.
+  bool leq(const VectorClock& other) const;
+  /// Strict order of the clock lattice: leq(other) and some component is <.
+  bool lt(const VectorClock& other) const;
+  /// Neither leq in either direction (events: concurrent).
+  bool incomparable(const VectorClock& other) const;
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::vector<ClockValue> components_;
+};
+
+std::ostream& operator<<(std::ostream& os, const VectorClock& vc);
+
+/// Componentwise max of two clocks (returns a new clock).
+VectorClock component_max(const VectorClock& a, const VectorClock& b);
+/// Componentwise min of two clocks (returns a new clock).
+VectorClock component_min(const VectorClock& a, const VectorClock& b);
+
+}  // namespace syncon

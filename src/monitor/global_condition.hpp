@@ -1,0 +1,54 @@
+// Multi-interval synchronization specifications: boolean formulas whose
+// atoms name the intervals they constrain, so one condition can range over
+// the whole interval set — the "distributed predicate specification" use
+// of [11] generalized beyond a single (X, Y) pair.
+//
+// Grammar (extends the pairwise SyncCondition language):
+//   expr  := and ('|' and)*
+//   and   := unary ('&' unary)*
+//   unary := '!' unary | '(' expr ')' | atom
+//   atom  := REL [ '[' PROXY ',' PROXY ']' ] '(' label ',' label ')'
+//   REL   := R1 | R1' | R2 | R2' | R3 | R3' | R4 | R4'
+//   PROXY := L | U          (default [U, L], as in SyncCondition)
+//   label := any run of characters except whitespace, ',', ')', '(' —
+//            must name an interval registered in the monitor.
+//
+// Example: "R1[U,L](detect, engage) & !R4(engage, detect)".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+#include "monitor/predicate.hpp"
+
+namespace syncon {
+
+class GlobalCondition {
+ public:
+  /// Parses the specification; throws ConditionParseError on bad syntax.
+  static GlobalCondition parse(std::string_view text);
+
+  GlobalCondition(GlobalCondition&&) noexcept;
+  GlobalCondition& operator=(GlobalCondition&&) noexcept;
+  ~GlobalCondition();
+
+  /// Evaluates against the monitor's registered intervals. Unknown labels
+  /// raise ContractViolation (via SyncMonitor::handle).
+  bool evaluate(const SyncMonitor& monitor) const;
+
+  /// Every interval label the condition mentions (sorted, unique).
+  std::vector<std::string> labels() const;
+
+  std::string to_string() const;
+
+  struct Node;
+
+ private:
+  explicit GlobalCondition(std::unique_ptr<Node> root);
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace syncon

@@ -1,0 +1,100 @@
+#include "monitor/monitor.hpp"
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+SyncMonitor::SyncMonitor(std::shared_ptr<const Execution> exec)
+    : exec_(std::move(exec)) {
+  SYNCON_REQUIRE(exec_ != nullptr, "monitor needs an execution");
+  ts_ = std::make_unique<Timestamps>(*exec_);
+  eval_ = std::make_unique<RelationEvaluator>(*ts_);
+}
+
+SyncMonitor::Handle SyncMonitor::add_interval(NonatomicEvent interval) {
+  SYNCON_REQUIRE(&interval.execution() == exec_.get(),
+                 "interval belongs to a different execution");
+  const std::string& label = interval.label();
+  SYNCON_REQUIRE(!label.empty(), "monitored intervals need a label");
+  SYNCON_REQUIRE(!by_label_.count(label),
+                 "duplicate interval label '" + label + "'");
+  const Handle h = eval_->add_event(std::move(interval));
+  by_label_.emplace(eval_->event(h).label(), h);
+  return h;
+}
+
+std::size_t SyncMonitor::interval_count() const {
+  return eval_->event_count();
+}
+
+const NonatomicEvent& SyncMonitor::interval(Handle h) const {
+  return eval_->event(h);
+}
+
+std::optional<SyncMonitor::Handle> SyncMonitor::find(
+    const std::string& label) const {
+  const auto it = by_label_.find(label);
+  if (it == by_label_.end()) return std::nullopt;
+  return it->second;
+}
+
+SyncMonitor::Handle SyncMonitor::handle(const std::string& label) const {
+  const auto h = find(label);
+  SYNCON_REQUIRE(h.has_value(), "no interval labeled '" + label + "'");
+  return *h;
+}
+
+std::vector<std::string> SyncMonitor::labels() const {
+  std::vector<std::string> out;
+  out.reserve(by_label_.size());
+  for (const auto& [label, handle] : by_label_) out.push_back(label);
+  return out;
+}
+
+bool SyncMonitor::check(const SyncCondition& condition, Handle x,
+                        Handle y) const {
+  return condition.evaluate(*eval_, x, y);
+}
+
+bool SyncMonitor::check(const std::string& condition, const std::string& x,
+                        const std::string& y) const {
+  return check(SyncCondition::parse(condition), handle(x), handle(y));
+}
+
+std::vector<std::pair<SyncMonitor::Handle, SyncMonitor::Handle>>
+SyncMonitor::find_pairs(const SyncCondition& condition) const {
+  std::vector<std::pair<Handle, Handle>> out;
+  const std::size_t n = eval_->event_count();
+  for (Handle x = 0; x < n; ++x) {
+    for (Handle y = 0; y < n; ++y) {
+      if (x != y && condition.evaluate(*eval_, x, y)) out.emplace_back(x, y);
+    }
+  }
+  return out;
+}
+
+std::vector<RelationId> SyncMonitor::relations_between(Handle x,
+                                                       Handle y) const {
+  return eval_->all_holding_pruned(x, y).holding;
+}
+
+void SyncMonitor::attach_times(std::shared_ptr<const PhysicalTimes> times) {
+  SYNCON_REQUIRE(times != nullptr, "attach_times needs a timeline");
+  SYNCON_REQUIRE(&times->execution() == exec_.get(),
+                 "timeline belongs to a different execution");
+  times_ = std::move(times);
+}
+
+const PhysicalTimes& SyncMonitor::times() const {
+  SYNCON_REQUIRE(times_ != nullptr, "no timeline attached");
+  return *times_;
+}
+
+TimingCheckResult SyncMonitor::check_deadline(
+    const TimingConstraint& constraint, const std::string& x,
+    const std::string& y) const {
+  return check_constraint(times(), constraint, interval(handle(x)),
+                          interval(handle(y)));
+}
+
+}  // namespace syncon

@@ -1,0 +1,74 @@
+// Offline synchronization monitor: owns a recorded execution, its timestamp
+// structure, and a set of labeled nonatomic events, and answers the
+// application-level queries of Problem 4 (which relations hold, which pairs
+// satisfy a condition).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/execution.hpp"
+#include "model/timestamps.hpp"
+#include "monitor/predicate.hpp"
+#include "relations/evaluator.hpp"
+#include "timing/timing_constraints.hpp"
+
+namespace syncon {
+
+class SyncMonitor {
+ public:
+  using Handle = RelationEvaluator::Handle;
+
+  /// Takes shared ownership of the execution; stamps it once.
+  explicit SyncMonitor(std::shared_ptr<const Execution> exec);
+
+  const Execution& execution() const { return *exec_; }
+  const Timestamps& timestamps() const { return *ts_; }
+  const RelationEvaluator& evaluator() const { return *eval_; }
+
+  /// Registers an interval under its label (must be unique and non-empty).
+  Handle add_interval(NonatomicEvent interval);
+  std::size_t interval_count() const;
+  const NonatomicEvent& interval(Handle h) const;
+  std::optional<Handle> find(const std::string& label) const;
+  /// Handle of a label known to exist (contract otherwise).
+  Handle handle(const std::string& label) const;
+  std::vector<std::string> labels() const;
+
+  /// Does `condition` hold for the ordered pair (x, y)?
+  bool check(const SyncCondition& condition, Handle x, Handle y) const;
+  bool check(const std::string& condition, const std::string& x,
+             const std::string& y) const;
+
+  /// All ordered pairs (x, y), x != y, satisfying the condition.
+  std::vector<std::pair<Handle, Handle>> find_pairs(
+      const SyncCondition& condition) const;
+
+  /// All relations of R holding for (x, y) (Problem 4 ii).
+  std::vector<RelationId> relations_between(Handle x, Handle y) const;
+
+  /// Attaches a physical timeline (must belong to the same execution),
+  /// enabling quantitative queries.
+  void attach_times(std::shared_ptr<const PhysicalTimes> times);
+  bool has_times() const { return times_ != nullptr; }
+  const PhysicalTimes& times() const;
+
+  /// Checks a relative timing constraint between two labeled intervals
+  /// (requires an attached timeline).
+  TimingCheckResult check_deadline(const TimingConstraint& constraint,
+                                   const std::string& x,
+                                   const std::string& y) const;
+
+ private:
+  std::shared_ptr<const Execution> exec_;
+  std::unique_ptr<Timestamps> ts_;
+  std::unique_ptr<RelationEvaluator> eval_;
+  std::map<std::string, Handle> by_label_;
+  std::shared_ptr<const PhysicalTimes> times_;
+};
+
+}  // namespace syncon

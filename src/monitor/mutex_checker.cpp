@@ -1,0 +1,26 @@
+#include "monitor/mutex_checker.hpp"
+
+namespace syncon {
+
+MutexReport check_mutual_exclusion(
+    const SyncMonitor& monitor, const std::vector<std::string>& occupancies) {
+  const RelationId ends_before{Relation::R1, ProxyKind::End,
+                               ProxyKind::Begin};
+  MutexReport report;
+  for (std::size_t i = 0; i < occupancies.size(); ++i) {
+    for (std::size_t j = i + 1; j < occupancies.size(); ++j) {
+      ++report.pairs_checked;
+      const auto a = monitor.handle(occupancies[i]);
+      const auto b = monitor.handle(occupancies[j]);
+      const bool a_first = monitor.evaluator().holds(ends_before, a, b);
+      const bool b_first = monitor.evaluator().holds(ends_before, b, a);
+      if (!a_first && !b_first) {
+        report.violations.push_back(
+            MutexViolation{occupancies[i], occupancies[j]});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace syncon

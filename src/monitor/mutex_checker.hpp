@@ -1,0 +1,35 @@
+// Distributed mutual-exclusion verification — the concrete use the paper's
+// reference [11] demonstrates for the relation set.
+//
+// A critical-section occupancy is a nonatomic event (its component events
+// are the holder's actions inside the CS, across the processes it touched).
+// Two occupancies A, B are exclusive iff one completely precedes the other:
+//   R1(U(A), L(B))  or  R1(U(B), L(A))
+// ("every event of A's end proxy precedes every event of B's begin proxy").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+
+namespace syncon {
+
+struct MutexViolation {
+  std::string first;   // label of one occupancy
+  std::string second;  // label of the other
+};
+
+struct MutexReport {
+  std::size_t pairs_checked = 0;
+  std::vector<MutexViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Checks every unordered pair of the labeled occupancies. Labels must be
+/// registered in the monitor.
+MutexReport check_mutual_exclusion(const SyncMonitor& monitor,
+                                   const std::vector<std::string>& occupancies);
+
+}  // namespace syncon

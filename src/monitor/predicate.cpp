@@ -1,0 +1,231 @@
+#include "monitor/predicate.hpp"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+namespace syncon {
+
+struct SyncCondition::Node {
+  enum class Kind { Atom, Not, And, Or } kind;
+  RelationId atom{};                  // Kind::Atom
+  std::unique_ptr<Node> left, right;  // Not uses left only
+};
+
+namespace {
+
+using Node = SyncCondition::Node;
+
+std::unique_ptr<Node> make_atom(RelationId id) {
+  auto n = std::make_unique<Node>();
+  n->kind = Node::Kind::Atom;
+  n->atom = id;
+  return n;
+}
+
+std::unique_ptr<Node> make_unary(Node::Kind kind, std::unique_ptr<Node> a) {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  n->left = std::move(a);
+  return n;
+}
+
+std::unique_ptr<Node> make_binary(Node::Kind kind, std::unique_ptr<Node> a,
+                                  std::unique_ptr<Node> b) {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  n->left = std::move(a);
+  n->right = std::move(b);
+  return n;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::unique_ptr<Node> run() {
+    auto node = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("unexpected trailing input");
+    }
+    return node;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ConditionParseError(message + " at offset " + std::to_string(pos_) +
+                              " in '" + std::string(text_) + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Node> parse_or() {
+    auto lhs = parse_and();
+    while (consume('|')) {
+      lhs = make_binary(Node::Kind::Or, std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Node> parse_and() {
+    auto lhs = parse_unary();
+    while (consume('&')) {
+      lhs = make_binary(Node::Kind::And, std::move(lhs), parse_unary());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Node> parse_unary() {
+    if (consume('!')) {
+      return make_unary(Node::Kind::Not, parse_unary());
+    }
+    if (consume('(')) {
+      auto inner = parse_or();
+      if (!consume(')')) fail("expected ')'");
+      return inner;
+    }
+    return parse_atom();
+  }
+
+  std::unique_ptr<Node> parse_atom() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != 'R') {
+      fail("expected a relation (R1..R4')");
+    }
+    ++pos_;
+    if (pos_ >= text_.size() || text_[pos_] < '1' || text_[pos_] > '4') {
+      fail("expected a relation number 1..4");
+    }
+    const char digit = text_[pos_++];
+    const bool primed = pos_ < text_.size() && text_[pos_] == '\'';
+    if (primed) ++pos_;
+
+    Relation rel{};
+    switch (digit) {
+      case '1': rel = primed ? Relation::R1p : Relation::R1; break;
+      case '2': rel = primed ? Relation::R2p : Relation::R2; break;
+      case '3': rel = primed ? Relation::R3p : Relation::R3; break;
+      case '4': rel = primed ? Relation::R4p : Relation::R4; break;
+      default: fail("unreachable");
+    }
+
+    // Optional proxy pair; default (U, L).
+    ProxyKind px = ProxyKind::End;
+    ProxyKind py = ProxyKind::Begin;
+    const std::size_t saved = pos_;
+    if (consume('(')) {
+      if (!parse_proxy(px)) {
+        // Not a proxy list — could be a parenthesized expression after an
+        // implicit atom (e.g. "R1 & (…)"); rewind.
+        pos_ = saved;
+      } else {
+        if (!consume(',')) fail("expected ',' between proxies");
+        if (!parse_proxy(py)) fail("expected proxy L or U");
+        if (!consume(')')) fail("expected ')' after proxies");
+      }
+    }
+    return make_atom(RelationId{rel, px, py});
+  }
+
+  bool parse_proxy(ProxyKind& out) {
+    skip_ws();
+    if (pos_ < text_.size() && (text_[pos_] == 'L' || text_[pos_] == 'U')) {
+      out = text_[pos_] == 'L' ? ProxyKind::Begin : ProxyKind::End;
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool evaluate_node(const Node& node, const RelationEvaluator& eval,
+                   RelationEvaluator::Handle x,
+                   RelationEvaluator::Handle y) {
+  switch (node.kind) {
+    case Node::Kind::Atom:
+      return eval.holds(node.atom, x, y);
+    case Node::Kind::Not:
+      return !evaluate_node(*node.left, eval, x, y);
+    case Node::Kind::And:
+      return evaluate_node(*node.left, eval, x, y) &&
+             evaluate_node(*node.right, eval, x, y);
+    case Node::Kind::Or:
+      return evaluate_node(*node.left, eval, x, y) ||
+             evaluate_node(*node.right, eval, x, y);
+  }
+  return false;
+}
+
+void render_node(const Node& node, std::string& out) {
+  switch (node.kind) {
+    case Node::Kind::Atom: {
+      out += to_string(node.atom.relation);
+      out += '(';
+      out += to_string(node.atom.proxy_x);
+      out += ',';
+      out += to_string(node.atom.proxy_y);
+      out += ')';
+      return;
+    }
+    case Node::Kind::Not:
+      out += '!';
+      render_node(*node.left, out);
+      return;
+    case Node::Kind::And:
+    case Node::Kind::Or:
+      out += '(';
+      render_node(*node.left, out);
+      out += node.kind == Node::Kind::And ? " & " : " | ";
+      render_node(*node.right, out);
+      out += ')';
+      return;
+  }
+}
+
+}  // namespace
+
+SyncCondition::SyncCondition(std::unique_ptr<Node> root)
+    : root_(std::move(root)) {}
+SyncCondition::SyncCondition(SyncCondition&&) noexcept = default;
+SyncCondition& SyncCondition::operator=(SyncCondition&&) noexcept = default;
+SyncCondition::~SyncCondition() = default;
+
+SyncCondition SyncCondition::parse(std::string_view text) {
+  return SyncCondition(Parser(text).run());
+}
+
+SyncCondition SyncCondition::atom(RelationId id) {
+  return SyncCondition(make_atom(id));
+}
+
+bool SyncCondition::evaluate(const RelationEvaluator& eval,
+                             RelationEvaluator::Handle x,
+                             RelationEvaluator::Handle y) const {
+  return evaluate_node(*root_, eval, x, y);
+}
+
+std::string SyncCondition::to_string() const {
+  std::string out;
+  render_node(*root_, out);
+  return out;
+}
+
+}  // namespace syncon

@@ -1,0 +1,29 @@
+// One-call analysis report for a monitored trace: workload metrics, the
+// interval inventory, the interaction-type matrix, and (optionally) the
+// pairs satisfying a headline synchronization condition. Examples and
+// operators get a uniform, greppable summary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "monitor/monitor.hpp"
+#include "monitor/predicate.hpp"
+
+namespace syncon {
+
+struct ReportOptions {
+  /// Print the full interaction matrix (O(n²) relation profiles); switch
+  /// off for very large interval sets.
+  bool interaction_matrix = true;
+  /// Headline condition: list all ordered pairs satisfying it.
+  const SyncCondition* headline = nullptr;
+};
+
+void write_report(std::ostream& os, const SyncMonitor& monitor,
+                  const ReportOptions& options = {});
+
+std::string report_to_string(const SyncMonitor& monitor,
+                             const ReportOptions& options = {});
+
+}  // namespace syncon

@@ -1,0 +1,306 @@
+#include "monitor/trace_io.hpp"
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+namespace {
+
+constexpr const char* kTraceHeader = "syncon-trace 1";
+constexpr const char* kIntervalHeader = "syncon-intervals 1";
+
+std::string event_ref(const EventId& e) {
+  return std::to_string(e.process) + ":" + std::to_string(e.index);
+}
+
+EventId parse_event_ref(const std::string& token) {
+  const auto colon = token.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == token.size()) {
+    throw TraceFormatError("malformed event reference '" + token + "'");
+  }
+  try {
+    const unsigned long p = std::stoul(token.substr(0, colon));
+    const unsigned long i = std::stoul(token.substr(colon + 1));
+    return EventId{static_cast<ProcessId>(p), static_cast<EventIndex>(i)};
+  } catch (const std::exception&) {
+    throw TraceFormatError("malformed event reference '" + token + "'");
+  }
+}
+
+// Reads the next content line (skipping blanks and comments); false at EOF.
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Execution& exec) {
+  os << kTraceHeader << '\n';
+  os << "processes " << exec.process_count() << '\n';
+  for (const EventId& e : exec.topological_order()) {
+    os << "e " << e.process;
+    const auto sources = exec.incoming(e);
+    if (!sources.empty()) {
+      os << " <";
+      for (const EventId& src : sources) os << ' ' << event_ref(src);
+    }
+    os << '\n';
+  }
+}
+
+std::string trace_to_string(const Execution& exec) {
+  std::ostringstream oss;
+  write_trace(oss, exec);
+  return oss.str();
+}
+
+Execution read_trace(std::istream& is) {
+  std::string line;
+  if (!next_line(is, line) || line != kTraceHeader) {
+    throw TraceFormatError("missing 'syncon-trace 1' header");
+  }
+  if (!next_line(is, line)) {
+    throw TraceFormatError("missing 'processes' record");
+  }
+  std::istringstream header(line);
+  std::string keyword;
+  std::size_t p_count = 0;
+  header >> keyword >> p_count;
+  if (keyword != "processes" || p_count == 0) {
+    throw TraceFormatError("malformed 'processes' record: " + line);
+  }
+
+  ExecutionBuilder builder(p_count);
+  while (next_line(is, line)) {
+    std::istringstream rec(line);
+    std::string kind;
+    rec >> kind;
+    if (kind != "e") {
+      throw TraceFormatError("unknown record '" + line + "'");
+    }
+    unsigned long p_raw = p_count;
+    rec >> p_raw;
+    if (rec.fail() || p_raw >= p_count) {
+      throw TraceFormatError("bad process id in '" + line + "'");
+    }
+    const auto p = static_cast<ProcessId>(p_raw);
+    std::string token;
+    if (rec >> token) {
+      if (token != "<") {
+        throw TraceFormatError("expected '<' before sources in '" + line +
+                               "'");
+      }
+      std::vector<EventId> sources;
+      while (rec >> token) sources.push_back(parse_event_ref(token));
+      if (sources.empty()) {
+        throw TraceFormatError("receive without sources in '" + line + "'");
+      }
+      try {
+        builder.receive_from(p, sources);
+      } catch (const ContractViolation& e) {
+        throw TraceFormatError(std::string("invalid receive: ") + e.what());
+      }
+    } else {
+      builder.local(p);
+    }
+  }
+  return builder.build();
+}
+
+Execution trace_from_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_trace(iss);
+}
+
+void write_intervals(std::ostream& os,
+                     const std::vector<NonatomicEvent>& intervals) {
+  os << kIntervalHeader << '\n';
+  for (const NonatomicEvent& iv : intervals) {
+    SYNCON_REQUIRE(
+        iv.label().find_first_of(" \t\n") == std::string::npos &&
+            !iv.label().empty(),
+        "interval labels must be non-empty and whitespace-free to serialize");
+    os << "i " << iv.label();
+    for (const EventId& e : iv.events()) os << ' ' << event_ref(e);
+    os << '\n';
+  }
+}
+
+std::vector<NonatomicEvent> read_intervals(std::istream& is,
+                                           const Execution& exec) {
+  std::string line;
+  if (!next_line(is, line) || line != kIntervalHeader) {
+    throw TraceFormatError("missing 'syncon-intervals 1' header");
+  }
+  std::vector<NonatomicEvent> out;
+  while (next_line(is, line)) {
+    std::istringstream rec(line);
+    std::string kind, label, token;
+    rec >> kind >> label;
+    if (kind != "i" || label.empty()) {
+      throw TraceFormatError("unknown record '" + line + "'");
+    }
+    std::vector<EventId> events;
+    while (rec >> token) {
+      const EventId e = parse_event_ref(token);
+      if (!exec.is_real(e)) {
+        throw TraceFormatError("interval references unknown event '" + token +
+                               "'");
+      }
+      events.push_back(e);
+    }
+    if (events.empty()) {
+      throw TraceFormatError("empty interval '" + label + "'");
+    }
+    out.emplace_back(exec, std::move(events), std::move(label));
+  }
+  return out;
+}
+
+void write_timed_trace(std::ostream& os, const Execution& exec,
+                       const PhysicalTimes& times) {
+  SYNCON_REQUIRE(&times.execution() == &exec,
+                 "times belong to a different execution");
+  os << kTraceHeader << '\n';
+  os << "processes " << exec.process_count() << '\n';
+  for (const EventId& e : exec.topological_order()) {
+    os << "e " << e.process << " @" << times.at(e);
+    const auto sources = exec.incoming(e);
+    if (!sources.empty()) {
+      os << " <";
+      for (const EventId& src : sources) os << ' ' << event_ref(src);
+    }
+    os << '\n';
+  }
+}
+
+TimedTrace read_timed_trace(std::istream& is) {
+  std::string line;
+  if (!next_line(is, line) || line != kTraceHeader) {
+    throw TraceFormatError("missing 'syncon-trace 1' header");
+  }
+  if (!next_line(is, line)) {
+    throw TraceFormatError("missing 'processes' record");
+  }
+  std::istringstream header(line);
+  std::string keyword;
+  std::size_t p_count = 0;
+  header >> keyword >> p_count;
+  if (keyword != "processes" || p_count == 0) {
+    throw TraceFormatError("malformed 'processes' record: " + line);
+  }
+
+  ExecutionBuilder builder(p_count);
+  std::vector<std::vector<TimePoint>> times(p_count);
+  bool any_timed = false, any_untimed = false;
+  while (next_line(is, line)) {
+    std::istringstream rec(line);
+    std::string kind;
+    rec >> kind;
+    if (kind != "e") throw TraceFormatError("unknown record '" + line + "'");
+    unsigned long p_raw = p_count;
+    rec >> p_raw;
+    if (rec.fail() || p_raw >= p_count) {
+      throw TraceFormatError("bad process id in '" + line + "'");
+    }
+    const auto p = static_cast<ProcessId>(p_raw);
+    std::string token;
+    bool timed = false;
+    std::vector<EventId> sources;
+    while (rec >> token) {
+      if (token[0] == '@') {
+        try {
+          times[p].push_back(std::stoll(token.substr(1)));
+        } catch (const std::exception&) {
+          throw TraceFormatError("bad time annotation '" + token + "'");
+        }
+        timed = true;
+      } else if (token == "<") {
+        while (rec >> token) sources.push_back(parse_event_ref(token));
+        if (sources.empty()) {
+          throw TraceFormatError("receive without sources in '" + line + "'");
+        }
+      } else {
+        throw TraceFormatError("unexpected token '" + token + "'");
+      }
+    }
+    (timed ? any_timed : any_untimed) = true;
+    try {
+      if (sources.empty()) {
+        builder.local(p);
+      } else {
+        builder.receive_from(p, sources);
+      }
+    } catch (const ContractViolation& e) {
+      throw TraceFormatError(std::string("invalid receive: ") + e.what());
+    }
+  }
+  if (any_timed && any_untimed) {
+    throw TraceFormatError("mixed timed and untimed event records");
+  }
+  TimedTrace out;
+  auto exec = std::make_shared<const Execution>(builder.build());
+  if (any_timed) {
+    try {
+      out.times =
+          std::make_shared<const PhysicalTimes>(*exec, std::move(times));
+    } catch (const ContractViolation& e) {
+      throw TraceFormatError(std::string("invalid timeline: ") + e.what());
+    }
+  }
+  out.execution = std::move(exec);
+  return out;
+}
+
+void write_dot(std::ostream& os, const Execution& exec,
+               const std::vector<NonatomicEvent>& highlight) {
+  // A small qualitative palette for highlighted interval groups.
+  static const char* kColors[] = {"#8dd3c7", "#fdb462", "#bebada",
+                                  "#fb8072", "#80b1d3", "#b3de69"};
+  auto color_of = [&](EventId e) -> const char* {
+    for (std::size_t i = 0; i < highlight.size(); ++i) {
+      if (highlight[i].contains(e)) {
+        return kColors[i % (sizeof(kColors) / sizeof(kColors[0]))];
+      }
+    }
+    return nullptr;
+  };
+  auto node_name = [](EventId e) {
+    return "e" + std::to_string(e.process) + "_" + std::to_string(e.index);
+  };
+
+  os << "digraph execution {\n  rankdir=LR;\n  node [shape=circle, "
+        "fontsize=10];\n";
+  for (ProcessId p = 0; p < exec.process_count(); ++p) {
+    os << "  subgraph cluster_p" << p << " {\n    label=\"p" << p
+       << "\";\n    color=gray;\n";
+    for (EventIndex k = 1; k <= exec.real_count(p); ++k) {
+      const EventId e{p, k};
+      os << "    " << node_name(e) << " [label=\"" << p << "." << k << "\"";
+      if (const char* c = color_of(e)) {
+        os << ", style=filled, fillcolor=\"" << c << "\"";
+      }
+      os << "];\n";
+    }
+    os << "  }\n";
+    for (EventIndex k = 1; k + 1 <= exec.real_count(p); ++k) {
+      os << "  " << node_name({p, k}) << " -> "
+         << node_name({p, static_cast<EventIndex>(k + 1)}) << ";\n";
+    }
+  }
+  for (const Message& msg : exec.messages()) {
+    os << "  " << node_name(msg.source) << " -> " << node_name(msg.target)
+       << " [style=dashed, color=blue];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace syncon

@@ -1,0 +1,78 @@
+#include "nonatomic/cut_timestamps.hpp"
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+const char* to_string(PosetCut which) {
+  switch (which) {
+    case PosetCut::IntersectPast: return "C1 (∩⇓X)";
+    case PosetCut::UnionPast: return "C2 (∪⇓X)";
+    case PosetCut::IntersectFuture: return "C3 (∩⇑X)";
+    case PosetCut::UnionFuture: return "C4 (∪⇑X)";
+  }
+  return "?";
+}
+
+EventCuts::EventCuts(const Timestamps& ts, const NonatomicEvent& x)
+    : ts_(&ts), event_(&x) {
+  SYNCON_REQUIRE(&ts.execution() == &x.execution(),
+                 "timestamps belong to a different execution");
+  bool first = true;
+  for (const ProcessId p : x.node_set()) {
+    // Minima over ↓/↑ cuts are attained at the per-node least events and
+    // maxima at the per-node greatest events (§2.3), so only extremes are
+    // consulted.
+    const VectorClock least_past = ts.past_cut_counts(x.least_on(p));
+    const VectorClock greatest_past = ts.past_cut_counts(x.greatest_on(p));
+    const VectorClock least_future = ts.future_cut_counts(x.least_on(p));
+    const VectorClock greatest_future = ts.future_cut_counts(x.greatest_on(p));
+    if (first) {
+      c_[0] = least_past;
+      c_[1] = greatest_past;
+      c_[2] = least_future;
+      c_[3] = greatest_future;
+      first = false;
+    } else {
+      c_[0].merge_min(least_past);
+      c_[1].merge_max(greatest_past);
+      c_[2].merge_min(least_future);
+      c_[3].merge_max(greatest_future);
+    }
+  }
+}
+
+const VectorClock& EventCuts::counts(PosetCut which) const {
+  return c_[static_cast<std::size_t>(which)];
+}
+
+Cut EventCuts::cut(PosetCut which) const {
+  return Cut(ts_->execution(), counts(which));
+}
+
+VectorClock poset_cut_counts_reference(const Timestamps& ts,
+                                       const NonatomicEvent& x,
+                                       PosetCut which) {
+  SYNCON_REQUIRE(&ts.execution() == &x.execution(),
+                 "timestamps belong to a different execution");
+  const bool past = which == PosetCut::IntersectPast ||
+                    which == PosetCut::UnionPast;
+  const bool is_min = which == PosetCut::IntersectPast ||
+                      which == PosetCut::IntersectFuture;
+  VectorClock acc;
+  bool first = true;
+  for (const EventId& e : x.events()) {
+    VectorClock c = past ? ts.past_cut_counts(e) : ts.future_cut_counts(e);
+    if (first) {
+      acc = std::move(c);
+      first = false;
+    } else if (is_min) {
+      acc.merge_min(c);
+    } else {
+      acc.merge_max(c);
+    }
+  }
+  return acc;
+}
+
+}  // namespace syncon

@@ -1,0 +1,118 @@
+#include "online/interval_tracker.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+std::size_t IntervalSummary::node_slot(ProcessId p) const {
+  const auto it = std::lower_bound(nodes.begin(), nodes.end(), p);
+  if (it == nodes.end() || *it != p) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - nodes.begin());
+}
+
+IntervalSummary IntervalSummary::proxy(ProxyKind kind) const {
+  IntervalSummary p = *this;
+  p.label = std::string(to_string(kind)) + "(" + label + ")";
+  p.event_count = nodes.size();
+  const bool begin = kind == ProxyKind::Begin;
+  // Collapse each node to its extreme event; recompute the past cuts and
+  // the physical span from the surviving events.
+  bool first = true;
+  bool timed = true;
+  p.start_time = p.end_time = -1;
+  for (std::size_t s = 0; s < p.nodes.size(); ++s) {
+    if (begin) {
+      p.greatest_index[s] = p.least_index[s];
+      p.greatest_clock[s] = p.least_clock[s];
+      p.greatest_event_time[s] = p.least_event_time[s];
+    } else {
+      p.least_index[s] = p.greatest_index[s];
+      p.least_clock[s] = p.greatest_clock[s];
+      p.least_event_time[s] = p.greatest_event_time[s];
+    }
+    const std::int64_t t = p.least_event_time[s];
+    if (t < 0) {
+      timed = false;
+    } else {
+      p.start_time = p.start_time < 0 ? t : std::min(p.start_time, t);
+      p.end_time = std::max(p.end_time, t);
+    }
+    if (first) {
+      p.intersect_past = p.least_clock[s];
+      p.union_past = p.greatest_clock[s];
+      first = false;
+    } else {
+      p.intersect_past.merge_min(p.least_clock[s]);
+      p.union_past.merge_max(p.greatest_clock[s]);
+    }
+  }
+  p.fully_timed = timed && p.start_time >= 0;
+  return p;
+}
+
+IntervalTracker::IntervalTracker(std::string label)
+    : label_(std::move(label)) {}
+
+void IntervalTracker::add(const OnlineSystem& system, EventId e) {
+  const VectorClock& clock = system.clock_of(e);  // validates e
+  process_count_ = system.process_count();
+  ++event_count_;
+  const std::int64_t t = system.time_of(e);
+  if (t == OnlineSystem::kNoTime) {
+    all_timed_ = false;
+  } else {
+    start_time_ = start_time_ < 0 ? t : std::min(start_time_, t);
+    end_time_ = std::max(end_time_, t);
+  }
+  auto it = std::lower_bound(
+      per_node_.begin(), per_node_.end(), e.process,
+      [](const NodeAgg& agg, ProcessId p) { return agg.process < p; });
+  if (it == per_node_.end() || it->process != e.process) {
+    NodeAgg agg;
+    agg.process = e.process;
+    agg.least = agg.greatest = e.index;
+    agg.least_clock = agg.greatest_clock = clock;
+    agg.least_time = agg.greatest_time = t;
+    per_node_.insert(it, std::move(agg));
+    return;
+  }
+  SYNCON_REQUIRE(e.index > it->greatest,
+                 "per-process events must be added in execution order");
+  it->greatest = e.index;
+  it->greatest_clock = clock;
+  it->greatest_time = t;
+}
+
+IntervalSummary IntervalTracker::summary() const {
+  SYNCON_REQUIRE(!per_node_.empty(), "summary of an empty interval");
+  IntervalSummary s;
+  s.label = label_;
+  s.process_count = process_count_;
+  s.event_count = event_count_;
+  s.start_time = start_time_;
+  s.end_time = end_time_;
+  s.fully_timed = all_timed_ && start_time_ >= 0;
+  bool first = true;
+  for (const NodeAgg& agg : per_node_) {
+    s.nodes.push_back(agg.process);
+    s.least_index.push_back(agg.least);
+    s.greatest_index.push_back(agg.greatest);
+    s.least_clock.push_back(agg.least_clock);
+    s.greatest_clock.push_back(agg.greatest_clock);
+    s.least_event_time.push_back(agg.least_time);
+    s.greatest_event_time.push_back(agg.greatest_time);
+    if (first) {
+      s.intersect_past = agg.least_clock;
+      s.union_past = agg.greatest_clock;
+      first = false;
+    } else {
+      s.intersect_past.merge_min(agg.least_clock);
+      s.union_past.merge_max(agg.greatest_clock);
+    }
+  }
+  return s;
+}
+
+}  // namespace syncon

@@ -1,0 +1,95 @@
+// Online accumulation of a nonatomic event: as the application executes the
+// component events of a high-level action, the tracker folds their
+// timestamps into exactly the aggregates the relation tests need —
+// node set, per-node extreme indices, the past cut timestamps ∩⇓X / ∪⇓X
+// (Table 2, maintained incrementally), and the extreme events' clocks.
+//
+// Everything here is derivable from the events' own (past) timestamps, so
+// it is available the moment the interval completes — no post-processing
+// pass over the trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/types.hpp"
+#include "model/vector_clock.hpp"
+#include "nonatomic/interval.hpp"
+#include "online/online_system.hpp"
+
+namespace syncon {
+
+/// The completed aggregate of one online-tracked interval.
+struct IntervalSummary {
+  std::string label;
+  std::size_t process_count = 0;
+  std::size_t event_count = 0;
+
+  /// Sorted node set N_X.
+  std::vector<ProcessId> nodes;
+  /// Parallel to `nodes`: index of the least / greatest component event on
+  /// that node, and their full clocks.
+  std::vector<EventIndex> least_index;
+  std::vector<EventIndex> greatest_index;
+  std::vector<VectorClock> least_clock;
+  std::vector<VectorClock> greatest_clock;
+  /// Physical times of the extreme events (kNoTime when unstamped).
+  std::vector<std::int64_t> least_event_time;
+  std::vector<std::int64_t> greatest_event_time;
+
+  /// T(∩⇓X) and T(∪⇓X) (Table 2) — the past cuts, exact.
+  VectorClock intersect_past;
+  VectorClock union_past;
+
+  /// Physical span of the interval when every component event was stamped
+  /// with a time (OnlineSystem::kNoTime markers otherwise).
+  std::int64_t start_time = -1;
+  std::int64_t end_time = -1;
+  bool fully_timed = false;
+
+  std::size_t node_count() const { return nodes.size(); }
+  /// Position of process p within `nodes`, or npos.
+  std::size_t node_slot(ProcessId p) const;
+
+  /// Summary of the Defn-2 proxy (per-node least events for Begin,
+  /// greatest for End) — lets the online evaluator answer the full
+  /// 32-relation set R.
+  IntervalSummary proxy(ProxyKind kind) const;
+};
+
+class IntervalTracker {
+ public:
+  explicit IntervalTracker(std::string label);
+
+  /// Folds one component event in. Events of the same process must be added
+  /// in their execution order (the natural online order).
+  void add(const OnlineSystem& system, EventId e);
+
+  bool empty() const { return per_node_.empty(); }
+  std::size_t event_count() const { return event_count_; }
+
+  /// Finalizes the aggregates. The tracker may keep accumulating afterwards;
+  /// summary() just snapshots the current state.
+  IntervalSummary summary() const;
+
+ private:
+  struct NodeAgg {
+    ProcessId process;
+    EventIndex least = 0;
+    EventIndex greatest = 0;
+    VectorClock least_clock;
+    VectorClock greatest_clock;
+    std::int64_t least_time = -1;
+    std::int64_t greatest_time = -1;
+  };
+
+  std::string label_;
+  std::vector<NodeAgg> per_node_;  // sorted by process id
+  std::size_t process_count_ = 0;
+  std::size_t event_count_ = 0;
+  std::int64_t start_time_ = -1;
+  std::int64_t end_time_ = -1;
+  bool all_timed_ = true;
+};
+
+}  // namespace syncon

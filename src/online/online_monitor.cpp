@@ -1,0 +1,133 @@
+#include "online/online_monitor.hpp"
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+OnlineMonitor::OnlineMonitor(const OnlineSystem& system) : system_(&system) {}
+
+void OnlineMonitor::begin(const std::string& label) {
+  SYNCON_REQUIRE(!label.empty(), "actions need a label");
+  SYNCON_REQUIRE(!open_.count(label) && !completed_.count(label),
+                 "duplicate action label '" + label + "'");
+  open_.emplace(label, IntervalTracker(label));
+}
+
+void OnlineMonitor::record(const std::string& label, EventId e) {
+  const auto it = open_.find(label);
+  SYNCON_REQUIRE(it != open_.end(), "no open action labeled '" + label + "'");
+  it->second.add(*system_, e);
+}
+
+const IntervalSummary& OnlineMonitor::complete(const std::string& label) {
+  const auto it = open_.find(label);
+  SYNCON_REQUIRE(it != open_.end(), "no open action labeled '" + label + "'");
+  SYNCON_REQUIRE(!it->second.empty(),
+                 "completing '" + label + "' with no recorded events");
+  auto [pos, inserted] = completed_.emplace(label, it->second.summary());
+  SYNCON_ASSERT(inserted, "label uniqueness invariant broken");
+  open_.erase(it);
+  fire_ready_watches();
+  return pos->second;
+}
+
+bool OnlineMonitor::is_open(const std::string& label) const {
+  return open_.count(label) != 0;
+}
+
+bool OnlineMonitor::is_complete(const std::string& label) const {
+  return completed_.count(label) != 0;
+}
+
+const IntervalSummary* OnlineMonitor::summary(const std::string& label) const {
+  const auto it = completed_.find(label);
+  return it == completed_.end() ? nullptr : &it->second;
+}
+
+void OnlineMonitor::forget(const std::string& label) {
+  SYNCON_REQUIRE(completed_.count(label) != 0,
+                 "no completed action labeled '" + label + "'");
+  completed_.erase(label);
+  std::erase_if(relation_watches_, [&](const RelationWatch& w) {
+    return w.x == label || w.y == label;
+  });
+  std::erase_if(deadline_watches_, [&](const DeadlineWatch& w) {
+    return w.x == label || w.y == label;
+  });
+}
+
+void OnlineMonitor::watch(const RelationId& relation, const std::string& x,
+                          const std::string& y, RelationCallback callback) {
+  SYNCON_REQUIRE(callback != nullptr, "watch needs a callback");
+  relation_watches_.push_back(
+      RelationWatch{relation, x, y, std::move(callback), false});
+  fire_ready_watches();
+}
+
+void OnlineMonitor::watch_deadline(const TimingConstraint& constraint,
+                                   const std::string& x, const std::string& y,
+                                   DeadlineCallback callback) {
+  SYNCON_REQUIRE(callback != nullptr, "watch needs a callback");
+  SYNCON_REQUIRE(constraint.min_gap <= constraint.max_gap,
+                 "constraint window must be ordered");
+  deadline_watches_.push_back(
+      DeadlineWatch{constraint, x, y, std::move(callback), false});
+  fire_ready_watches();
+}
+
+Duration OnlineMonitor::anchor_time(const IntervalSummary& s, Anchor a) {
+  return a == Anchor::Start ? s.start_time : s.end_time;
+}
+
+void OnlineMonitor::fire_ready_watches() {
+  // Callbacks may re-enter the monitor (register further watches, complete
+  // more actions): iterate by index so vector growth is safe, and suppress
+  // recursive firing — the outer pass will pick up anything new. Callbacks
+  // must not call forget() (it compacts the watch vectors).
+  if (firing_) return;
+  firing_ = true;
+  bool fired_any = true;
+  while (fired_any) {  // repeat: a callback may make earlier watches ready
+    fired_any = false;
+    for (std::size_t i = 0; i < relation_watches_.size(); ++i) {
+      if (relation_watches_[i].fired) continue;
+      const IntervalSummary* sx = summary(relation_watches_[i].x);
+      const IntervalSummary* sy = summary(relation_watches_[i].y);
+      if (sx == nullptr || sy == nullptr) continue;
+      relation_watches_[i].fired = true;
+      fired_any = true;
+      const bool holds =
+          evaluate_online(relation_watches_[i].relation, *sx, *sy, counter_);
+      // Copy what the callback needs: re-entrant registrations may grow the
+      // vector and invalidate references.
+      const RelationCallback callback = relation_watches_[i].callback;
+      const std::string x = relation_watches_[i].x;
+      const std::string y = relation_watches_[i].y;
+      callback(x, y, holds);
+    }
+    for (std::size_t i = 0; i < deadline_watches_.size(); ++i) {
+      if (deadline_watches_[i].fired) continue;
+      const IntervalSummary* sx = summary(deadline_watches_[i].x);
+      const IntervalSummary* sy = summary(deadline_watches_[i].y);
+      if (sx == nullptr || sy == nullptr) continue;
+      deadline_watches_[i].fired = true;
+      fired_any = true;
+      const TimingConstraint constraint = deadline_watches_[i].constraint;
+      const DeadlineCallback callback = deadline_watches_[i].callback;
+      const std::string x = deadline_watches_[i].x;
+      const std::string y = deadline_watches_[i].y;
+      if (!sx->fully_timed || !sy->fully_timed) {
+        callback(x, y, 0, false);
+        continue;
+      }
+      const Duration measured = anchor_time(*sy, constraint.anchor_y) -
+                                anchor_time(*sx, constraint.anchor_x);
+      const bool ok =
+          measured >= constraint.min_gap && measured <= constraint.max_gap;
+      callback(x, y, measured, ok);
+    }
+  }
+  firing_ = false;
+}
+
+}  // namespace syncon

@@ -1,0 +1,100 @@
+// Application-facing runtime monitor: track named high-level actions as
+// their component events execute, and have registered synchronization /
+// deadline watches fire the moment both actions of a pair complete — the
+// "detect the relations efficiently" loop the paper motivates, without any
+// post-hoc trace pass.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cuts/ll_relation.hpp"
+#include "online/interval_tracker.hpp"
+#include "online/online_evaluator.hpp"
+#include "timing/timing_constraints.hpp"
+
+namespace syncon {
+
+class OnlineMonitor {
+ public:
+  /// Fired when both actions of a watched pair have completed.
+  using RelationCallback = std::function<void(
+      const std::string& x, const std::string& y, bool holds)>;
+  using DeadlineCallback = std::function<void(
+      const std::string& x, const std::string& y, Duration measured_gap,
+      bool satisfied)>;
+
+  /// The monitor observes (does not own) the running system.
+  explicit OnlineMonitor(const OnlineSystem& system);
+
+  // --- interval lifecycle ---------------------------------------------------
+
+  /// Opens a new tracked action. Labels are unique across open+completed.
+  void begin(const std::string& label);
+  /// Adds an event of the running system to an open action.
+  void record(const std::string& label, EventId e);
+  /// Completes an action: snapshots its summary and fires every watch whose
+  /// counterpart is already complete.
+  const IntervalSummary& complete(const std::string& label);
+
+  bool is_open(const std::string& label) const;
+  bool is_complete(const std::string& label) const;
+  /// Summary of a completed action (nullptr otherwise).
+  const IntervalSummary* summary(const std::string& label) const;
+
+  /// Drops a completed action's summary and every fired watch that
+  /// referenced it — the garbage-collection hook a long-running monitor
+  /// needs for bounded memory. Unfired watches naming the label are dropped
+  /// too (they could never fire again). The label may be reused afterwards.
+  void forget(const std::string& label);
+
+  /// Completed summaries currently retained.
+  std::size_t retained() const { return completed_.size(); }
+
+  // --- watches ---------------------------------------------------------------
+
+  /// Watch r(X, Y) for the labeled pair; fires once, at the later
+  /// completion. Registration after both completed fires immediately.
+  void watch(const RelationId& relation, const std::string& x,
+             const std::string& y, RelationCallback callback);
+
+  /// Watch a relative timing constraint between the pair's physical spans
+  /// (requires both actions fully timed; fires with satisfied=false and
+  /// gap=0 if they are not).
+  void watch_deadline(const TimingConstraint& constraint,
+                      const std::string& x, const std::string& y,
+                      DeadlineCallback callback);
+
+  /// Comparison-cost accounting across all fired watches.
+  const ComparisonCounter& counter() const { return counter_; }
+
+ private:
+  struct RelationWatch {
+    RelationId relation;
+    std::string x, y;
+    RelationCallback callback;
+    bool fired = false;
+  };
+  struct DeadlineWatch {
+    TimingConstraint constraint;
+    std::string x, y;
+    DeadlineCallback callback;
+    bool fired = false;
+  };
+
+  void fire_ready_watches();
+  static Duration anchor_time(const IntervalSummary& s, Anchor a);
+
+  const OnlineSystem* system_;
+  std::map<std::string, IntervalTracker> open_;
+  std::map<std::string, IntervalSummary> completed_;
+  std::vector<RelationWatch> relation_watches_;
+  std::vector<DeadlineWatch> deadline_watches_;
+  ComparisonCounter counter_;
+  bool firing_ = false;
+};
+
+}  // namespace syncon

@@ -1,0 +1,172 @@
+#include "online/online_system.hpp"
+
+#include <unordered_map>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+OnlineSystem::OnlineSystem(std::size_t process_count) {
+  SYNCON_REQUIRE(process_count > 0, "need at least one process");
+  clocks_.reserve(process_count);
+  for (std::size_t p = 0; p < process_count; ++p) {
+    // Clock of ⊥_p: one own event (the dummy), nothing else known.
+    VectorClock c(process_count, 0);
+    c[p] = 1;
+    clocks_.push_back(std::move(c));
+  }
+  log_.resize(process_count);
+}
+
+EventId OnlineSystem::advance(ProcessId p,
+                              std::span<const WireMessage> messages,
+                              std::int64_t when) {
+  SYNCON_REQUIRE(p < clocks_.size(), "process id out of range");
+  SYNCON_REQUIRE(when == kNoTime || log_[p].empty() ||
+                     log_[p].back().time == kNoTime ||
+                     when > log_[p].back().time,
+                 "per-process physical times must be strictly increasing");
+  VectorClock& clock = clocks_[p];
+  LoggedEvent logged;
+  logged.time = when;
+  for (const WireMessage& m : messages) {
+    SYNCON_REQUIRE(m.source.process != p,
+                   "a process cannot receive its own message");
+    SYNCON_REQUIRE(m.source.process < clocks_.size(),
+                   "message from unknown process");
+    SYNCON_REQUIRE(m.clock.size() == clock.size(),
+                   "foreign clock has the wrong size");
+    clock.merge_max(m.clock);
+    logged.sources.push_back(m.source);
+  }
+  // The paper's axiom ⊥_i ≺ e lifts every component to at least 1.
+  for (std::size_t i = 0; i < clock.size(); ++i) {
+    if (clock[i] == 0) clock[i] = 1;
+  }
+  clock[p] = clock[p] + 1;
+  const EventId e{p, static_cast<EventIndex>(log_[p].size() + 1)};
+  logged.clock = clock;
+  log_[p].push_back(std::move(logged));
+  ++total_;
+  return e;
+}
+
+EventId OnlineSystem::local(ProcessId p, std::int64_t when) {
+  return advance(p, {}, when);
+}
+
+WireMessage OnlineSystem::send(ProcessId p, std::int64_t when) {
+  const EventId e = advance(p, {}, when);
+  return WireMessage{e, clocks_[p]};
+}
+
+EventId OnlineSystem::deliver(ProcessId p, const WireMessage& message,
+                              std::int64_t when) {
+  const WireMessage msgs[] = {message};
+  return advance(p, msgs, when);
+}
+
+EventId OnlineSystem::deliver_all(ProcessId p,
+                                  std::span<const WireMessage> messages,
+                                  std::int64_t when) {
+  SYNCON_REQUIRE(!messages.empty(), "deliver_all needs at least one message");
+  return advance(p, messages, when);
+}
+
+std::int64_t OnlineSystem::time_of(EventId e) const {
+  SYNCON_REQUIRE(e.process < log_.size() && e.index >= 1 &&
+                     e.index <= log_[e.process].size(),
+                 "unknown event");
+  return log_[e.process][e.index - 1].time;
+}
+
+const VectorClock& OnlineSystem::current_clock(ProcessId p) const {
+  SYNCON_REQUIRE(p < clocks_.size(), "process id out of range");
+  return clocks_[p];
+}
+
+const VectorClock& OnlineSystem::clock_of(EventId e) const {
+  SYNCON_REQUIRE(e.process < log_.size() && e.index >= 1 &&
+                     e.index <= log_[e.process].size(),
+                 "unknown event");
+  return log_[e.process][e.index - 1].clock;
+}
+
+EventIndex OnlineSystem::executed(ProcessId p) const {
+  SYNCON_REQUIRE(p < log_.size(), "process id out of range");
+  return static_cast<EventIndex>(log_[p].size());
+}
+
+Execution OnlineSystem::to_execution() const {
+  ExecutionBuilder builder(process_count());
+  // Emit events in a topological order: release the next event of each
+  // process once all its message sources are already emitted.
+  std::vector<std::size_t> next(process_count(), 1);
+  std::vector<std::size_t> emitted(process_count(), 0);
+  std::size_t remaining = total_;
+  while (remaining > 0) {
+    bool progress = false;
+    for (ProcessId p = 0; p < process_count(); ++p) {
+      while (next[p] <= log_[p].size()) {
+        const LoggedEvent& ev = log_[p][next[p] - 1];
+        bool ready = true;
+        for (const EventId& src : ev.sources) {
+          if (emitted[src.process] < src.index) {
+            ready = false;
+            break;
+          }
+        }
+        if (!ready) break;
+        if (ev.sources.empty()) {
+          builder.local(p);
+        } else {
+          builder.receive_from(p, ev.sources);
+        }
+        emitted[p] = next[p];
+        ++next[p];
+        --remaining;
+        progress = true;
+      }
+    }
+    SYNCON_ASSERT(progress || remaining == 0,
+                  "online log is not causally consistent");
+  }
+  return builder.build();
+}
+
+OnlineSystem replay(const Execution& exec) {
+  OnlineSystem system(exec.process_count());
+  // Events that are message sources must be executed via send() so their
+  // wire message exists when the receiver is replayed.
+  std::unordered_map<EventId, bool> is_source;
+  for (const Message& m : exec.messages()) is_source[m.source] = true;
+  std::unordered_map<EventId, WireMessage> wires;
+  for (const EventId& e : exec.topological_order()) {
+    const auto incoming = exec.incoming(e);
+    EventId replayed;
+    if (!incoming.empty()) {
+      std::vector<WireMessage> msgs;
+      msgs.reserve(incoming.size());
+      for (const EventId& src : incoming) {
+        const auto it = wires.find(src);
+        SYNCON_ASSERT(it != wires.end(), "source not replayed yet");
+        msgs.push_back(it->second);
+      }
+      replayed = system.deliver_all(e.process, msgs);
+    } else if (is_source.count(e)) {
+      const WireMessage wire = system.send(e.process);
+      wires.emplace(e, wire);
+      replayed = wire.source;
+    } else {
+      replayed = system.local(e.process);
+    }
+    SYNCON_ASSERT(replayed == e, "replay must preserve event ids");
+    // A receive can also be a source (receive-and-forward pattern).
+    if (!incoming.empty() && is_source.count(e)) {
+      wires.emplace(e, WireMessage{e, system.clock_of(e)});
+    }
+  }
+  return system;
+}
+
+}  // namespace syncon

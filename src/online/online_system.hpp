@@ -1,0 +1,94 @@
+// Online (runtime) substrate for the paper's real-time motivation: instead
+// of stamping a recorded trace after the fact, processes maintain vector
+// clocks incrementally and piggyback them on messages — the classical
+// Fidge/Mattern protocol — so synchronization conditions can be tested
+// while the application runs.
+//
+// The clock convention matches the offline Timestamps class (T counts
+// dummies, so a process's first event has own-component 2), which makes the
+// online and offline paths directly comparable in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/execution.hpp"
+#include "model/types.hpp"
+#include "model/vector_clock.hpp"
+
+namespace syncon {
+
+/// What actually travels on the wire: the sender's event id plus its
+/// timestamp. |P| clock values per message — the protocol's only overhead.
+struct WireMessage {
+  EventId source;
+  VectorClock clock;
+};
+
+class OnlineSystem {
+ public:
+  explicit OnlineSystem(std::size_t process_count);
+
+  std::size_t process_count() const { return clocks_.size(); }
+
+  /// Executes an internal event on process p. `when` is the local physical
+  /// time of the event in µs (kNoTime if the application does not track
+  /// time); per-process times must be strictly increasing when provided.
+  EventId local(ProcessId p, std::int64_t when = kNoTime);
+
+  /// Executes a send event on p; the returned message carries the clock.
+  /// Deliver it any number of times (multicast) to other processes.
+  WireMessage send(ProcessId p, std::int64_t when = kNoTime);
+
+  /// Executes a receive event on p, merging the piggybacked clock.
+  EventId deliver(ProcessId p, const WireMessage& message,
+                  std::int64_t when = kNoTime);
+
+  /// Executes one receive event consuming several messages at once (gather
+  /// / barrier commit points).
+  EventId deliver_all(ProcessId p, std::span<const WireMessage> messages,
+                      std::int64_t when = kNoTime);
+
+  /// Sentinel for "no physical timestamp".
+  static constexpr std::int64_t kNoTime = std::int64_t{-1};
+
+  /// Physical time of an executed event (kNoTime if it was not stamped).
+  std::int64_t time_of(EventId e) const;
+
+  /// T of the latest event executed by p (all-zero+own=1 before any event,
+  /// i.e. the clock of ⊥_p).
+  const VectorClock& current_clock(ProcessId p) const;
+
+  /// T(e) of any executed event, from the online log.
+  const VectorClock& clock_of(EventId e) const;
+
+  /// Events executed so far by p / in total.
+  EventIndex executed(ProcessId p) const;
+  std::size_t total_executed() const { return total_; }
+
+  /// Materializes the run so far as an offline Execution (for
+  /// cross-validation and archival).
+  Execution to_execution() const;
+
+ private:
+  EventId advance(ProcessId p, std::span<const WireMessage> messages,
+                  std::int64_t when);
+
+  std::vector<VectorClock> clocks_;  // current clock per process
+  // Log: per process, per event (1-based index - 1): its clock + sources.
+  struct LoggedEvent {
+    VectorClock clock;
+    std::vector<EventId> sources;
+    std::int64_t time = kNoTime;
+  };
+  std::vector<std::vector<LoggedEvent>> log_;
+  std::size_t total_ = 0;
+};
+
+/// Replays a recorded execution through an OnlineSystem; events keep their
+/// (process, index) ids, so online and offline analyses of the same run can
+/// be compared directly.
+OnlineSystem replay(const Execution& exec);
+
+}  // namespace syncon

@@ -1,0 +1,61 @@
+#include "relations/composition.hpp"
+
+namespace syncon {
+
+namespace {
+
+Relation normalize(Relation r) {
+  if (r == Relation::R1p) return Relation::R1;
+  if (r == Relation::R4p) return Relation::R4;
+  return r;
+}
+
+// Row-major 6x6 table over {R1, R2, R2', R3, R3', R4}; -1 = nothing.
+constexpr int kNone = -1;
+constexpr int idx_of(Relation r) {
+  switch (r) {
+    case Relation::R1: return 0;
+    case Relation::R2: return 1;
+    case Relation::R2p: return 2;
+    case Relation::R3: return 3;
+    case Relation::R3p: return 4;
+    case Relation::R4: return 5;
+    default: return -1;  // unreachable after normalize()
+  }
+}
+
+constexpr Relation kByIndex[6] = {Relation::R1,  Relation::R2,
+                                  Relation::R2p, Relation::R3,
+                                  Relation::R3p, Relation::R4};
+
+// Derivations in the header comment; chains are through the shared Y.
+constexpr int kTable[6][6] = {
+    //            ∘R1          ∘R2          ∘R2'         ∘R3          ∘R3'         ∘R4
+    /* R1  */ {idx_of(Relation::R1), idx_of(Relation::R2p),
+               idx_of(Relation::R2p), idx_of(Relation::R1),
+               idx_of(Relation::R1), idx_of(Relation::R2p)},
+    /* R2  */ {idx_of(Relation::R1), idx_of(Relation::R2),
+               idx_of(Relation::R2p), kNone, kNone, kNone},
+    /* R2' */ {idx_of(Relation::R1), idx_of(Relation::R2p),
+               idx_of(Relation::R2p), kNone, kNone, kNone},
+    /* R3  */ {idx_of(Relation::R3), idx_of(Relation::R4),
+               idx_of(Relation::R4), idx_of(Relation::R3),
+               idx_of(Relation::R3), idx_of(Relation::R4)},
+    /* R3' */ {idx_of(Relation::R3), idx_of(Relation::R4),
+               idx_of(Relation::R4), idx_of(Relation::R3),
+               idx_of(Relation::R3p), idx_of(Relation::R4)},
+    /* R4  */ {idx_of(Relation::R3), idx_of(Relation::R4),
+               idx_of(Relation::R4), kNone, kNone, kNone},
+};
+
+}  // namespace
+
+std::optional<Relation> compose(Relation r, Relation s) {
+  const int row = idx_of(normalize(r));
+  const int col = idx_of(normalize(s));
+  const int out = kTable[row][col];
+  if (out == kNone) return std::nullopt;
+  return kByIndex[out];
+}
+
+}  // namespace syncon

@@ -1,0 +1,32 @@
+// Composition calculus for the causality relations: what is guaranteed
+// between X and Z when R(X, Y) and S(Y, Z) hold? This is the transitivity
+// fragment of the axiom system the paper cites as [13], derived from first
+// principles for the weak (⪯) semantics; soundness is property-tested on
+// randomized executions, and the empty entries are witnessed by concrete
+// counterexamples in tests/composition_test.cpp.
+//
+// Table (rows: R(X,Y), columns: S(Y,Z); entries: strongest sound R(X,Z)):
+//
+//          ∘R1    ∘R2    ∘R2'   ∘R3    ∘R3'   ∘R4
+//    R1  |  R1     R2'    R2'    R1     R1     R2'
+//    R2  |  R1     R2     R2'    —      —      —
+//    R2' |  R1     R2'    R2'    —      —      —
+//    R3  |  R3     R4     R4     R3     R3     R4
+//    R3' |  R3     R4     R4     R3     R3'    R4
+//    R4  |  R3     R4     R4     —      —      —
+//
+// (R1' behaves as R1 and R4' as R4 on both axes; results are normalized to
+// the unprimed representative.)
+#pragma once
+
+#include <optional>
+
+#include "relations/relation.hpp"
+
+namespace syncon {
+
+/// Strongest relation T with R(X,Y) ∧ S(Y,Z) ⟹ T(X,Z) for all X, Y, Z
+/// (weak semantics, Y non-empty); nullopt when nothing is implied.
+std::optional<Relation> compose(Relation r, Relation s);
+
+}  // namespace syncon

@@ -1,0 +1,142 @@
+#include "relations/evaluator.hpp"
+
+#include <array>
+#include <optional>
+
+#include "relations/hierarchy.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+RelationEvaluator::RelationEvaluator(const Timestamps& ts) : ts_(&ts) {}
+
+RelationEvaluator::Handle RelationEvaluator::add_event(NonatomicEvent event) {
+  SYNCON_REQUIRE(&event.execution() == &ts_->execution(),
+                 "event belongs to a different execution");
+  NonatomicEvent begin_proxy = event.proxy_per_node(ProxyKind::Begin);
+  NonatomicEvent end_proxy = event.proxy_per_node(ProxyKind::End);
+  auto e = std::make_unique<Entry>(Entry{std::move(event),
+                                         std::move(begin_proxy),
+                                         std::move(end_proxy), nullptr,
+                                         nullptr});
+  e->begin_cuts = std::make_unique<EventCuts>(*ts_, e->begin_proxy);
+  e->end_cuts = std::make_unique<EventCuts>(*ts_, e->end_proxy);
+  if (auto g = e->event.proxy_global(ProxyKind::Begin, *ts_)) {
+    e->global_begin = std::make_unique<NonatomicEvent>(std::move(*g));
+    e->global_begin_cuts = std::make_unique<EventCuts>(*ts_, *e->global_begin);
+  }
+  if (auto g = e->event.proxy_global(ProxyKind::End, *ts_)) {
+    e->global_end = std::make_unique<NonatomicEvent>(std::move(*g));
+    e->global_end_cuts = std::make_unique<EventCuts>(*ts_, *e->global_end);
+  }
+  entries_.push_back(std::move(e));
+  return entries_.size() - 1;
+}
+
+const RelationEvaluator::Entry& RelationEvaluator::entry(Handle h) const {
+  SYNCON_REQUIRE(h < entries_.size(), "invalid event handle");
+  return *entries_[h];
+}
+
+const NonatomicEvent& RelationEvaluator::event(Handle h) const {
+  return entry(h).event;
+}
+
+const NonatomicEvent& RelationEvaluator::proxy(Handle h,
+                                               ProxyKind kind) const {
+  const Entry& e = entry(h);
+  return kind == ProxyKind::Begin ? e.begin_proxy : e.end_proxy;
+}
+
+const EventCuts& RelationEvaluator::proxy_cuts(Handle h,
+                                               ProxyKind kind) const {
+  const Entry& e = entry(h);
+  return kind == ProxyKind::Begin ? *e.begin_cuts : *e.end_cuts;
+}
+
+bool RelationEvaluator::holds(const RelationId& r, Handle x, Handle y) const {
+  return evaluate_fast(r.relation, proxy_cuts(x, r.proxy_x),
+                       proxy_cuts(y, r.proxy_y), counter_);
+}
+
+bool RelationEvaluator::holds_strict(const RelationId& r, Handle x,
+                                     Handle y) const {
+  const NonatomicEvent& px = proxy(x, r.proxy_x);
+  const NonatomicEvent& py = proxy(y, r.proxy_y);
+  // Overlap check over the two sorted event lists.
+  bool overlap = false;
+  const auto& a = px.events();
+  const auto& b = py.events();
+  for (std::size_t i = 0, j = 0; i < a.size() && j < b.size();) {
+    if (a[i] == b[j]) {
+      overlap = true;
+      break;
+    }
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  if (!overlap) return holds(r, x, y);
+  return evaluate_proxy_naive(r.relation, px, py, *ts_, Semantics::Strict,
+                              &counter_);
+}
+
+std::optional<bool> RelationEvaluator::holds_global_proxies(
+    const RelationId& r, Handle x, Handle y) const {
+  const Entry& ex = entry(x);
+  const Entry& ey = entry(y);
+  const EventCuts* xc = r.proxy_x == ProxyKind::Begin
+                            ? ex.global_begin_cuts.get()
+                            : ex.global_end_cuts.get();
+  const EventCuts* yc = r.proxy_y == ProxyKind::Begin
+                            ? ey.global_begin_cuts.get()
+                            : ey.global_end_cuts.get();
+  if (xc == nullptr || yc == nullptr) return std::nullopt;
+  return evaluate_fast(r.relation, *xc, *yc, counter_);
+}
+
+bool RelationEvaluator::holds_naive(const RelationId& r, Handle x, Handle y,
+                                    Semantics sem) const {
+  return evaluate_naive(r.relation, proxy(x, r.proxy_x), proxy(y, r.proxy_y),
+                        *ts_, sem, &counter_);
+}
+
+RelationEvaluator::AllRelationsResult RelationEvaluator::all_holding(
+    Handle x, Handle y) const {
+  AllRelationsResult result;
+  for (const RelationId& id : all_relation_ids()) {
+    ++result.evaluated;
+    if (holds(id, x, y)) result.holding.push_back(id);
+  }
+  return result;
+}
+
+RelationEvaluator::AllRelationsResult RelationEvaluator::all_holding_pruned(
+    Handle x, Handle y) const {
+  const auto ids = all_relation_ids();
+  std::array<std::optional<bool>, 32> decided;
+
+  AllRelationsResult result;
+  // Evaluate in declaration order (strong relations first: R1 block leads).
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (decided[i].has_value()) continue;
+    const bool value = holds(ids[i], x, y);
+    ++result.evaluated;
+    decided[i] = value;
+    // Propagate: a true relation forces everything it implies true; a false
+    // one forces everything that would imply it false.
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      if (decided[j].has_value()) continue;
+      if (value && implies(ids[i], ids[j])) decided[j] = true;
+      if (!value && implies(ids[j], ids[i])) decided[j] = false;
+    }
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (*decided[i]) result.holding.push_back(ids[i]);
+  }
+  return result;
+}
+
+}  // namespace syncon

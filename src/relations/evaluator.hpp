@@ -1,0 +1,98 @@
+// RelationEvaluator — the application-facing answer to Problem 4.
+//
+// Register the nonatomic events the application cares about once; the
+// evaluator computes each event's proxies (Defn 2) and the proxies' four cut
+// timestamps (Key Idea 1's one-time cost). Every subsequent relation query
+// r(X, Y), for r in the 32-relation set R, then runs in the Theorem 20
+// comparison budget.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cuts/ll_relation.hpp"
+#include "nonatomic/cut_timestamps.hpp"
+#include "relations/fast.hpp"
+#include "relations/naive.hpp"
+#include "relations/relation.hpp"
+
+namespace syncon {
+
+class RelationEvaluator {
+ public:
+  /// Handle to a registered nonatomic event.
+  using Handle = std::size_t;
+
+  /// Result of an all-relations query (Problem 4 ii).
+  struct AllRelationsResult {
+    std::vector<RelationId> holding;
+    /// How many of the 32 relations were actually evaluated (the rest were
+    /// decided by hierarchy propagation).
+    std::size_t evaluated = 0;
+  };
+
+  explicit RelationEvaluator(const Timestamps& ts);
+
+  const Timestamps& timestamps() const { return *ts_; }
+
+  /// Registers an event: computes proxies and cut timestamps (one-time,
+  /// O(|N_X| · |P|)). Returns its handle.
+  Handle add_event(NonatomicEvent event);
+
+  std::size_t event_count() const { return entries_.size(); }
+  const NonatomicEvent& event(Handle h) const;
+  const NonatomicEvent& proxy(Handle h, ProxyKind kind) const;
+  const EventCuts& proxy_cuts(Handle h, ProxyKind kind) const;
+
+  /// Problem 4(i): does r(X, Y) hold? Weak (⪯) semantics, Theorem 20 cost.
+  bool holds(const RelationId& r, Handle x, Handle y) const;
+
+  /// Strict (≺) semantics. When the two proxies share no atomic event the
+  /// weak fast path is exact and is used (Theorem 20 cost); otherwise the
+  /// evaluator falls back to the |N_X|·|N_Y| proxy quantification, which is
+  /// the best known bound for the boundary case (DESIGN.md §3.3).
+  bool holds_strict(const RelationId& r, Handle x, Handle y) const;
+
+  /// r(X, Y) under the Defn 3 (global-extremum) proxies. nullopt when the
+  /// required proxy does not exist (X or Y has no global extremum).
+  std::optional<bool> holds_global_proxies(const RelationId& r, Handle x,
+                                           Handle y) const;
+
+  /// Reference evaluation of the same relation by direct quantification over
+  /// the proxy events (|N_X| · |N_Y| causality checks).
+  bool holds_naive(const RelationId& r, Handle x, Handle y,
+                   Semantics sem = Semantics::Weak) const;
+
+  /// Problem 4(ii): all relations of R that hold between X and Y.
+  AllRelationsResult all_holding(Handle x, Handle y) const;
+  /// Same, skipping relations decided by the implication lattice.
+  AllRelationsResult all_holding_pruned(Handle x, Handle y) const;
+
+  /// Accumulated cost counters (integer comparisons for fast paths,
+  /// causality checks for naive paths).
+  const ComparisonCounter& counter() const { return counter_; }
+  void reset_counter() const { counter_.reset(); }
+
+ private:
+  struct Entry {
+    NonatomicEvent event;
+    NonatomicEvent begin_proxy;  // L_X, Defn 2
+    NonatomicEvent end_proxy;    // U_X, Defn 2
+    std::unique_ptr<EventCuts> begin_cuts;
+    std::unique_ptr<EventCuts> end_cuts;
+    // Defn 3 proxies (global extrema); absent for genuinely nonlinear X.
+    std::unique_ptr<NonatomicEvent> global_begin;
+    std::unique_ptr<NonatomicEvent> global_end;
+    std::unique_ptr<EventCuts> global_begin_cuts;
+    std::unique_ptr<EventCuts> global_end_cuts;
+  };
+
+  const Entry& entry(Handle h) const;
+
+  const Timestamps* ts_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  mutable ComparisonCounter counter_;
+};
+
+}  // namespace syncon

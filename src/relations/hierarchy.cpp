@@ -1,0 +1,65 @@
+#include "relations/hierarchy.hpp"
+
+namespace syncon {
+
+namespace {
+
+// Canonical strength rank used only to keep all_implications() deterministic.
+bool quantifier_implies(Relation r, Relation s) {
+  auto norm = [](Relation q) {
+    // R1 ≡ R1' and R4 ≡ R4' are logically identical.
+    if (q == Relation::R1p) return Relation::R1;
+    if (q == Relation::R4p) return Relation::R4;
+    return q;
+  };
+  const Relation a = norm(r);
+  const Relation b = norm(s);
+  if (a == b) return true;
+  switch (a) {
+    case Relation::R1:
+      return true;  // ∀∀ implies every other form (X, Y non-empty)
+    case Relation::R2p:
+      return b == Relation::R2 || b == Relation::R4;
+    case Relation::R2:
+      return b == Relation::R4;
+    case Relation::R3:
+      return b == Relation::R3p || b == Relation::R4;
+    case Relation::R3p:
+      return b == Relation::R4;
+    default:
+      return false;
+  }
+}
+
+// X-proxy strength: U_X (End, later events) is at least as strong as L_X.
+bool proxy_x_implies(ProxyKind a, ProxyKind b) {
+  return a == b || (a == ProxyKind::End && b == ProxyKind::Begin);
+}
+
+// Y-proxy strength: L_Y (Begin, earlier events) is at least as strong.
+bool proxy_y_implies(ProxyKind a, ProxyKind b) {
+  return a == b || (a == ProxyKind::Begin && b == ProxyKind::End);
+}
+
+}  // namespace
+
+bool implies(Relation r, Relation s) { return quantifier_implies(r, s); }
+
+bool implies(const RelationId& a, const RelationId& b) {
+  return quantifier_implies(a.relation, b.relation) &&
+         proxy_x_implies(a.proxy_x, b.proxy_x) &&
+         proxy_y_implies(a.proxy_y, b.proxy_y);
+}
+
+std::vector<std::pair<RelationId, RelationId>> all_implications() {
+  std::vector<std::pair<RelationId, RelationId>> edges;
+  const auto ids = all_relation_ids();
+  for (const RelationId& a : ids) {
+    for (const RelationId& b : ids) {
+      if (!(a == b) && implies(a, b)) edges.emplace_back(a, b);
+    }
+  }
+  return edges;
+}
+
+}  // namespace syncon

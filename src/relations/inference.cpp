@@ -1,0 +1,114 @@
+#include "relations/inference.hpp"
+
+#include <bit>
+
+#include "relations/composition.hpp"
+#include "relations/hierarchy.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+namespace {
+
+constexpr std::uint8_t bit_of(Relation r) {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(r));
+}
+
+}  // namespace
+
+RelationKnowledge::RelationKnowledge(std::size_t interval_count)
+    : count_(interval_count), bits_(interval_count * interval_count, 0) {
+  SYNCON_REQUIRE(interval_count > 0, "need at least one interval");
+}
+
+std::uint8_t& RelationKnowledge::bits(std::size_t x, std::size_t y) {
+  SYNCON_REQUIRE(x < count_ && y < count_, "interval index out of range");
+  return bits_[x * count_ + y];
+}
+
+std::uint8_t RelationKnowledge::bits(std::size_t x, std::size_t y) const {
+  SYNCON_REQUIRE(x < count_ && y < count_, "interval index out of range");
+  return bits_[x * count_ + y];
+}
+
+std::uint8_t RelationKnowledge::with_implications(std::uint8_t mask) {
+  std::uint8_t out = mask;
+  for (const Relation r : kAllRelations) {
+    if (!(mask & bit_of(r))) continue;
+    for (const Relation s : kAllRelations) {
+      if (implies(r, s)) out = static_cast<std::uint8_t>(out | bit_of(s));
+    }
+  }
+  return out;
+}
+
+void RelationKnowledge::assert_fact(std::size_t x, std::size_t y,
+                                    Relation r) {
+  SYNCON_REQUIRE(x != y, "facts relate two distinct intervals");
+  std::uint8_t& cell = bits(x, y);
+  cell = with_implications(static_cast<std::uint8_t>(cell | bit_of(r)));
+}
+
+std::size_t RelationKnowledge::propagate() {
+  std::size_t derived = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t x = 0; x < count_; ++x) {
+      for (std::size_t y = 0; y < count_; ++y) {
+        if (x == y) continue;
+        const std::uint8_t xy = bits(x, y);
+        if (xy == 0) continue;
+        for (std::size_t z = 0; z < count_; ++z) {
+          if (z == x || z == y) continue;
+          const std::uint8_t yz = bits(y, z);
+          if (yz == 0) continue;
+          std::uint8_t& xz = bits(x, z);
+          for (const Relation r : kAllRelations) {
+            if (!(xy & bit_of(r))) continue;
+            for (const Relation s : kAllRelations) {
+              if (!(yz & bit_of(s))) continue;
+              const auto t = compose(r, s);
+              if (!t.has_value()) continue;
+              const std::uint8_t updated =
+                  with_implications(static_cast<std::uint8_t>(
+                      xz | bit_of(*t)));
+              if (updated != xz) {
+                derived += static_cast<std::size_t>(
+                    std::popcount(static_cast<unsigned>(updated ^ xz)));
+                xz = updated;
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return derived;
+}
+
+bool RelationKnowledge::known(std::size_t x, std::size_t y,
+                              Relation r) const {
+  return (bits(x, y) & bit_of(r)) != 0;
+}
+
+std::vector<Relation> RelationKnowledge::known_relations(
+    std::size_t x, std::size_t y) const {
+  std::vector<Relation> out;
+  for (const Relation r : kAllRelations) {
+    if (known(x, y, r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t RelationKnowledge::fact_count() const {
+  std::size_t total = 0;
+  for (const std::uint8_t cell : bits_) {
+    total += static_cast<std::size_t>(std::popcount(
+        static_cast<unsigned>(cell)));
+  }
+  return total;
+}
+
+}  // namespace syncon

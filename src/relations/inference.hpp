@@ -1,0 +1,52 @@
+// Relation inference: propagate a set of known facts "r(X, Y) holds" to
+// its deductive closure under (a) the quantifier implication lattice and
+// (b) the composition calculus R(X,Y) ∘ S(Y,Z) ⟹ T(X,Z).
+//
+// Use case: an application that has evaluated (or been told) relations for
+// some interval pairs can answer queries about other pairs without touching
+// the trace — sound but not complete (a fact may hold without being
+// derivable from the seeds).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "relations/relation.hpp"
+
+namespace syncon {
+
+class RelationKnowledge {
+ public:
+  explicit RelationKnowledge(std::size_t interval_count);
+
+  std::size_t interval_count() const { return count_; }
+
+  /// Records that r(x, y) holds. Implications within the 8-relation lattice
+  /// are applied immediately; call propagate() to also close under
+  /// composition across pairs.
+  void assert_fact(std::size_t x, std::size_t y, Relation r);
+
+  /// Fixed-point closure under composition (and implications). Returns the
+  /// number of new facts derived.
+  std::size_t propagate();
+
+  /// Is r(x, y) known (asserted or derived)?
+  bool known(std::size_t x, std::size_t y, Relation r) const;
+
+  /// All relations known for the ordered pair.
+  std::vector<Relation> known_relations(std::size_t x, std::size_t y) const;
+
+  /// Total number of (pair, relation) facts currently known.
+  std::size_t fact_count() const;
+
+ private:
+  std::uint8_t& bits(std::size_t x, std::size_t y);
+  std::uint8_t bits(std::size_t x, std::size_t y) const;
+  static std::uint8_t with_implications(std::uint8_t mask);
+
+  std::size_t count_;
+  // bits_[x * count_ + y]: bit i set = relation i known for (x, y).
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace syncon

@@ -1,0 +1,59 @@
+// The eight causality relations of Table 1 (from Kshemkalyani, JCSS 1996)
+// and the 32-relation set R between nonatomic poset events obtained by
+// instantiating each of the eight with one of the two proxies of X and of Y.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "nonatomic/interval.hpp"
+
+namespace syncon {
+
+/// Table 1. The primed relations reverse the quantifier order; R4 and R4'
+/// are logically identical, as are R1 and R1' (kept distinct for fidelity).
+enum class Relation : std::uint8_t {
+  R1,   // ∀x ∀y : x ≺ y
+  R1p,  // ∀y ∀x : x ≺ y
+  R2,   // ∀x ∃y : x ≺ y
+  R2p,  // ∃y ∀x : x ≺ y
+  R3,   // ∃x ∀y : x ≺ y
+  R3p,  // ∀y ∃x : x ≺ y
+  R4,   // ∃x ∃y : x ≺ y
+  R4p,  // ∃y ∃x : x ≺ y
+};
+
+inline constexpr std::array<Relation, 8> kAllRelations = {
+    Relation::R1, Relation::R1p, Relation::R2, Relation::R2p,
+    Relation::R3, Relation::R3p, Relation::R4, Relation::R4p};
+
+const char* to_string(Relation r);
+std::ostream& operator<<(std::ostream& os, Relation r);
+
+/// Whether ≺ is taken strictly (the paper's definitions) or as its reflexive
+/// closure ⪯ (what the linear-time conditions compute; see DESIGN.md §3.3 —
+/// the two agree whenever X and Y are disjoint).
+enum class Semantics : std::uint8_t { Strict, Weak };
+
+const char* to_string(Semantics s);
+
+/// One element of the 32-relation set R: a Table 1 relation applied to a
+/// chosen proxy of X and a chosen proxy of Y.
+struct RelationId {
+  Relation relation;
+  ProxyKind proxy_x;
+  ProxyKind proxy_y;
+
+  friend bool operator==(const RelationId&, const RelationId&) = default;
+};
+
+/// All 32 members of R, ordered by (relation, proxy_x, proxy_y).
+std::array<RelationId, 32> all_relation_ids();
+
+/// "R2'(U(X), L(Y))"-style rendering.
+std::string to_string(const RelationId& id);
+std::ostream& operator<<(std::ostream& os, const RelationId& id);
+
+}  // namespace syncon

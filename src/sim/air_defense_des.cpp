@@ -1,0 +1,144 @@
+#include "sim/air_defense_des.hpp"
+
+#include <map>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+namespace {
+
+// Message kinds (DesMessage::tag); DesMessage::value carries the round.
+constexpr std::uint64_t kTrackReport = 1;
+constexpr std::uint64_t kBrief = 2;
+constexpr std::uint64_t kEngageOrder = 3;
+constexpr std::uint64_t kAssessment = 4;
+
+std::string round_label(const char* stage, std::int64_t round) {
+  return std::string(stage) + "/" + std::to_string(round);
+}
+
+class Radar : public DesProcess {
+ public:
+  Radar(const AirDefenseDesConfig& cfg, ProcessId fusion)
+      : cfg_(&cfg), fusion_(fusion) {}
+
+  void on_start(DesContext& ctx) override {
+    ctx.set_timer(cfg_->scan_period, 0);
+  }
+
+  void on_timer(DesContext& ctx, std::uint64_t) override {
+    if (round_ >= static_cast<std::int64_t>(cfg_->rounds)) return;
+    // Detection burst, then the track report.
+    ctx.mark(round_label("detect", round_), ctx.execute(cfg_->detect_work));
+    const EventId report =
+        ctx.send(fusion_, kTrackReport, round_, cfg_->detect_work / 2 + 1);
+    ctx.mark(round_label("detect", round_), report);
+    ++round_;
+    ctx.set_timer(cfg_->scan_period, 0);
+  }
+
+ private:
+  const AirDefenseDesConfig* cfg_;
+  ProcessId fusion_;
+  std::int64_t round_ = 0;
+};
+
+class Fusion : public DesProcess {
+ public:
+  Fusion(const AirDefenseDesConfig& cfg, ProcessId command)
+      : cfg_(&cfg), command_(command) {}
+
+  void on_message(DesContext& ctx, const DesMessage& m) override {
+    if (m.tag != kTrackReport) return;
+    ctx.mark(round_label("track", m.value), ctx.current_receive());
+    if (++reports_[m.value] < cfg_->radars) return;
+    // All radars reported round k: correlate and brief command.
+    ctx.mark(round_label("track", m.value), ctx.execute(cfg_->fusion_work));
+    const EventId brief = ctx.send(command_, kBrief, m.value, 100);
+    ctx.mark(round_label("track", m.value), brief);
+  }
+
+ private:
+  const AirDefenseDesConfig* cfg_;
+  ProcessId command_;
+  std::map<std::int64_t, std::size_t> reports_;
+};
+
+class Command : public DesProcess {
+ public:
+  Command(const AirDefenseDesConfig& cfg, ProcessId battery0)
+      : cfg_(&cfg), battery0_(battery0) {}
+
+  void on_message(DesContext& ctx, const DesMessage& m) override {
+    if (m.tag == kBrief) {
+      ctx.mark(round_label("decide", m.value), ctx.current_receive());
+      ctx.mark(round_label("decide", m.value),
+               ctx.execute(cfg_->decide_work));
+      // One engage order, multicast to every battery — all receives are
+      // causally after this single send.
+      std::vector<ProcessId> batteries;
+      for (std::size_t b = 0; b < cfg_->batteries; ++b) {
+        batteries.push_back(static_cast<ProcessId>(battery0_ + b));
+      }
+      const EventId order = ctx.multicast(batteries, kEngageOrder, m.value, 50);
+      ctx.mark(round_label("decide", m.value), order);
+    } else if (m.tag == kAssessment) {
+      // Battle-damage assessment folds into command's local state.
+      ctx.mark(round_label("bda", m.value), ctx.current_receive());
+    }
+  }
+
+ private:
+  const AirDefenseDesConfig* cfg_;
+  ProcessId battery0_;
+};
+
+class Battery : public DesProcess {
+ public:
+  Battery(const AirDefenseDesConfig& cfg, ProcessId command)
+      : cfg_(&cfg), command_(command) {}
+
+  void on_message(DesContext& ctx, const DesMessage& m) override {
+    if (m.tag != kEngageOrder) return;
+    ctx.mark(round_label("engage", m.value), ctx.current_receive());
+    ctx.mark(round_label("engage", m.value), ctx.execute(cfg_->engage_work));
+    const EventId assess = ctx.send(command_, kAssessment, m.value, 100);
+    ctx.mark(round_label("engage", m.value), assess);
+  }
+
+ private:
+  const AirDefenseDesConfig* cfg_;
+  ProcessId command_;
+};
+
+}  // namespace
+
+DesEngine::Result make_air_defense_des(const AirDefenseDesConfig& cfg) {
+  SYNCON_REQUIRE(cfg.radars >= 1 && cfg.batteries >= 1 && cfg.rounds >= 1,
+                 "air defence needs radars, batteries and rounds");
+  const auto fusion = static_cast<ProcessId>(cfg.radars);
+  const auto command = static_cast<ProcessId>(cfg.radars + 1);
+  const auto battery0 = static_cast<ProcessId>(cfg.radars + 2);
+
+  std::vector<std::unique_ptr<DesProcess>> procs;
+  for (std::size_t r = 0; r < cfg.radars; ++r) {
+    procs.push_back(std::make_unique<Radar>(cfg, fusion));
+  }
+  procs.push_back(std::make_unique<Fusion>(cfg, command));
+  procs.push_back(std::make_unique<Command>(cfg, battery0));
+  for (std::size_t b = 0; b < cfg.batteries; ++b) {
+    procs.push_back(std::make_unique<Battery>(cfg, command));
+  }
+
+  DesEngine engine(std::move(procs), cfg.network);
+  // Generous horizon: rounds * scan period plus slack for the pipeline tail.
+  const TimePoint horizon =
+      static_cast<TimePoint>(cfg.rounds + 4) *
+      (cfg.scan_period + cfg.network.max_latency * 4 + cfg.decide_work +
+       cfg.fusion_work + cfg.engage_work);
+  engine.run(horizon);
+  return engine.finish();
+}
+
+}  // namespace syncon

@@ -1,0 +1,205 @@
+#include "sim/des.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+struct DesEngine::Impl {
+  enum class Kind { Start, Delivery, Timer };
+
+  struct Activation {
+    TimePoint time = 0;
+    std::uint64_t seq = 0;  // FIFO tiebreak for equal times
+    Kind kind = Kind::Start;
+    ProcessId process = 0;
+    DesMessage message{};          // Delivery
+    std::uint64_t delivery_id = 0; // Delivery: index into tokens
+    std::uint64_t timer_id = 0;    // Timer
+  };
+
+  struct Later {
+    bool operator()(const Activation& a, const Activation& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  explicit Impl(std::vector<std::unique_ptr<DesProcess>> procs,
+                const DesConfig& cfg)
+      : processes(std::move(procs)),
+        config(cfg),
+        builder(processes.size()),
+        rng(cfg.seed) {
+    SYNCON_REQUIRE(!processes.empty(), "simulation needs processes");
+    SYNCON_REQUIRE(cfg.min_latency >= 1 && cfg.min_latency <= cfg.max_latency,
+                   "latency window must be ordered and >= 1µs");
+    SYNCON_REQUIRE(cfg.loss_probability >= 0.0 && cfg.loss_probability < 1.0,
+                   "loss probability must be in [0, 1)");
+    local_time.assign(processes.size(), 0);
+    event_times.resize(processes.size());
+    for (ProcessId p = 0; p < processes.size(); ++p) {
+      push(Activation{0, next_seq++, Kind::Start, p, {}, 0, 0});
+    }
+  }
+
+  void push(Activation a) { queue.push(std::move(a)); }
+
+  // Advances p's local clock by at least 1µs of processing and returns the
+  // new time (the time of the event being recorded).
+  TimePoint advance(ProcessId p, Duration processing) {
+    local_time[p] += std::max<Duration>(processing, 1);
+    return local_time[p];
+  }
+
+  void record_time(ProcessId p, TimePoint t) {
+    event_times[p].push_back(t);
+  }
+
+  void run_one(const Activation& act) {
+    const ProcessId p = act.process;
+    DesContext ctx(*self, p);
+    // The process cannot act before the activation reaches it.
+    local_time[p] = std::max(local_time[p], act.time);
+    switch (act.kind) {
+      case Kind::Start:
+        processes[p]->on_start(ctx);
+        break;
+      case Kind::Delivery: {
+        const MessageToken token = tokens[act.delivery_id];
+        const TimePoint t = advance(p, 1);
+        current_receive = builder.receive(p, token);
+        record_time(p, t);
+        ++executed;
+        processes[p]->on_message(ctx, act.message);
+        current_receive = EventId{};
+        break;
+      }
+      case Kind::Timer:
+        processes[p]->on_timer(ctx, act.timer_id);
+        break;
+    }
+  }
+
+  std::vector<std::unique_ptr<DesProcess>> processes;
+  DesConfig config;
+  ExecutionBuilder builder;
+  Xoshiro256StarStar rng;
+  std::priority_queue<Activation, std::vector<Activation>, Later> queue;
+  std::vector<TimePoint> local_time;
+  std::vector<std::vector<TimePoint>> event_times;
+  std::vector<MessageToken> tokens;
+  std::map<std::string, std::vector<EventId>> marks;
+  std::uint64_t next_seq = 0;
+  std::size_t executed = 0;
+  EventId current_receive{};
+  bool finished = false;
+  DesEngine* self = nullptr;
+};
+
+DesEngine::DesEngine(std::vector<std::unique_ptr<DesProcess>> processes,
+                     const DesConfig& config)
+    : impl_(std::make_unique<Impl>(std::move(processes), config)) {
+  impl_->self = this;
+}
+
+DesEngine::~DesEngine() = default;
+
+void DesEngine::run(TimePoint until) {
+  SYNCON_REQUIRE(!impl_->finished, "engine already finished");
+  while (!impl_->queue.empty() && impl_->queue.top().time <= until) {
+    const Impl::Activation act = impl_->queue.top();
+    impl_->queue.pop();
+    impl_->run_one(act);
+  }
+}
+
+std::size_t DesEngine::events_executed() const { return impl_->executed; }
+
+DesEngine::Result DesEngine::finish() {
+  SYNCON_REQUIRE(!impl_->finished, "finish() called twice");
+  impl_->finished = true;
+  Result result;
+  auto exec = std::make_shared<Execution>(impl_->builder.build());
+  result.times = std::make_shared<const PhysicalTimes>(
+      *exec, std::move(impl_->event_times));
+  for (auto& [label, events] : impl_->marks) {
+    result.intervals.emplace_back(*exec, std::move(events), label);
+  }
+  result.execution = std::move(exec);
+  return result;
+}
+
+TimePoint DesContext::now() const { return engine_->impl_->local_time[process_]; }
+
+EventId DesContext::execute(Duration processing) {
+  DesEngine::Impl& impl = *engine_->impl_;
+  const TimePoint t = impl.advance(process_, processing);
+  const EventId e = impl.builder.local(process_);
+  impl.record_time(process_, t);
+  ++impl.executed;
+  return e;
+}
+
+EventId DesContext::send(ProcessId to, std::uint64_t tag, std::int64_t value,
+                         Duration processing) {
+  const ProcessId dests[] = {to};
+  return multicast(dests, tag, value, processing);
+}
+
+EventId DesContext::multicast(std::span<const ProcessId> to,
+                              std::uint64_t tag, std::int64_t value,
+                              Duration processing) {
+  DesEngine::Impl& impl = *engine_->impl_;
+  SYNCON_REQUIRE(!to.empty(), "multicast needs at least one destination");
+  for (const ProcessId dest : to) {
+    SYNCON_REQUIRE(dest < impl.processes.size(),
+                   "destination out of range");
+    SYNCON_REQUIRE(dest != process_, "a process cannot message itself");
+  }
+  const TimePoint t = impl.advance(process_, processing);
+  EventId send_event;
+  const MessageToken token = impl.builder.send(process_, &send_event);
+  impl.record_time(process_, t);
+  ++impl.executed;
+  impl.tokens.push_back(token);
+  const std::uint64_t token_id = impl.tokens.size() - 1;
+  for (const ProcessId dest : to) {
+    if (impl.rng.bernoulli(impl.config.loss_probability)) {
+      continue;  // lost in transit for this destination
+    }
+    const Duration latency =
+        impl.config.min_latency +
+        static_cast<Duration>(impl.rng.uniform(
+            0, static_cast<std::uint64_t>(impl.config.max_latency -
+                                          impl.config.min_latency)));
+    impl.push(DesEngine::Impl::Activation{
+        t + latency, impl.next_seq++, DesEngine::Impl::Kind::Delivery, dest,
+        DesMessage{process_, tag, value}, token_id, 0});
+  }
+  return send_event;
+}
+
+void DesContext::set_timer(Duration delay, std::uint64_t timer_id) {
+  DesEngine::Impl& impl = *engine_->impl_;
+  SYNCON_REQUIRE(delay >= 1, "timer delay must be at least 1µs");
+  impl.push(DesEngine::Impl::Activation{
+      impl.local_time[process_] + delay, impl.next_seq++,
+      DesEngine::Impl::Kind::Timer, process_, {}, 0, timer_id});
+}
+
+EventId DesContext::current_receive() const {
+  const EventId e = engine_->impl_->current_receive;
+  SYNCON_REQUIRE(e.index != 0, "no message is being handled");
+  return e;
+}
+
+void DesContext::mark(const std::string& interval_label, EventId e) {
+  SYNCON_REQUIRE(!interval_label.empty(), "interval label must be non-empty");
+  engine_->impl_->marks[interval_label].push_back(e);
+}
+
+}  // namespace syncon

@@ -1,0 +1,133 @@
+// Discrete-event simulation engine: the substrate that plays the role of a
+// real distributed real-time system. Unlike the structural generators in
+// workload.hpp (which create causal shape only), the engine drives process
+// behaviors through simulated time — message latencies, processing delays
+// and timers — and emits a trace whose physical timeline and causal
+// structure are consistent by construction.
+//
+// Usage: subclass DesProcess, implement the three callbacks, register the
+// processes with a DesEngine, run, and collect the Execution +
+// PhysicalTimes + labeled intervals.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/execution.hpp"
+#include "nonatomic/interval.hpp"
+#include "support/rng.hpp"
+#include "timing/physical_time.hpp"
+
+namespace syncon {
+
+class DesContext;
+
+/// Payload of a simulated message: sender + an application tag + a value.
+struct DesMessage {
+  ProcessId from = 0;
+  std::uint64_t tag = 0;
+  std::int64_t value = 0;
+};
+
+/// Application behavior of one process. Callbacks run when the process is
+/// activated; they use the context to execute events, send messages and
+/// arm timers.
+class DesProcess {
+ public:
+  virtual ~DesProcess() = default;
+  /// Called once at simulation start.
+  virtual void on_start(DesContext& ctx) { (void)ctx; }
+  /// Called when a message is delivered (the receive event has already been
+  /// recorded by the engine).
+  virtual void on_message(DesContext& ctx, const DesMessage& message) {
+    (void)ctx;
+    (void)message;
+  }
+  /// Called when a timer fires. Timers do NOT create events by themselves.
+  virtual void on_timer(DesContext& ctx, std::uint64_t timer_id) {
+    (void)ctx;
+    (void)timer_id;
+  }
+};
+
+struct DesConfig {
+  /// Message latency window (µs), sampled uniformly per message.
+  Duration min_latency = 200;
+  Duration max_latency = 3000;
+  /// Probability that a message is lost in transit (the send event still
+  /// occurs; no delivery is scheduled). Models the fault environment that
+  /// makes timeout/retry protocols — and their causal analysis — matter.
+  double loss_probability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// API handed to process callbacks.
+class DesContext {
+ public:
+  ProcessId self() const { return process_; }
+  TimePoint now() const;
+
+  /// Executes a local event after `processing` µs of local work.
+  EventId execute(Duration processing);
+
+  /// Executes a send event after `processing` µs and ships the message with
+  /// an engine-sampled latency. Returns the send event.
+  EventId send(ProcessId to, std::uint64_t tag, std::int64_t value,
+               Duration processing);
+
+  /// One send event delivered to every listed destination (true multicast:
+  /// all receives are causally after the single send). Latency and loss are
+  /// sampled per destination.
+  EventId multicast(std::span<const ProcessId> to, std::uint64_t tag,
+                    std::int64_t value, Duration processing);
+
+  /// Arms a timer that fires `delay` µs from now.
+  void set_timer(Duration delay, std::uint64_t timer_id);
+
+  /// The receive event of the message currently being handled (valid inside
+  /// on_message only).
+  EventId current_receive() const;
+
+  /// Tags an event as part of the labeled nonatomic action.
+  void mark(const std::string& interval_label, EventId e);
+
+ private:
+  friend class DesEngine;
+  DesContext(class DesEngine& engine, ProcessId process)
+      : engine_(&engine), process_(process) {}
+  class DesEngine* engine_;
+  ProcessId process_;
+};
+
+class DesEngine {
+ public:
+  /// Result of a finished simulation. The execution is heap-held so the
+  /// intervals and times stay valid.
+  struct Result {
+    std::shared_ptr<const Execution> execution;
+    std::shared_ptr<const PhysicalTimes> times;
+    std::vector<NonatomicEvent> intervals;
+  };
+
+  DesEngine(std::vector<std::unique_ptr<DesProcess>> processes,
+            const DesConfig& config);
+  ~DesEngine();
+
+  /// Runs until the event queue drains or simulated time passes `until`.
+  void run(TimePoint until);
+
+  /// Finalizes the trace. The engine must not be run afterwards.
+  Result finish();
+
+  std::size_t events_executed() const;
+
+ private:
+  friend class DesContext;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace syncon

@@ -1,0 +1,44 @@
+// Samplers that carve nonatomic events (intervals) out of an execution —
+// the set A of "higher level groupings of the events of E that are of
+// interest to an application" (Section 1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/execution.hpp"
+#include "nonatomic/interval.hpp"
+#include "support/rng.hpp"
+
+namespace syncon {
+
+struct IntervalSpec {
+  /// Number of processes the interval spans (clamped to the processes that
+  /// actually have real events).
+  std::size_t node_count = 2;
+  /// Maximum component events contributed by each spanned process (>= 1).
+  std::size_t max_events_per_node = 3;
+};
+
+/// Samples one nonatomic event: chooses `node_count` processes, then a
+/// contiguous run of up to `max_events_per_node` real events on each.
+/// Contiguous runs model an action's local execution footprint.
+NonatomicEvent random_interval(const Execution& exec, Xoshiro256StarStar& rng,
+                               const IntervalSpec& spec,
+                               std::string label = {});
+
+/// Samples `count` independent intervals (labels "I0", "I1", …).
+std::vector<NonatomicEvent> random_intervals(const Execution& exec,
+                                             Xoshiro256StarStar& rng,
+                                             const IntervalSpec& spec,
+                                             std::size_t count);
+
+/// Carves one interval per index window: interval k spans the events with
+/// per-process indices in [k·width+1, (k+1)·width] across all processes that
+/// have them. Windowed intervals of the same execution are "naturally"
+/// ordered, which makes relation outcomes interpretable in examples.
+std::vector<NonatomicEvent> windowed_intervals(const Execution& exec,
+                                               std::size_t width);
+
+}  // namespace syncon

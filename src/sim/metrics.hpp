@@ -1,0 +1,32 @@
+// Structural metrics of an execution — used to characterize benchmark
+// workloads (how coupled is the trace?) and to sanity-check generators.
+#pragma once
+
+#include <cstdint>
+
+#include "model/timestamps.hpp"
+#include "support/rng.hpp"
+
+namespace syncon {
+
+struct ExecutionMetrics {
+  std::size_t processes = 0;
+  std::size_t events = 0;
+  std::size_t messages = 0;
+  /// messages per real event.
+  double message_density = 0.0;
+  /// Estimated fraction of real-event pairs that are concurrent (sampled).
+  double concurrency_ratio = 0.0;
+  /// Longest causal chain (critical path) through the computation.
+  std::uint64_t critical_path = 0;
+  /// events / critical_path — the available parallelism.
+  double parallelism = 0.0;
+};
+
+/// Computes the metrics; concurrency is estimated from `sample_pairs`
+/// random pairs (exact for small traces would be O(|E|²)).
+ExecutionMetrics measure_execution(const Timestamps& ts,
+                                   std::size_t sample_pairs = 20000,
+                                   std::uint64_t seed = 1);
+
+}  // namespace syncon

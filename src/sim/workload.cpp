@@ -1,0 +1,128 @@
+#include "sim/workload.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+const char* to_string(Topology t) {
+  switch (t) {
+    case Topology::Random: return "random";
+    case Topology::Ring: return "ring";
+    case Topology::ClientServer: return "client-server";
+    case Topology::Broadcast: return "broadcast";
+    case Topology::Phases: return "phases";
+  }
+  return "?";
+}
+
+namespace {
+
+// Round-robin point-to-point generator driving the Random, Ring,
+// ClientServer and Broadcast topologies: each process alternates between
+// draining its mailbox, doing local work, and sending.
+Execution generate_point_to_point(const WorkloadConfig& cfg) {
+  ExecutionBuilder builder(cfg.process_count);
+  Xoshiro256StarStar rng(cfg.seed);
+  std::vector<std::deque<MessageToken>> mailbox(cfg.process_count);
+
+  auto destination = [&](ProcessId from) -> ProcessId {
+    switch (cfg.topology) {
+      case Topology::Ring:
+        return static_cast<ProcessId>((from + 1) % cfg.process_count);
+      case Topology::ClientServer:
+        if (from == 0) {
+          // Server replies to a random client.
+          return static_cast<ProcessId>(
+              1 + rng.below(cfg.process_count - 1));
+        }
+        return 0;
+      default: {
+        // Uniform among the other processes.
+        auto d = static_cast<ProcessId>(rng.below(cfg.process_count - 1));
+        return d >= from ? static_cast<ProcessId>(d + 1) : d;
+      }
+    }
+  };
+
+  const std::size_t total_target = cfg.process_count * cfg.events_per_process;
+  std::size_t generated = 0;
+  // Interleave processes randomly; stop once the target volume is reached.
+  while (generated < total_target) {
+    const auto p = static_cast<ProcessId>(rng.below(cfg.process_count));
+    if (!mailbox[p].empty() && rng.bernoulli(cfg.receive_probability)) {
+      builder.receive(p, mailbox[p].front());
+      mailbox[p].pop_front();
+      ++generated;
+      continue;
+    }
+    if (rng.bernoulli(cfg.send_probability)) {
+      if (cfg.topology == Topology::Broadcast && rng.bernoulli(0.25)) {
+        // One-to-all multicast: a single send event, every peer receives it.
+        const MessageToken token = builder.send(p);
+        for (ProcessId q = 0; q < cfg.process_count; ++q) {
+          if (q != p) mailbox[q].push_back(token);
+        }
+      } else {
+        const ProcessId q = destination(p);
+        mailbox[q].push_back(builder.send(p));
+      }
+    } else {
+      builder.local(p);
+    }
+    ++generated;
+  }
+  // Drain mailboxes so heavy topologies end causally coupled (messages still
+  // in flight are dropped — they model loss at the trace horizon).
+  for (ProcessId p = 0; p < cfg.process_count; ++p) {
+    while (!mailbox[p].empty() && rng.bernoulli(cfg.receive_probability)) {
+      builder.receive(p, mailbox[p].front());
+      mailbox[p].pop_front();
+    }
+  }
+  return builder.build();
+}
+
+// Barrier-phase generator: each phase is local work on every process, a
+// gather into the coordinator, and a release broadcast back out.
+Execution generate_phases(const WorkloadConfig& cfg) {
+  SYNCON_REQUIRE(cfg.process_count >= 2,
+                 "phase workloads need a coordinator and a worker");
+  ExecutionBuilder builder(cfg.process_count);
+  Xoshiro256StarStar rng(cfg.seed);
+  const ProcessId coordinator = 0;
+  const std::size_t work_per_phase =
+      cfg.phase_count == 0
+          ? cfg.events_per_process
+          : (cfg.events_per_process + cfg.phase_count - 1) / cfg.phase_count;
+
+  for (std::size_t phase = 0; phase < cfg.phase_count; ++phase) {
+    std::vector<MessageToken> reports;
+    for (ProcessId p = 0; p < cfg.process_count; ++p) {
+      const std::uint64_t work =
+          1 + rng.below(std::max<std::size_t>(work_per_phase, 1));
+      for (std::uint64_t k = 0; k < work; ++k) builder.local(p);
+      if (p != coordinator) reports.push_back(builder.send(p));
+    }
+    builder.receive_all(coordinator, reports);
+    const MessageToken release = builder.send(coordinator);
+    for (ProcessId p = 0; p < cfg.process_count; ++p) {
+      if (p != coordinator) builder.receive(p, release);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+Execution generate_execution(const WorkloadConfig& cfg) {
+  SYNCON_REQUIRE(cfg.process_count >= 1, "need at least one process");
+  SYNCON_REQUIRE(cfg.process_count >= 2 || cfg.send_probability == 0.0,
+                 "messages need at least two processes");
+  if (cfg.topology == Topology::Phases) return generate_phases(cfg);
+  return generate_point_to_point(cfg);
+}
+
+}  // namespace syncon

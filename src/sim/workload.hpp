@@ -1,0 +1,46 @@
+// Synthetic distributed executions. This substrate stands in for the
+// "recorded trace of a distributed computation" that the paper's Problem 4
+// assumes (see DESIGN.md §6): the relations are functions of causal shape
+// only, so seeded generators that sweep process counts, message densities
+// and communication topologies exercise exactly the code paths real traces
+// would.
+#pragma once
+
+#include <cstdint>
+
+#include "model/execution.hpp"
+#include "support/rng.hpp"
+
+namespace syncon {
+
+/// Communication structure of the generated execution.
+enum class Topology {
+  Random,        // uniformly random point-to-point messages
+  Ring,          // each process messages its successor
+  ClientServer,  // clients exchange request/reply with process 0
+  Broadcast,     // periodic one-to-all multicasts
+  Phases,        // barrier-style phases through a coordinator
+};
+
+const char* to_string(Topology t);
+
+struct WorkloadConfig {
+  std::size_t process_count = 4;
+  /// Target number of real events per process (the generator lands close to
+  /// this; receives may add a few).
+  std::size_t events_per_process = 24;
+  /// Probability that a generated event is a send (vs a local event).
+  double send_probability = 0.3;
+  /// Probability that a process drains a pending message before generating
+  /// new work (higher = tighter causal coupling).
+  double receive_probability = 0.7;
+  Topology topology = Topology::Random;
+  /// Number of barrier rounds for Topology::Phases.
+  std::size_t phase_count = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a deterministic execution from the config.
+Execution generate_execution(const WorkloadConfig& config);
+
+}  // namespace syncon

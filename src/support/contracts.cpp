@@ -1,0 +1,16 @@
+#include "support/contracts.hpp"
+
+#include <sstream>
+
+namespace syncon::detail {
+
+void contract_failure(const char* kind, const char* condition,
+                      const char* file, int line,
+                      const std::string& message) {
+  std::ostringstream oss;
+  oss << "syncon " << kind << " violated: " << message << " [" << condition
+      << "] at " << file << ":" << line;
+  throw ContractViolation(oss.str());
+}
+
+}  // namespace syncon::detail

@@ -1,0 +1,47 @@
+// Contract-checking macros used across the library.
+//
+// SYNCON_REQUIRE   -- precondition on a public API; always on, throws
+//                     syncon::ContractViolation so callers can test misuse.
+// SYNCON_ASSERT    -- internal invariant; always on in this reference
+//                     implementation (the library is about correctness of an
+//                     algorithm, not peak production throughput), aborts via
+//                     exception as well so tests can observe it.
+//
+// Both macros evaluate their condition exactly once.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace syncon {
+
+/// Thrown when a SYNCON_REQUIRE / SYNCON_ASSERT contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* condition,
+                                   const char* file, int line,
+                                   const std::string& message);
+}  // namespace detail
+
+}  // namespace syncon
+
+#define SYNCON_REQUIRE(cond, message)                                       \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::syncon::detail::contract_failure("precondition", #cond, __FILE__,   \
+                                         __LINE__, (message));              \
+    }                                                                       \
+  } while (false)
+
+#define SYNCON_ASSERT(cond, message)                                        \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::syncon::detail::contract_failure("invariant", #cond, __FILE__,      \
+                                         __LINE__, (message));              \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,91 @@
+#include "support/rng.hpp"
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+  // A zero state would be degenerate; SplitMix64 cannot produce four zero
+  // outputs from any seed, but keep the guard explicit.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro256StarStar::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256StarStar::below(std::uint64_t n) {
+  SYNCON_REQUIRE(n > 0, "below(n) requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::uint64_t Xoshiro256StarStar::uniform(std::uint64_t lo, std::uint64_t hi) {
+  SYNCON_REQUIRE(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  const std::uint64_t span = hi - lo;
+  if (span == ~std::uint64_t{0}) return next();
+  return lo + below(span + 1);
+}
+
+double Xoshiro256StarStar::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256StarStar::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Xoshiro256StarStar::burst(double p, std::uint64_t cap) {
+  std::uint64_t count = 1;
+  while (count < cap && bernoulli(p)) ++count;
+  return count;
+}
+
+std::vector<std::size_t> Xoshiro256StarStar::sample_without_replacement(
+    std::size_t n, std::size_t k) {
+  SYNCON_REQUIRE(k <= n, "cannot sample more elements than the population");
+  // Selection sampling (Knuth 3.4.2 Algorithm S): O(n), produces sorted output.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  std::size_t remaining = k;
+  for (std::size_t i = 0; i < n && remaining > 0; ++i) {
+    const std::size_t left = n - i;
+    if (below(left) < remaining) {
+      out.push_back(i);
+      --remaining;
+    }
+  }
+  return out;
+}
+
+}  // namespace syncon

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// All stochastic behaviour in the library flows through SplitMix64 (seeding)
+// and Xoshiro256StarStar (bulk generation) so that every experiment is exactly
+// reproducible from a single 64-bit seed, independent of the platform's
+// <random> implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace syncon {
+
+/// SplitMix64: tiny, high-quality generator used to expand one 64-bit seed
+/// into the 256-bit state of Xoshiro256StarStar (and usable on its own).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// Deterministic across platforms; satisfies UniformRandomBitGenerator.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [0, n) (n > 0), without modulo bias.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Geometric-ish positive count: 1 + number of successes of bernoulli(p).
+  /// Used for bursty event generation.
+  std::uint64_t burst(double p, std::uint64_t cap);
+
+  /// Sample k distinct values from [0, n) in increasing order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace syncon

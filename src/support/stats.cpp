@@ -1,0 +1,110 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!dirty_ && sorted_.size() == values_.size()) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  dirty_ = false;
+}
+
+double SampleSet::mean() const {
+  SYNCON_REQUIRE(!values_.empty(), "mean of empty sample set");
+  double s = 0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double SampleSet::min() const {
+  SYNCON_REQUIRE(!values_.empty(), "min of empty sample set");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double SampleSet::max() const {
+  SYNCON_REQUIRE(!values_.empty(), "max of empty sample set");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double SampleSet::quantile(double q) const {
+  SYNCON_REQUIRE(!values_.empty(), "quantile of empty sample set");
+  SYNCON_REQUIRE(q >= 0.0 && q <= 1.0, "quantile requires q in [0, 1]");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void IntHistogram::add(std::uint64_t value) {
+  if (value >= buckets_.size()) buckets_.resize(value + 1, 0);
+  ++buckets_[value];
+  ++total_;
+  max_ = std::max(max_, value);
+  min_ = std::min(min_, value);
+  weighted_sum_ += value;
+}
+
+double IntHistogram::mean() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(weighted_sum_) / static_cast<double>(total_);
+}
+
+std::uint64_t IntHistogram::count_above(std::uint64_t bound) const {
+  std::uint64_t n = 0;
+  for (std::size_t v = static_cast<std::size_t>(bound) + 1;
+       v < buckets_.size(); ++v) {
+    n += buckets_[v];
+  }
+  return n;
+}
+
+}  // namespace syncon

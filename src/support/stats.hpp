@@ -1,0 +1,76 @@
+// Small statistics accumulators used by the benchmark harness and the
+// monitor's summary reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace syncon {
+
+/// Streaming accumulator: count/min/max/mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retaining accumulator with exact quantiles; used where percentile
+/// reporting matters (e.g. distribution of comparison counts).
+class SampleSet {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Quantile in [0, 1] by linear interpolation; requires nonempty set.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+ private:
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = true;
+  void ensure_sorted() const;
+};
+
+/// Histogram over integer values; used to summarize per-pair comparison
+/// counts against the Theorem 20 bounds.
+class IntHistogram {
+ public:
+  void add(std::uint64_t value);
+  std::uint64_t count() const { return total_; }
+  std::uint64_t max_value() const { return max_; }
+  std::uint64_t min_value() const { return total_ == 0 ? 0 : min_; }
+  double mean() const;
+  /// Number of samples strictly greater than `bound` (bound violations).
+  std::uint64_t count_above(std::uint64_t bound) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // buckets_[v] = multiplicity of v
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t weighted_sum_ = 0;
+};
+
+}  // namespace syncon

@@ -1,0 +1,100 @@
+#include "timing/physical_time.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+PhysicalTimes::PhysicalTimes(
+    const Execution& exec, std::vector<std::vector<TimePoint>> times_by_process)
+    : exec_(&exec), times_(std::move(times_by_process)) {
+  SYNCON_REQUIRE(times_.size() == exec.process_count(),
+                 "one time series per process required");
+  for (ProcessId p = 0; p < exec.process_count(); ++p) {
+    SYNCON_REQUIRE(times_[p].size() == exec.real_count(p),
+                   "one timestamp per real event required");
+    for (std::size_t k = 1; k < times_[p].size(); ++k) {
+      SYNCON_REQUIRE(times_[p][k - 1] < times_[p][k],
+                     "per-process times must be strictly increasing");
+    }
+  }
+  for (const Message& m : exec.messages()) {
+    SYNCON_REQUIRE(at(m.source) < at(m.target),
+                   "a message must be received after it was sent");
+  }
+}
+
+TimePoint PhysicalTimes::at(EventId e) const {
+  SYNCON_REQUIRE(exec_->is_real(e), "only real events carry physical time");
+  return times_[e.process][e.index - 1];
+}
+
+TimePoint PhysicalTimes::horizon() const {
+  TimePoint h = 0;
+  for (ProcessId p = 0; p < exec_->process_count(); ++p) {
+    if (!times_[p].empty()) h = std::max(h, times_[p].back());
+  }
+  return h;
+}
+
+PhysicalTimes assign_times(const Execution& exec, const TimingModel& model) {
+  SYNCON_REQUIRE(model.mean_step > 0, "mean_step must be positive");
+  SYNCON_REQUIRE(model.jitter >= 0.0 && model.jitter < 1.0,
+                 "jitter must be in [0, 1)");
+  SYNCON_REQUIRE(model.min_latency >= 0 &&
+                     model.min_latency <= model.max_latency,
+                 "latency window must be ordered and non-negative");
+  Xoshiro256StarStar rng(model.seed);
+  std::vector<std::vector<TimePoint>> times(exec.process_count());
+  for (ProcessId p = 0; p < exec.process_count(); ++p) {
+    times[p].resize(exec.real_count(p));
+  }
+  auto step = [&]() -> Duration {
+    const double lo = static_cast<double>(model.mean_step) *
+                      (1.0 - model.jitter);
+    const double hi = static_cast<double>(model.mean_step) *
+                      (1.0 + model.jitter);
+    return std::max<Duration>(
+        1, static_cast<Duration>(lo + (hi - lo) * rng.uniform01()));
+  };
+  // Creation order is topological, so message sources are always timed
+  // before their receives.
+  for (const EventId& e : exec.topological_order()) {
+    TimePoint t =
+        e.index > 1 ? times[e.process][e.index - 2] + step() : step();
+    for (const EventId& src : exec.incoming(e)) {
+      const Duration latency =
+          model.min_latency +
+          static_cast<Duration>(rng.uniform(
+              0, static_cast<std::uint64_t>(model.max_latency -
+                                            model.min_latency)));
+      t = std::max(t, times[src.process][src.index - 1] + latency);
+    }
+    times[e.process][e.index - 1] = t;
+  }
+  return PhysicalTimes(exec, std::move(times));
+}
+
+TimePoint start_time(const PhysicalTimes& times, const NonatomicEvent& x) {
+  TimePoint t = std::numeric_limits<TimePoint>::max();
+  for (const ProcessId p : x.node_set()) {
+    t = std::min(t, times.at(x.least_on(p)));
+  }
+  return t;
+}
+
+TimePoint end_time(const PhysicalTimes& times, const NonatomicEvent& x) {
+  TimePoint t = std::numeric_limits<TimePoint>::min();
+  for (const ProcessId p : x.node_set()) {
+    t = std::max(t, times.at(x.greatest_on(p)));
+  }
+  return t;
+}
+
+Duration duration_of(const PhysicalTimes& times, const NonatomicEvent& x) {
+  return end_time(times, x) - start_time(times, x);
+}
+
+}  // namespace syncon

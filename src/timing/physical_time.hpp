@@ -1,0 +1,66 @@
+// Physical (wall-clock) time for recorded executions. The causality
+// relations say which orderings are *certain*; distributed real-time
+// applications additionally need the *quantitative* layer — when events
+// happened and whether latencies meet deadlines (the paper's companion
+// reference [12], "Relative timing constraints between complex events").
+//
+// A PhysicalTimes object assigns a timestamp (microseconds) to every real
+// event, validated to respect the trace's causal structure: strictly
+// monotone along each process line and send-before-receive across messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/execution.hpp"
+#include "model/types.hpp"
+#include "nonatomic/interval.hpp"
+#include "support/rng.hpp"
+
+namespace syncon {
+
+/// Microseconds since the start of the computation.
+using TimePoint = std::int64_t;
+using Duration = std::int64_t;
+
+class PhysicalTimes {
+ public:
+  /// `times_by_process[p][k-1]` is the time of event (p, k). Validates
+  /// per-process monotonicity and message causality against `exec`.
+  PhysicalTimes(const Execution& exec,
+                std::vector<std::vector<TimePoint>> times_by_process);
+
+  const Execution& execution() const { return *exec_; }
+
+  /// Time of a real event.
+  TimePoint at(EventId e) const;
+
+  /// Last timestamp in the trace.
+  TimePoint horizon() const;
+
+ private:
+  const Execution* exec_;
+  std::vector<std::vector<TimePoint>> times_;
+};
+
+/// Parameters of the synthetic timing model used by `assign_times`.
+struct TimingModel {
+  /// Mean spacing between consecutive local events of a process (µs).
+  Duration mean_step = 1000;
+  /// Uniform jitter applied to each step: step ∈ [mean·(1-j), mean·(1+j)].
+  double jitter = 0.5;
+  /// Minimum and maximum network latency added to receive events (µs).
+  Duration min_latency = 200;
+  Duration max_latency = 5000;
+  std::uint64_t seed = 1;
+};
+
+/// Draws a causally consistent physical timeline for the execution.
+PhysicalTimes assign_times(const Execution& exec, const TimingModel& model);
+
+/// First / last instant of a nonatomic event under the timeline.
+TimePoint start_time(const PhysicalTimes& times, const NonatomicEvent& x);
+TimePoint end_time(const PhysicalTimes& times, const NonatomicEvent& x);
+Duration duration_of(const PhysicalTimes& times, const NonatomicEvent& x);
+
+}  // namespace syncon

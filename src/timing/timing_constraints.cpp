@@ -1,0 +1,55 @@
+#include "timing/timing_constraints.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+const char* to_string(Anchor a) {
+  return a == Anchor::Start ? "start" : "end";
+}
+
+Duration gap(const PhysicalTimes& times, const NonatomicEvent& x, Anchor ax,
+             const NonatomicEvent& y, Anchor ay) {
+  const TimePoint tx =
+      ax == Anchor::Start ? start_time(times, x) : end_time(times, x);
+  const TimePoint ty =
+      ay == Anchor::Start ? start_time(times, y) : end_time(times, y);
+  return ty - tx;
+}
+
+TimingCheckResult check_constraint(const PhysicalTimes& times,
+                                   const TimingConstraint& constraint,
+                                   const NonatomicEvent& x,
+                                   const NonatomicEvent& y) {
+  SYNCON_REQUIRE(constraint.min_gap <= constraint.max_gap,
+                 "constraint window must be ordered");
+  TimingCheckResult result;
+  result.measured_gap =
+      gap(times, x, constraint.anchor_x, y, constraint.anchor_y);
+  result.satisfied = result.measured_gap >= constraint.min_gap &&
+                     result.measured_gap <= constraint.max_gap;
+  return result;
+}
+
+LatencyProfile::LatencyProfile(TimingConstraint constraint)
+    : constraint_(std::move(constraint)) {
+  SYNCON_REQUIRE(constraint_.min_gap <= constraint_.max_gap,
+                 "constraint window must be ordered");
+}
+
+void LatencyProfile::record(const PhysicalTimes& times,
+                            const NonatomicEvent& x,
+                            const NonatomicEvent& y) {
+  const TimingCheckResult r = check_constraint(times, constraint_, x, y);
+  gaps_.add(static_cast<double>(r.measured_gap));
+  if (!r.satisfied) ++violations_;
+}
+
+Duration LatencyProfile::worst_gap() const {
+  SYNCON_REQUIRE(gaps_.count() > 0, "no samples recorded");
+  return static_cast<Duration>(std::llround(gaps_.max()));
+}
+
+}  // namespace syncon

@@ -1,0 +1,70 @@
+// Relative timing constraints between nonatomic events — the quantitative
+// counterpart of the causality relations (after the paper's companion
+// reference [12]). A constraint bounds the gap between an anchor instant of
+// X (its start or end) and an anchor instant of Y:
+//
+//     min_gap  <=  anchor(Y) - anchor(X)  <=  max_gap        (µs)
+//
+// e.g. "engagement must start between 0 and 50ms after detection ends".
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "timing/physical_time.hpp"
+
+namespace syncon {
+
+/// Which instant of a nonatomic event a constraint anchors to.
+enum class Anchor { Start, End };
+
+const char* to_string(Anchor a);
+
+struct TimingConstraint {
+  std::string name;
+  Anchor anchor_x = Anchor::End;
+  Anchor anchor_y = Anchor::Start;
+  Duration min_gap = 0;
+  Duration max_gap = std::numeric_limits<Duration>::max();
+};
+
+/// anchor(Y) − anchor(X) under the timeline.
+Duration gap(const PhysicalTimes& times, const NonatomicEvent& x, Anchor ax,
+             const NonatomicEvent& y, Anchor ay);
+
+struct TimingCheckResult {
+  Duration measured_gap = 0;
+  bool satisfied = false;
+};
+
+TimingCheckResult check_constraint(const PhysicalTimes& times,
+                                   const TimingConstraint& constraint,
+                                   const NonatomicEvent& x,
+                                   const NonatomicEvent& y);
+
+/// Latency profile of a repeated constraint (e.g. one measurement per
+/// engagement round): collects gaps and reports quantiles plus the
+/// worst-case margin against the bound.
+class LatencyProfile {
+ public:
+  explicit LatencyProfile(TimingConstraint constraint);
+
+  void record(const PhysicalTimes& times, const NonatomicEvent& x,
+              const NonatomicEvent& y);
+
+  const TimingConstraint& constraint() const { return constraint_; }
+  std::size_t samples() const { return gaps_.count(); }
+  std::size_t violations() const { return violations_; }
+  bool all_satisfied() const { return violations_ == 0; }
+  Duration worst_gap() const;
+  double quantile(double q) const { return gaps_.quantile(q); }
+
+ private:
+  TimingConstraint constraint_;
+  SampleSet gaps_;
+  std::size_t violations_ = 0;
+};
+
+}  // namespace syncon

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "model/timestamps.hpp"
+#include "relations/evaluator.hpp"
+#include "sim/air_defense_des.hpp"
+#include "timing/timing_constraints.hpp"
+
+namespace syncon {
+namespace {
+
+const NonatomicEvent* find_interval(const DesEngine::Result& r,
+                                    const std::string& label) {
+  for (const NonatomicEvent& iv : r.intervals) {
+    if (iv.label() == label) return &iv;
+  }
+  return nullptr;
+}
+
+TEST(AirDefenseDesTest, AllRoundsCompleteWithoutLoss) {
+  AirDefenseDesConfig cfg;
+  const DesEngine::Result r = make_air_defense_des(cfg);
+  for (std::size_t k = 0; k < cfg.rounds; ++k) {
+    const std::string suffix = "/" + std::to_string(k);
+    ASSERT_NE(find_interval(r, "detect" + suffix), nullptr) << k;
+    ASSERT_NE(find_interval(r, "track" + suffix), nullptr) << k;
+    ASSERT_NE(find_interval(r, "decide" + suffix), nullptr) << k;
+    ASSERT_NE(find_interval(r, "engage" + suffix), nullptr) << k;
+  }
+}
+
+TEST(AirDefenseDesTest, DoctrineHoldsOnSimulatedTrace) {
+  AirDefenseDesConfig cfg;
+  const DesEngine::Result r = make_air_defense_des(cfg);
+  const Timestamps ts(*r.execution);
+  RelationEvaluator eval(ts);
+  const RelationId fully_before{Relation::R1, ProxyKind::End,
+                                ProxyKind::Begin};
+  for (std::size_t k = 0; k < cfg.rounds; ++k) {
+    const std::string suffix = "/" + std::to_string(k);
+    const auto detect = eval.add_event(*find_interval(r, "detect" + suffix));
+    const auto decide = eval.add_event(*find_interval(r, "decide" + suffix));
+    const auto engage = eval.add_event(*find_interval(r, "engage" + suffix));
+    EXPECT_TRUE(eval.holds(fully_before, detect, engage)) << k;
+    EXPECT_TRUE(eval.holds(fully_before, decide, engage)) << k;
+  }
+}
+
+TEST(AirDefenseDesTest, ResponseTimesAreMeasurable) {
+  AirDefenseDesConfig cfg;
+  const DesEngine::Result r = make_air_defense_des(cfg);
+  LatencyProfile profile(TimingConstraint{
+      "detect→engage", Anchor::Start, Anchor::End, 0, 60'000});
+  for (std::size_t k = 0; k < cfg.rounds; ++k) {
+    const std::string suffix = "/" + std::to_string(k);
+    profile.record(*r.times, *find_interval(r, "detect" + suffix),
+                   *find_interval(r, "engage" + suffix));
+  }
+  EXPECT_EQ(profile.samples(), cfg.rounds);
+  // Response time is at least the pipeline's processing budget.
+  EXPECT_GT(profile.worst_gap(),
+            cfg.detect_work + cfg.fusion_work + cfg.decide_work);
+}
+
+TEST(AirDefenseDesTest, MessageLossStallsRounds) {
+  AirDefenseDesConfig cfg;
+  cfg.rounds = 8;
+  cfg.network.loss_probability = 0.3;
+  cfg.network.seed = 21;
+  const DesEngine::Result r = make_air_defense_des(cfg);
+  // Some rounds never make it through the fusion barrier: fewer engage
+  // intervals than rounds.
+  std::size_t engagements = 0;
+  for (std::size_t k = 0; k < cfg.rounds; ++k) {
+    if (find_interval(r, "engage/" + std::to_string(k)) != nullptr) {
+      ++engagements;
+    }
+  }
+  EXPECT_LT(engagements, cfg.rounds);
+}
+
+TEST(AirDefenseDesTest, DeterministicForFixedSeed) {
+  AirDefenseDesConfig cfg;
+  cfg.network.seed = 5;
+  const auto a = make_air_defense_des(cfg);
+  const auto b = make_air_defense_des(cfg);
+  ASSERT_EQ(a.execution->total_real_count(), b.execution->total_real_count());
+  EXPECT_EQ(a.times->horizon(), b.times->horizon());
+}
+
+}  // namespace
+}  // namespace syncon

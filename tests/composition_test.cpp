@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "relations/composition.hpp"
+#include "relations/hierarchy.hpp"
+#include "relations/naive.hpp"
+#include "sim/interval_picker.hpp"
+
+namespace syncon {
+namespace {
+
+using testing::property_sweep;
+
+TEST(CompositionTest, TableSpotChecks) {
+  EXPECT_EQ(compose(Relation::R1, Relation::R1), Relation::R1);
+  EXPECT_EQ(compose(Relation::R1, Relation::R2), Relation::R2p);
+  EXPECT_EQ(compose(Relation::R2, Relation::R1), Relation::R1);
+  EXPECT_EQ(compose(Relation::R2, Relation::R2), Relation::R2);
+  EXPECT_EQ(compose(Relation::R3, Relation::R3p), Relation::R3);
+  EXPECT_EQ(compose(Relation::R3p, Relation::R3p), Relation::R3p);
+  EXPECT_EQ(compose(Relation::R4, Relation::R1), Relation::R3);
+  EXPECT_FALSE(compose(Relation::R2, Relation::R3).has_value());
+  EXPECT_FALSE(compose(Relation::R4, Relation::R4).has_value());
+}
+
+TEST(CompositionTest, PrimedTwinsNormalize) {
+  EXPECT_EQ(compose(Relation::R1p, Relation::R1p), Relation::R1);
+  EXPECT_EQ(compose(Relation::R4p, Relation::R1), Relation::R3);
+  EXPECT_EQ(compose(Relation::R1p, Relation::R4p), Relation::R2p);
+}
+
+TEST(CompositionTest, CounterexampleForR2ComposeR3) {
+  // R2(X,Y) and R3(Y,Z) can hold with no causality at all from X to Z:
+  //   p0: x ──► y1 (p1)      x ⪯ y1          (R2: every x before some y)
+  //   p2: y2 ──► z (p3)      y2 ⪯ every z    (R3: some y before every z)
+  // X = {x}, Y = {y1, y2}, Z = {z}: x and z are concurrent.
+  ExecutionBuilder b(4);
+  EventId x_event;
+  const MessageToken m1 = b.send(0, &x_event);
+  const EventId y1 = b.receive(1, m1);
+  EventId y2;
+  const MessageToken m2 = b.send(2, &y2);
+  const EventId z = b.receive(3, m2);
+  const Execution exec = b.build();
+  const Timestamps ts(exec);
+  const NonatomicEvent X(exec, {x_event}, "X");
+  const NonatomicEvent Y(exec, {y1, y2}, "Y");
+  const NonatomicEvent Z(exec, {z}, "Z");
+  ASSERT_TRUE(evaluate_naive(Relation::R2, X, Y, ts, Semantics::Weak));
+  ASSERT_TRUE(evaluate_naive(Relation::R3, Y, Z, ts, Semantics::Weak));
+  for (const Relation r : kAllRelations) {
+    EXPECT_FALSE(evaluate_naive(r, X, Z, ts, Semantics::Weak))
+        << to_string(r) << " holds although nothing should";
+  }
+}
+
+TEST(CompositionTest, CounterexampleForR4ComposeR4) {
+  // Same shape as above: x ⪯ y1 and y2 ⪯ z with y1, y2 unrelated shows
+  // R4(X,Y) ∧ R4(Y,Z) guarantees nothing between X and Z.
+  ExecutionBuilder b(4);
+  EventId x_event;
+  const MessageToken m1 = b.send(0, &x_event);
+  const EventId y1 = b.receive(1, m1);
+  EventId y2;
+  const MessageToken m2 = b.send(2, &y2);
+  const EventId z = b.receive(3, m2);
+  const Execution exec = b.build();
+  const Timestamps ts(exec);
+  const NonatomicEvent X(exec, {x_event}, "X");
+  const NonatomicEvent Y(exec, {y1, y2}, "Y");
+  const NonatomicEvent Z(exec, {z}, "Z");
+  ASSERT_TRUE(evaluate_naive(Relation::R4, X, Y, ts, Semantics::Weak));
+  ASSERT_TRUE(evaluate_naive(Relation::R4, Y, Z, ts, Semantics::Weak));
+  EXPECT_FALSE(evaluate_naive(Relation::R4, X, Z, ts, Semantics::Weak));
+  EXPECT_FALSE(evaluate_naive(Relation::R4, Z, X, ts, Semantics::Weak));
+}
+
+// ---------------------------------------------------------------------------
+// Soundness sweep: whenever R(X,Y) and S(Y,Z) hold, compose(R,S) holds.
+// ---------------------------------------------------------------------------
+
+class CompositionPropertyTest
+    : public ::testing::TestWithParam<WorkloadConfig> {};
+
+TEST_P(CompositionPropertyTest, ComposedRelationAlwaysHolds) {
+  const Execution exec = generate_execution(GetParam());
+  const Timestamps ts(exec);
+  Xoshiro256StarStar rng(GetParam().seed ^ 0xc0c0);
+  IntervalSpec spec;
+  spec.node_count = std::max<std::size_t>(1, exec.process_count() / 2);
+  spec.max_events_per_node = 3;
+  for (int trial = 0; trial < 25; ++trial) {
+    const NonatomicEvent x = random_interval(exec, rng, spec, "X");
+    const NonatomicEvent y = random_interval(exec, rng, spec, "Y");
+    const NonatomicEvent z = random_interval(exec, rng, spec, "Z");
+    std::array<bool, 8> xy{}, yz{}, xz{};
+    for (const Relation r : kAllRelations) {
+      const auto i = static_cast<std::size_t>(r);
+      xy[i] = evaluate_naive(r, x, y, ts, Semantics::Weak);
+      yz[i] = evaluate_naive(r, y, z, ts, Semantics::Weak);
+      xz[i] = evaluate_naive(r, x, z, ts, Semantics::Weak);
+    }
+    for (const Relation r : kAllRelations) {
+      for (const Relation s : kAllRelations) {
+        if (!xy[static_cast<std::size_t>(r)] ||
+            !yz[static_cast<std::size_t>(s)]) {
+          continue;
+        }
+        const auto t = compose(r, s);
+        if (t.has_value()) {
+          ASSERT_TRUE(xz[static_cast<std::size_t>(*t)])
+              << to_string(r) << " ∘ " << to_string(s) << " ⟹ "
+              << to_string(*t) << " failed at trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompositionPropertyTest,
+                         ::testing::ValuesIn(property_sweep()),
+                         testing::sweep_case_name);
+
+}  // namespace
+}  // namespace syncon

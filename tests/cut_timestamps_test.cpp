@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "cuts/ll_relation.hpp"
+#include "helpers.hpp"
+#include "model/reachability.hpp"
+#include "nonatomic/cut_timestamps.hpp"
+#include "sim/interval_picker.hpp"
+
+namespace syncon {
+namespace {
+
+using testing::Fig2Fixture;
+using testing::property_sweep;
+
+TEST(EventCutsTest, Fig2ExampleCutStructure) {
+  // Replica of the paper's Figure 2: an 8-event poset X across four nodes,
+  // chained by messages 0→1→2→3 (see helpers.hpp for the exact layout).
+  const Fig2Fixture f = Fig2Fixture::make();
+  const Timestamps ts(f.exec);
+  const NonatomicEvent x(f.exec, f.x_events, "X");
+  ASSERT_EQ(x.size(), 8u);
+  ASSERT_EQ(x.node_count(), 4u);
+  const EventCuts cuts(ts, x);
+
+  // C1 = ∩⇓X: what every member of X knows — only x01's past survives the
+  // intersection because x01 knows nothing beyond itself.
+  EXPECT_EQ(cuts.intersect_past(), VectorClock({2, 1, 1, 1}));
+
+  // C2 = ∪⇓X: everything known to some member — x32 is last in the chain
+  // and knows p0 up to the send (4), p1 up to its send (5), p2 up to its
+  // send (5) and itself (4).
+  EXPECT_EQ(cuts.union_past(), VectorClock({4, 5, 5, 4}));
+
+  // C3 = ∩⇑X: earliest events preceded by SOME member of X per node — the
+  // chain head x01 reaches every node through the receive cascade.
+  EXPECT_EQ(cuts.intersect_future(), VectorClock({2, 2, 2, 2}));
+
+  // C4 = ∪⇑X: earliest events preceded by EVERY member of X. x31/x32 only
+  // reach ⊤ of nodes 0..2, so C4 runs to the end there; on node 3 it stops
+  // at x32 itself.
+  EXPECT_EQ(cuts.union_future(), VectorClock({6, 7, 6, 4}));
+}
+
+TEST(EventCutsTest, Fig2CutsAreOrderedByContainment) {
+  const Fig2Fixture f = Fig2Fixture::make();
+  const Timestamps ts(f.exec);
+  const NonatomicEvent x(f.exec, f.x_events, "X");
+  const EventCuts cuts(ts, x);
+  // ∩⇓X ⊆ ∪⇓X and ∩⇑X ⊆ ∪⇑X always.
+  EXPECT_TRUE(cuts.intersect_past().leq(cuts.union_past()));
+  EXPECT_TRUE(cuts.intersect_future().leq(cuts.union_future()));
+}
+
+TEST(EventCutsTest, SingleAtomicEventDegeneratesToSpecialCuts) {
+  const Fig2Fixture f = Fig2Fixture::make();
+  const Timestamps ts(f.exec);
+  const EventId e = f.x_events[2];
+  const NonatomicEvent x(f.exec, {e});
+  const EventCuts cuts(ts, x);
+  EXPECT_EQ(cuts.intersect_past(), ts.past_cut_counts(e));
+  EXPECT_EQ(cuts.union_past(), ts.past_cut_counts(e));
+  EXPECT_EQ(cuts.intersect_future(), ts.future_cut_counts(e));
+  EXPECT_EQ(cuts.union_future(), ts.future_cut_counts(e));
+}
+
+TEST(EventCutsTest, CutAccessorsMatchCounts) {
+  const Fig2Fixture f = Fig2Fixture::make();
+  const Timestamps ts(f.exec);
+  const NonatomicEvent x(f.exec, f.x_events);
+  const EventCuts cuts(ts, x);
+  for (const PosetCut which :
+       {PosetCut::IntersectPast, PosetCut::UnionPast,
+        PosetCut::IntersectFuture, PosetCut::UnionFuture}) {
+    EXPECT_EQ(cuts.cut(which).counts(), cuts.counts(which));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep
+// ---------------------------------------------------------------------------
+
+class EventCutsPropertyTest
+    : public ::testing::TestWithParam<WorkloadConfig> {};
+
+// Lemma 11 is trivially satisfied by construction (counts representation);
+// what needs proof is that the optimized extreme-element computation matches
+// the full fold over every member (Lemma 16 / Corollary 17 / §2.3).
+TEST_P(EventCutsPropertyTest, OptimizedMatchesReferenceFold) {
+  const Execution exec = generate_execution(GetParam());
+  const Timestamps ts(exec);
+  Xoshiro256StarStar rng(GetParam().seed ^ 0x77);
+  IntervalSpec spec;
+  spec.node_count = std::max<std::size_t>(1, exec.process_count() / 2);
+  spec.max_events_per_node = 4;
+  for (int trial = 0; trial < 40; ++trial) {
+    const NonatomicEvent x = random_interval(exec, rng, spec);
+    const EventCuts cuts(ts, x);
+    for (const PosetCut which :
+         {PosetCut::IntersectPast, PosetCut::UnionPast,
+          PosetCut::IntersectFuture, PosetCut::UnionFuture}) {
+      ASSERT_EQ(cuts.counts(which), poset_cut_counts_reference(ts, x, which))
+          << to_string(which);
+    }
+  }
+}
+
+// Lemma 12: the members of X relate to the surfaces of C1..C4 as stated.
+TEST_P(EventCutsPropertyTest, Lemma12SurfaceProperties) {
+  const Execution exec = generate_execution(GetParam());
+  const Timestamps ts(exec);
+  const ReachabilityOracle oracle(exec);
+  Xoshiro256StarStar rng(GetParam().seed ^ 0x99);
+  IntervalSpec spec;
+  spec.node_count = std::max<std::size_t>(1, exec.process_count() / 2);
+  spec.max_events_per_node = 3;
+  for (int trial = 0; trial < 20; ++trial) {
+    const NonatomicEvent x = random_interval(exec, rng, spec);
+    const EventCuts cuts(ts, x);
+    const Cut c1 = cuts.cut(PosetCut::IntersectPast);
+    const Cut c2 = cuts.cut(PosetCut::UnionPast);
+    const Cut c3 = cuts.cut(PosetCut::IntersectFuture);
+    const Cut c4 = cuts.cut(PosetCut::UnionFuture);
+    for (ProcessId p = 0; p < exec.process_count(); ++p) {
+      // 12.1: ∀e' ∈ S(∩⇓X) ∀x: e' ⪯ x.
+      for (const EventId& member : x.events()) {
+        ASSERT_TRUE(oracle.leq(c1.surface_event(p), member));
+      }
+      // 12.2: ∀e' ∈ S(∪⇓X) ∃x: e' ⪯ x.
+      {
+        bool found = false;
+        for (const EventId& member : x.events()) {
+          if (oracle.leq(c2.surface_event(p), member)) {
+            found = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(found);
+      }
+      // 12.3: ∀e' ∈ S(∩⇑X) ∃x: x ⪯ e'.
+      {
+        bool found = false;
+        for (const EventId& member : x.events()) {
+          if (oracle.leq(member, c3.surface_event(p))) {
+            found = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(found);
+      }
+      // 12.4: ∀e' ∈ S(∪⇑X) ∀x: x ⪯ e'.
+      for (const EventId& member : x.events()) {
+        ASSERT_TRUE(oracle.leq(member, c4.surface_event(p)));
+      }
+    }
+  }
+}
+
+// Defn 10 containment chain: C1 ⊆ C2 and C3 ⊆ C4; pasts are globally
+// consistent cuts, futures need not be.
+TEST_P(EventCutsPropertyTest, ContainmentAndConsistency) {
+  const Execution exec = generate_execution(GetParam());
+  const Timestamps ts(exec);
+  Xoshiro256StarStar rng(GetParam().seed ^ 0xee);
+  IntervalSpec spec;
+  spec.node_count = exec.process_count();
+  spec.max_events_per_node = 2;
+  for (int trial = 0; trial < 20; ++trial) {
+    const NonatomicEvent x = random_interval(exec, rng, spec);
+    const EventCuts cuts(ts, x);
+    ASSERT_TRUE(cuts.intersect_past().leq(cuts.union_past()));
+    ASSERT_TRUE(cuts.intersect_future().leq(cuts.union_future()));
+    // The paper: ∩⇓X and ∪⇓X are downward-closed in (E, ≺).
+    ASSERT_TRUE(cuts.cut(PosetCut::IntersectPast).globally_consistent(ts));
+    ASSERT_TRUE(cuts.cut(PosetCut::UnionPast).globally_consistent(ts));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EventCutsPropertyTest,
+                         ::testing::ValuesIn(property_sweep()),
+                         testing::sweep_case_name);
+
+}  // namespace
+}  // namespace syncon

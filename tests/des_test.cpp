@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "model/reachability.hpp"
+#include "model/timestamps.hpp"
+#include "sim/des.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+namespace {
+
+// Ping-pong: process 0 sends `rounds` pings; process 1 answers each.
+class Pinger : public DesProcess {
+ public:
+  explicit Pinger(int rounds) : rounds_(rounds) {}
+  void on_start(DesContext& ctx) override {
+    const EventId e = ctx.send(1, /*tag=*/1, /*value=*/0, 100);
+    ctx.mark("ping", e);
+  }
+  void on_message(DesContext& ctx, const DesMessage& m) override {
+    ctx.mark("pong-received", ctx.current_receive());
+    if (static_cast<int>(m.value) + 1 < rounds_) {
+      const EventId e = ctx.send(1, 1, m.value + 1, 100);
+      ctx.mark("ping", e);
+    }
+  }
+
+ private:
+  int rounds_;
+};
+
+class Ponger : public DesProcess {
+ public:
+  void on_message(DesContext& ctx, const DesMessage& m) override {
+    ctx.mark("ping-received", ctx.current_receive());
+    const EventId work = ctx.execute(50);
+    ctx.mark("pong-work", work);
+    ctx.send(0, 2, m.value, 100);
+  }
+};
+
+DesEngine::Result run_ping_pong(int rounds, std::uint64_t seed = 3) {
+  std::vector<std::unique_ptr<DesProcess>> procs;
+  procs.push_back(std::make_unique<Pinger>(rounds));
+  procs.push_back(std::make_unique<Ponger>());
+  DesConfig cfg;
+  cfg.seed = seed;
+  DesEngine engine(std::move(procs), cfg);
+  engine.run(10'000'000);
+  return engine.finish();
+}
+
+TEST(DesEngineTest, PingPongProducesExpectedStructure) {
+  const auto result = run_ping_pong(4);
+  const Execution& exec = *result.execution;
+  // 4 pings + 4 receives + 4 works + 4 pongs + 4 pong-receives.
+  EXPECT_EQ(exec.real_count(0), 8u);   // 4 sends + 4 receives
+  EXPECT_EQ(exec.real_count(1), 12u);  // 4 receives + 4 works + 4 sends
+  EXPECT_EQ(exec.messages().size(), 8u);
+}
+
+TEST(DesEngineTest, TimesAreCausallyConsistentByConstruction) {
+  const auto result = run_ping_pong(6);
+  const Execution& exec = *result.execution;
+  const ReachabilityOracle oracle(exec);
+  for (const EventId& a : exec.topological_order()) {
+    for (const EventId& b : exec.topological_order()) {
+      if (oracle.lt(a, b)) {
+        ASSERT_LT(result.times->at(a), result.times->at(b));
+      }
+    }
+  }
+}
+
+TEST(DesEngineTest, MarkedIntervalsAreCollected) {
+  const auto result = run_ping_pong(3);
+  ASSERT_EQ(result.intervals.size(), 4u);  // map-sorted labels
+  bool found_ping = false;
+  for (const NonatomicEvent& iv : result.intervals) {
+    if (iv.label() == "ping") {
+      found_ping = true;
+      EXPECT_EQ(iv.size(), 3u);
+      EXPECT_EQ(iv.node_set(), std::vector<ProcessId>{0});
+    }
+  }
+  EXPECT_TRUE(found_ping);
+}
+
+TEST(DesEngineTest, DeterministicAcrossRuns) {
+  const auto a = run_ping_pong(5, 42);
+  const auto b = run_ping_pong(5, 42);
+  ASSERT_EQ(a.execution->total_real_count(), b.execution->total_real_count());
+  for (const EventId& e : a.execution->topological_order()) {
+    ASSERT_EQ(a.times->at(e), b.times->at(e));
+  }
+}
+
+TEST(DesEngineTest, DifferentSeedsChangeLatencies) {
+  const auto a = run_ping_pong(5, 1);
+  const auto b = run_ping_pong(5, 2);
+  bool any_diff = false;
+  for (const EventId& e : a.execution->topological_order()) {
+    if (a.times->at(e) != b.times->at(e)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// Timers: a process that emits a heartbeat every 1000µs.
+class Heart : public DesProcess {
+ public:
+  void on_start(DesContext& ctx) override {
+    ctx.set_timer(1000, 7);
+  }
+  void on_timer(DesContext& ctx, std::uint64_t id) override {
+    ASSERT_EQ(id, 7u);
+    ctx.mark("beat", ctx.execute(10));
+    if (++beats_ < 5) ctx.set_timer(1000, 7);
+  }
+
+ private:
+  int beats_ = 0;
+};
+
+TEST(DesEngineTest, TimersFireOnSchedule) {
+  std::vector<std::unique_ptr<DesProcess>> procs;
+  procs.push_back(std::make_unique<Heart>());
+  procs.push_back(std::make_unique<Ponger>());  // idle second process
+  DesEngine engine(std::move(procs), DesConfig{});
+  engine.run(100'000);
+  const auto result = engine.finish();
+  ASSERT_EQ(result.intervals.size(), 1u);
+  EXPECT_EQ(result.intervals[0].size(), 5u);
+  // Beats are >= 1000µs apart.
+  const NonatomicEvent& beats = result.intervals[0];
+  for (std::size_t k = 1; k < beats.events().size(); ++k) {
+    ASSERT_GE(result.times->at(beats.events()[k]),
+              result.times->at(beats.events()[k - 1]) + 1000);
+  }
+}
+
+TEST(DesEngineTest, RunHorizonStopsTheClock) {
+  std::vector<std::unique_ptr<DesProcess>> procs;
+  procs.push_back(std::make_unique<Heart>());
+  procs.push_back(std::make_unique<Ponger>());
+  DesEngine engine(std::move(procs), DesConfig{});
+  engine.run(2'500);  // only 2 beats fit
+  const auto result = engine.finish();
+  ASSERT_EQ(result.intervals.size(), 1u);
+  EXPECT_EQ(result.intervals[0].size(), 2u);
+}
+
+TEST(DesEngineTest, MessageLossBreaksCausalChains) {
+  // With heavy loss, some pings never arrive: the ping-received interval
+  // shrinks, and the analysis sees the broken causality. The pinger keeps
+  // resending only on replies, so the run simply stalls after a loss.
+  std::vector<std::unique_ptr<DesProcess>> procs;
+  procs.push_back(std::make_unique<Pinger>(50));
+  procs.push_back(std::make_unique<Ponger>());
+  DesConfig cfg;
+  cfg.seed = 9;
+  cfg.loss_probability = 0.4;
+  DesEngine engine(std::move(procs), cfg);
+  engine.run(100'000'000);
+  const auto result = engine.finish();
+  // The first loss stalls the protocol, so fewer than 50 rounds complete.
+  std::size_t pongs_received = 0;
+  for (const NonatomicEvent& iv : result.intervals) {
+    if (iv.label() == "pong-received") pongs_received = iv.size();
+  }
+  EXPECT_LT(pongs_received, 50u);
+  // Sends without matching receives exist: messages < sends implied by the
+  // interval sizes — check via the execution's message count vs ping count.
+  std::size_t pings = 0;
+  for (const NonatomicEvent& iv : result.intervals) {
+    if (iv.label() == "ping") pings = iv.size();
+  }
+  EXPECT_GE(pings, pongs_received);
+}
+
+// Multicast: one hub sends a single message to all leaves.
+class Hub : public DesProcess {
+ public:
+  explicit Hub(std::vector<ProcessId> leaves) : leaves_(std::move(leaves)) {}
+  void on_start(DesContext& ctx) override {
+    ctx.mark("announce", ctx.multicast(leaves_, 9, 0, 100));
+  }
+
+ private:
+  std::vector<ProcessId> leaves_;
+};
+
+class Leaf : public DesProcess {
+ public:
+  void on_message(DesContext& ctx, const DesMessage&) override {
+    ctx.mark("heard", ctx.current_receive());
+  }
+};
+
+TEST(DesEngineTest, MulticastIsOneSendManyReceives) {
+  std::vector<std::unique_ptr<DesProcess>> procs;
+  procs.push_back(std::make_unique<Hub>(std::vector<ProcessId>{1, 2, 3}));
+  for (int i = 0; i < 3; ++i) procs.push_back(std::make_unique<Leaf>());
+  DesEngine engine(std::move(procs), DesConfig{});
+  engine.run(1'000'000);
+  const auto result = engine.finish();
+  EXPECT_EQ(result.execution->real_count(0), 1u);  // a single send event
+  EXPECT_EQ(result.execution->messages().size(), 3u);
+  const Timestamps ts(*result.execution);
+  // Every receive is causally after the one send.
+  for (const Message& m : result.execution->messages()) {
+    EXPECT_EQ(m.source, (EventId{0, 1}));
+    EXPECT_TRUE(ts.lt(m.source, m.target));
+  }
+}
+
+TEST(DesEngineTest, ZeroLossDeliversEverything) {
+  std::vector<std::unique_ptr<DesProcess>> procs;
+  procs.push_back(std::make_unique<Pinger>(10));
+  procs.push_back(std::make_unique<Ponger>());
+  DesConfig cfg;
+  cfg.loss_probability = 0.0;
+  DesEngine engine(std::move(procs), cfg);
+  engine.run(100'000'000);
+  const auto result = engine.finish();
+  EXPECT_EQ(result.execution->messages().size(), 20u);  // 10 pings + 10 pongs
+}
+
+TEST(DesEngineTest, ContractViolations) {
+  EXPECT_THROW(DesEngine({}, DesConfig{}), ContractViolation);
+  std::vector<std::unique_ptr<DesProcess>> procs;
+  procs.push_back(std::make_unique<Ponger>());
+  DesConfig bad;
+  bad.min_latency = 0;
+  EXPECT_THROW(DesEngine(std::move(procs), bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace syncon

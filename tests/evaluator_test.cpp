@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "relations/evaluator.hpp"
+#include "sim/interval_picker.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+namespace {
+
+using testing::property_sweep;
+using testing::two_process_message;
+
+TEST(RelationEvaluatorTest, RegistersEventsAndProxies) {
+  const Execution exec = two_process_message();
+  const Timestamps ts(exec);
+  RelationEvaluator eval(ts);
+  const auto h = eval.add_event(
+      NonatomicEvent(exec, {EventId{0, 1}, EventId{0, 3}, EventId{1, 1}},
+                     "act"));
+  EXPECT_EQ(eval.event_count(), 1u);
+  EXPECT_EQ(eval.event(h).label(), "act");
+  EXPECT_EQ(eval.proxy(h, ProxyKind::Begin).events(),
+            (std::vector<EventId>{{0, 1}, {1, 1}}));
+  EXPECT_EQ(eval.proxy(h, ProxyKind::End).events(),
+            (std::vector<EventId>{{0, 3}, {1, 1}}));
+  // Proxy cuts reference the proxies, not the original event.
+  EXPECT_EQ(&eval.proxy_cuts(h, ProxyKind::Begin).event(),
+            &eval.proxy(h, ProxyKind::Begin));
+}
+
+TEST(RelationEvaluatorTest, InvalidHandleRejected) {
+  const Execution exec = two_process_message();
+  const Timestamps ts(exec);
+  RelationEvaluator eval(ts);
+  EXPECT_THROW(eval.event(0), ContractViolation);
+}
+
+TEST(RelationEvaluatorTest, HoldsEvaluatesProxyPair) {
+  const Execution exec = two_process_message();
+  const Timestamps ts(exec);
+  RelationEvaluator eval(ts);
+  // X = all of p0's events, Y = all of p1's events: a2 ≺ b2 via the message.
+  const auto hx = eval.add_event(NonatomicEvent(
+      exec, {EventId{0, 1}, EventId{0, 2}, EventId{0, 3}}, "X"));
+  const auto hy = eval.add_event(NonatomicEvent(
+      exec, {EventId{1, 1}, EventId{1, 2}, EventId{1, 3}}, "Y"));
+  // End-of-X (a3) does not precede begin-of-Y (b1): R1(U,L) fails...
+  EXPECT_FALSE(
+      eval.holds({Relation::R1, ProxyKind::End, ProxyKind::Begin}, hx, hy));
+  // ...but begin-of-X (a1) precedes end-of-Y (b3): R1(L,U) holds.
+  EXPECT_TRUE(
+      eval.holds({Relation::R1, ProxyKind::Begin, ProxyKind::End}, hx, hy));
+  // R4(U,U): a3 precedes nothing in Y; U(X)={a3} so R4 fails.
+  EXPECT_FALSE(
+      eval.holds({Relation::R4, ProxyKind::End, ProxyKind::End}, hx, hy));
+  // R4(L,U): a1 ≺ b3.
+  EXPECT_TRUE(
+      eval.holds({Relation::R4, ProxyKind::Begin, ProxyKind::End}, hx, hy));
+}
+
+TEST(RelationEvaluatorTest, CounterAccumulatesAndResets) {
+  const Execution exec = two_process_message();
+  const Timestamps ts(exec);
+  RelationEvaluator eval(ts);
+  const auto hx = eval.add_event(NonatomicEvent(exec, {EventId{0, 1}}, "X"));
+  const auto hy = eval.add_event(NonatomicEvent(exec, {EventId{1, 2}}, "Y"));
+  EXPECT_EQ(eval.counter().integer_comparisons, 0u);
+  (void)eval.holds({Relation::R4, ProxyKind::Begin, ProxyKind::Begin}, hx, hy);
+  EXPECT_EQ(eval.counter().integer_comparisons, 1u);
+  (void)eval.holds_naive({Relation::R4, ProxyKind::Begin, ProxyKind::Begin},
+                         hx, hy);
+  EXPECT_EQ(eval.counter().causality_checks, 1u);
+  eval.reset_counter();
+  EXPECT_EQ(eval.counter().integer_comparisons, 0u);
+  EXPECT_EQ(eval.counter().causality_checks, 0u);
+}
+
+TEST(RelationEvaluatorTest, RejectsForeignEvents) {
+  const Execution exec_a = two_process_message();
+  const Execution exec_b = two_process_message();
+  const Timestamps ts(exec_a);
+  RelationEvaluator eval(ts);
+  EXPECT_THROW(eval.add_event(NonatomicEvent(exec_b, {EventId{0, 1}})),
+               ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: the evaluator's 32-relation answers match the definitional
+// evaluation of R(X̂, Ŷ) on the proxies, for every member of R.
+// ---------------------------------------------------------------------------
+
+class EvaluatorPropertyTest
+    : public ::testing::TestWithParam<WorkloadConfig> {};
+
+TEST_P(EvaluatorPropertyTest, FastMatchesNaiveOnAll32Relations) {
+  const Execution exec = generate_execution(GetParam());
+  const Timestamps ts(exec);
+  RelationEvaluator eval(ts);
+  Xoshiro256StarStar rng(GetParam().seed ^ 0xcccc);
+  IntervalSpec spec;
+  spec.node_count = std::max<std::size_t>(1, exec.process_count() / 2 + 1);
+  spec.max_events_per_node = 3;
+  const auto hx = eval.add_event(random_interval(exec, rng, spec, "X"));
+  const auto hy = eval.add_event(random_interval(exec, rng, spec, "Y"));
+  for (const RelationId& id : all_relation_ids()) {
+    ASSERT_EQ(eval.holds(id, hx, hy),
+              eval.holds_naive(id, hx, hy, Semantics::Weak))
+        << to_string(id);
+  }
+}
+
+TEST_P(EvaluatorPropertyTest, AllHoldingListsExactlyTheHolders) {
+  const Execution exec = generate_execution(GetParam());
+  const Timestamps ts(exec);
+  RelationEvaluator eval(ts);
+  Xoshiro256StarStar rng(GetParam().seed ^ 0xdddd);
+  IntervalSpec spec;
+  spec.node_count = 2;
+  spec.max_events_per_node = 2;
+  const auto hx = eval.add_event(random_interval(exec, rng, spec, "X"));
+  const auto hy = eval.add_event(random_interval(exec, rng, spec, "Y"));
+  const auto result = eval.all_holding(hx, hy);
+  std::size_t expected = 0;
+  for (const RelationId& id : all_relation_ids()) {
+    if (eval.holds(id, hx, hy)) ++expected;
+  }
+  EXPECT_EQ(result.holding.size(), expected);
+}
+
+TEST_P(EvaluatorPropertyTest, StrictMatchesNaiveStrictEvenWithOverlap) {
+  const Execution exec = generate_execution(GetParam());
+  const Timestamps ts(exec);
+  RelationEvaluator eval(ts);
+  Xoshiro256StarStar rng(GetParam().seed ^ 0xeeee);
+  IntervalSpec spec;
+  spec.node_count = std::max<std::size_t>(1, exec.process_count() / 2 + 1);
+  spec.max_events_per_node = 3;
+  const auto hx = eval.add_event(random_interval(exec, rng, spec, "X"));
+  const auto hy = eval.add_event(random_interval(exec, rng, spec, "Y"));
+  // Also a deliberately self-overlapping pair.
+  const auto hz = eval.add_event(
+      NonatomicEvent(exec, eval.event(hx).events(), "Z"));
+  for (const RelationId& id : all_relation_ids()) {
+    ASSERT_EQ(eval.holds_strict(id, hx, hy),
+              eval.holds_naive(id, hx, hy, Semantics::Strict))
+        << to_string(id);
+    ASSERT_EQ(eval.holds_strict(id, hx, hz),
+              eval.holds_naive(id, hx, hz, Semantics::Strict))
+        << to_string(id) << " (overlapping pair)";
+  }
+}
+
+TEST_P(EvaluatorPropertyTest, GlobalProxiesMatchNaiveWhenTheyExist) {
+  const Execution exec = generate_execution(GetParam());
+  const Timestamps ts(exec);
+  RelationEvaluator eval(ts);
+  Xoshiro256StarStar rng(GetParam().seed ^ 0xffff);
+  IntervalSpec spec;
+  spec.node_count = std::max<std::size_t>(1, exec.process_count() / 2);
+  spec.max_events_per_node = 2;
+  const auto hx = eval.add_event(random_interval(exec, rng, spec, "X"));
+  const auto hy = eval.add_event(random_interval(exec, rng, spec, "Y"));
+  const auto gx_begin =
+      eval.event(hx).proxy_global(ProxyKind::Begin, ts);
+  const auto gy_begin =
+      eval.event(hy).proxy_global(ProxyKind::Begin, ts);
+  const RelationId id{Relation::R2, ProxyKind::Begin, ProxyKind::Begin};
+  const auto result = eval.holds_global_proxies(id, hx, hy);
+  if (!gx_begin || !gy_begin) {
+    EXPECT_FALSE(result.has_value());
+  } else {
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, evaluate_naive(Relation::R2, *gx_begin, *gy_begin, ts,
+                                      Semantics::Weak));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EvaluatorPropertyTest,
+                         ::testing::ValuesIn(property_sweep()),
+                         testing::sweep_case_name);
+
+}  // namespace
+}  // namespace syncon

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "model/execution.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+namespace {
+
+using testing::two_process_message;
+
+TEST(ExecutionBuilderTest, LocalEventsNumberSequentially) {
+  ExecutionBuilder b(2);
+  EXPECT_EQ(b.local(0), (EventId{0, 1}));
+  EXPECT_EQ(b.local(0), (EventId{0, 2}));
+  EXPECT_EQ(b.local(1), (EventId{1, 1}));
+  const Execution exec = b.build();
+  EXPECT_EQ(exec.real_count(0), 2u);
+  EXPECT_EQ(exec.real_count(1), 1u);
+  EXPECT_EQ(exec.total_count(0), 4u);
+}
+
+TEST(ExecutionBuilderTest, NeedsAtLeastOneProcess) {
+  EXPECT_THROW(ExecutionBuilder(0), ContractViolation);
+}
+
+TEST(ExecutionBuilderTest, RejectsSelfMessages) {
+  ExecutionBuilder b(2);
+  const MessageToken t = b.send(0);
+  EXPECT_THROW(b.receive(0, t), ContractViolation);
+}
+
+TEST(ExecutionBuilderTest, RejectsDoubleBuild) {
+  ExecutionBuilder b(1);
+  b.local(0);
+  (void)b.build();
+  EXPECT_THROW(b.build(), ContractViolation);
+  EXPECT_THROW(b.local(0), ContractViolation);
+}
+
+TEST(ExecutionBuilderTest, SendReportsItsEvent) {
+  ExecutionBuilder b(2);
+  EventId e{};
+  const MessageToken t = b.send(0, &e);
+  EXPECT_EQ(e, (EventId{0, 1}));
+  EXPECT_EQ(t.source(), e);
+}
+
+TEST(ExecutionBuilderTest, MulticastTokensAreReusable) {
+  ExecutionBuilder b(3);
+  const MessageToken t = b.send(0);
+  const EventId r1 = b.receive(1, t);
+  const EventId r2 = b.receive(2, t);
+  const Execution exec = b.build();
+  ASSERT_EQ(exec.incoming(r1).size(), 1u);
+  ASSERT_EQ(exec.incoming(r2).size(), 1u);
+  EXPECT_EQ(exec.incoming(r1)[0], t.source());
+  EXPECT_EQ(exec.incoming(r2)[0], t.source());
+  EXPECT_EQ(exec.messages().size(), 2u);
+}
+
+TEST(ExecutionBuilderTest, ReceiveAllJoinsSeveralMessages) {
+  ExecutionBuilder b(3);
+  const MessageToken a = b.send(1);
+  const MessageToken c = b.send(2);
+  const std::vector<MessageToken> tokens{a, c};
+  const EventId join = b.receive_all(0, tokens);
+  const Execution exec = b.build();
+  ASSERT_EQ(exec.incoming(join).size(), 2u);
+}
+
+TEST(ExecutionBuilderTest, ReceiveFromValidatesSources) {
+  ExecutionBuilder b(2);
+  b.local(0);
+  const EventId ok{0, 1};
+  const EventId missing{0, 2};
+  const EventId self{1, 1};
+  EXPECT_NO_THROW(b.receive_from(1, std::vector<EventId>{ok}));
+  EXPECT_THROW(b.receive_from(1, std::vector<EventId>{missing}),
+               ContractViolation);
+  EXPECT_THROW(b.receive_from(1, std::vector<EventId>{self}),
+               ContractViolation);
+}
+
+TEST(ExecutionTest, DummyClassification) {
+  const Execution exec = two_process_message();
+  EXPECT_TRUE(exec.is_initial(exec.initial(0)));
+  EXPECT_TRUE(exec.is_final(exec.final(0)));
+  EXPECT_TRUE(exec.is_dummy(EventId{0, 0}));
+  EXPECT_TRUE(exec.is_dummy(EventId{0, 4}));  // ⊤_0 for 3 real events
+  EXPECT_FALSE(exec.is_dummy(EventId{0, 2}));
+  EXPECT_TRUE(exec.is_real(EventId{0, 1}));
+  EXPECT_FALSE(exec.is_real(EventId{0, 0}));
+  EXPECT_FALSE(exec.is_real(EventId{0, 9}));
+}
+
+TEST(ExecutionTest, EventAccessorChecksRange) {
+  const Execution exec = two_process_message();
+  EXPECT_NO_THROW(exec.event(0, 4));
+  EXPECT_THROW(exec.event(0, 5), ContractViolation);
+  EXPECT_THROW(exec.event(2, 0), ContractViolation);
+}
+
+TEST(ExecutionTest, TopologicalOrderRespectsMessages) {
+  const Execution exec = two_process_message();
+  const auto& order = exec.topological_order();
+  ASSERT_EQ(order.size(), 6u);
+  // Every message source appears before its target.
+  for (const Message& m : exec.messages()) {
+    EXPECT_LT(exec.topological_index(m.source),
+              exec.topological_index(m.target));
+  }
+  // Per-process order is increasing.
+  EXPECT_LT(exec.topological_index(EventId{0, 1}),
+            exec.topological_index(EventId{0, 2}));
+}
+
+TEST(ExecutionTest, IncomingOfDummyIsEmpty) {
+  const Execution exec = two_process_message();
+  EXPECT_TRUE(exec.incoming(exec.initial(1)).empty());
+  EXPECT_TRUE(exec.incoming(exec.final(1)).empty());
+}
+
+TEST(ExecutionTest, ProcessWithNoEventsIsLegal) {
+  ExecutionBuilder b(3);
+  b.local(0);
+  const Execution exec = b.build();
+  EXPECT_EQ(exec.real_count(2), 0u);
+  EXPECT_EQ(exec.total_count(2), 2u);
+  EXPECT_TRUE(exec.is_final(EventId{2, 1}));
+}
+
+}  // namespace
+}  // namespace syncon

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "monitor/global_condition.hpp"
+#include "sim/scenarios.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+namespace {
+
+SyncMonitor air_defense_monitor() {
+  const Scenario s = make_air_defense({});
+  SyncMonitor m(s.execution_ptr());
+  for (const NonatomicEvent& iv : s.intervals()) m.add_interval(iv);
+  return m;
+}
+
+TEST(GlobalConditionTest, ParsesAndRenders) {
+  const GlobalCondition c =
+      GlobalCondition::parse("R1[U,L](a,b) & !R4(b,a) | R2'[L,U](c,d)");
+  EXPECT_EQ(c.to_string(),
+            "((R1[U,L](a,b) & !R4[U,L](b,a)) | R2'[L,U](c,d))");
+  EXPECT_EQ(c.labels(), (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(GlobalConditionTest, ParseErrors) {
+  EXPECT_THROW(GlobalCondition::parse(""), ConditionParseError);
+  EXPECT_THROW(GlobalCondition::parse("R1"), ConditionParseError);
+  EXPECT_THROW(GlobalCondition::parse("R1(a)"), ConditionParseError);
+  EXPECT_THROW(GlobalCondition::parse("R1(a,)"), ConditionParseError);
+  EXPECT_THROW(GlobalCondition::parse("R1[X,L](a,b)"), ConditionParseError);
+  EXPECT_THROW(GlobalCondition::parse("R1[U,L](a,b) &"), ConditionParseError);
+  EXPECT_THROW(GlobalCondition::parse("(R1(a,b)"), ConditionParseError);
+  EXPECT_THROW(GlobalCondition::parse("R5(a,b)"), ConditionParseError);
+}
+
+TEST(GlobalConditionTest, EvaluatesEngagementDoctrine) {
+  const SyncMonitor m = air_defense_monitor();
+  // The full doctrine for round 0 as a single specification.
+  const GlobalCondition doctrine = GlobalCondition::parse(
+      "R1[U,L](detect/0, engage/0) & R1[U,L](decide/0, engage/0) & "
+      "!R4[L,U](engage/0, detect/0)");
+  EXPECT_TRUE(doctrine.evaluate(m));
+  // A deliberately false doctrine: engagement before its own detection.
+  EXPECT_FALSE(
+      GlobalCondition::parse("R4[L,U](engage/0, detect/0)").evaluate(m));
+}
+
+TEST(GlobalConditionTest, MultiRoundSpecification) {
+  const SyncMonitor m = air_defense_monitor();
+  // One formula over six distinct intervals: pipeline order for rounds 0
+  // and 1 plus cross-round serialization through the command post.
+  const GlobalCondition c = GlobalCondition::parse(
+      "R1[U,L](detect/0, engage/0) & R1[U,L](detect/1, engage/1) & "
+      "R1[U,L](decide/0, decide/1)");
+  EXPECT_TRUE(c.evaluate(m));
+  EXPECT_EQ(c.labels().size(), 6u);
+}
+
+TEST(GlobalConditionTest, UnknownLabelRaises) {
+  const SyncMonitor m = air_defense_monitor();
+  const GlobalCondition c = GlobalCondition::parse("R1(nope/0, engage/0)");
+  EXPECT_THROW(c.evaluate(m), ContractViolation);
+}
+
+TEST(GlobalConditionTest, GroupingAndPrecedence) {
+  const SyncMonitor m = air_defense_monitor();
+  // & binds tighter than |: false & false | true == true.
+  const GlobalCondition c = GlobalCondition::parse(
+      "R4[L,U](engage/0, detect/0) & R4[L,U](engage/1, detect/1) | "
+      "R1[U,L](detect/0, engage/0)");
+  EXPECT_TRUE(c.evaluate(m));
+  // With explicit grouping the | happens first: false & (false|true) == false.
+  const GlobalCondition grouped = GlobalCondition::parse(
+      "R4[L,U](engage/0, detect/0) & (R4[L,U](engage/1, detect/1) | "
+      "R1[U,L](detect/0, engage/0))");
+  EXPECT_FALSE(grouped.evaluate(m));
+}
+
+}  // namespace
+}  // namespace syncon

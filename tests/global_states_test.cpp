@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "cuts/global_states.hpp"
+#include "helpers.hpp"
+#include "nonatomic/cut_timestamps.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+namespace {
+
+using testing::three_process_concurrent;
+using testing::two_process_message;
+
+TEST(GlobalStatesTest, IndependentProcessesFormAGrid) {
+  // Two independent processes with 2 real events each: states are all
+  // (a, b) with a, b in {1..3} — a 3x3 grid (finals excluded).
+  ExecutionBuilder b(2);
+  b.local(0);
+  b.local(0);
+  b.local(1);
+  b.local(1);
+  const Execution exec = b.build();
+  const Timestamps ts(exec);
+  EXPECT_EQ(count_consistent_cuts(ts), 9u);
+  // Including final dummies: ⊤ requires every real event first, so the
+  // extra states are exactly {(4,3), (3,4), (4,4)}.
+  LatticeOptions with_finals;
+  with_finals.include_final_dummies = true;
+  EXPECT_EQ(count_consistent_cuts(ts, with_finals), 12u);
+}
+
+TEST(GlobalStatesTest, MessageRestrictsTheLattice) {
+  const Execution exec = two_process_message();  // a1 a2>m a3 | b1 b2<m b3
+  const Timestamps ts(exec);
+  // Count by brute force over all count combinations for cross-validation.
+  std::size_t expected = 0;
+  for (ClockValue a = 1; a <= 4; ++a) {
+    for (ClockValue bcount = 1; bcount <= 4; ++bcount) {
+      const Cut cut(exec, VectorClock({a, bcount}));
+      if (cut.globally_consistent(ts)) ++expected;
+    }
+  }
+  EXPECT_EQ(count_consistent_cuts(ts), expected);
+  // The receive (b2, count 3) requires the send (a2, count 3).
+  EXPECT_LT(expected, 16u);
+}
+
+TEST(GlobalStatesTest, EveryVisitedStateIsConsistent) {
+  const Execution exec = two_process_message();
+  const Timestamps ts(exec);
+  for_each_consistent_cut(ts, [&](const Cut& cut) {
+    EXPECT_TRUE(cut.globally_consistent(ts));
+    return true;
+  });
+}
+
+TEST(GlobalStatesTest, PastCutsOfIntervalsAppearInTheLattice) {
+  // ∩⇓X and ∪⇓X are consistent cuts (the paper's Lemma 11 + downward
+  // closure remark) — they must be visited by the enumeration.
+  const auto fig = testing::Fig2Fixture::make();
+  const Timestamps ts(fig.exec);
+  const NonatomicEvent x(fig.exec, fig.x_events, "X");
+  const EventCuts cuts(ts, x);
+  bool saw_c1 = false, saw_c2 = false;
+  for_each_consistent_cut(ts, [&](const Cut& cut) {
+    saw_c1 = saw_c1 || cut.counts() == cuts.intersect_past();
+    saw_c2 = saw_c2 || cut.counts() == cuts.union_past();
+    return true;
+  });
+  EXPECT_TRUE(saw_c1);
+  EXPECT_TRUE(saw_c2);
+}
+
+TEST(GlobalStatesTest, BudgetIsEnforced) {
+  const Execution exec = three_process_concurrent();
+  const Timestamps ts(exec);
+  LatticeOptions opts;
+  opts.max_states = 5;
+  EXPECT_THROW(count_consistent_cuts(ts, opts), ContractViolation);
+}
+
+TEST(PossiblyDefinitelyTest, ConcurrentConjunctionIsPossiblyNotDefinitely) {
+  // Two independent processes; φ = "both are exactly at their first real
+  // event". Some observation passes through (2,2), but an observation can
+  // run p0 to completion first — Possibly yes, Definitely no.
+  ExecutionBuilder b(2);
+  b.local(0);
+  b.local(0);
+  b.local(1);
+  b.local(1);
+  const Execution exec = b.build();
+  const Timestamps ts(exec);
+  const auto phi = [](const Cut& cut) {
+    return cut.counts()[0] == 2 && cut.counts()[1] == 2;
+  };
+  EXPECT_TRUE(possibly(ts, phi));
+  EXPECT_FALSE(definitely(ts, phi));
+}
+
+TEST(PossiblyDefinitelyTest, SynchronizedConjunctionIsDefinite) {
+  // p0 sends after its first event; p1's second event is the receive. The
+  // state "p0 past its send AND p1 at/past the receive"… is too late to be
+  // unavoidable; instead use φ = "p0 has executed its send XOR-free": the
+  // unavoidable state here is 'p0 at send, p1 before receive or after'.
+  // A genuinely definite predicate: "p0 has executed at least its first
+  // event by the time p1 executed its receive" — every path through the
+  // lattice satisfies it at the receive edge, so phrase it as a state
+  // predicate that captures the cut right at the receive.
+  const Execution exec = two_process_message();
+  const Timestamps ts(exec);
+  // φ: p1 just executed the receive (count 3) — then causality forces
+  // p0's send (count >= 3).
+  const auto phi = [](const Cut& cut) {
+    return cut.counts()[1] == 3 && cut.counts()[0] >= 3;
+  };
+  // Not every observation passes through "p1 exactly at the receive with
+  // p0 at 3+": but since the receive REQUIRES p0 >= 3, every path that
+  // advances p1 past event 2 is at some point exactly at count 3 with
+  // p0 >= 3. So Definitely holds.
+  EXPECT_TRUE(definitely(ts, phi));
+  EXPECT_TRUE(possibly(ts, phi));
+}
+
+TEST(PossiblyDefinitelyTest, ImpossiblePredicate) {
+  const Execution exec = two_process_message();
+  const Timestamps ts(exec);
+  // The receive (p1 count >= 3) without the send (p0 count < 3) violates
+  // consistency — never observable.
+  const auto phi = [](const Cut& cut) {
+    return cut.counts()[1] >= 3 && cut.counts()[0] < 3;
+  };
+  EXPECT_FALSE(possibly(ts, phi));
+  EXPECT_FALSE(definitely(ts, phi));
+}
+
+TEST(PossiblyDefinitelyTest, TrivialPredicates) {
+  const Execution exec = three_process_concurrent();
+  const Timestamps ts(exec);
+  EXPECT_TRUE(possibly(ts, [](const Cut&) { return true; }));
+  EXPECT_TRUE(definitely(ts, [](const Cut&) { return true; }));
+  EXPECT_FALSE(possibly(ts, [](const Cut&) { return false; }));
+  EXPECT_FALSE(definitely(ts, [](const Cut&) { return false; }));
+}
+
+TEST(PossiblyDefinitelyTest, BottomPredicateIsDefinite) {
+  const Execution exec = three_process_concurrent();
+  const Timestamps ts(exec);
+  // Every observation starts at E^⊥.
+  EXPECT_TRUE(definitely(ts, [](const Cut& cut) { return cut.is_bottom(); }));
+}
+
+}  // namespace
+}  // namespace syncon

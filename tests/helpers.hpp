@@ -1,0 +1,149 @@
+// Shared fixtures and builders for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/execution.hpp"
+#include "model/reachability.hpp"
+#include "model/timestamps.hpp"
+#include "nonatomic/interval.hpp"
+#include "sim/interval_picker.hpp"
+#include "sim/workload.hpp"
+#include "support/rng.hpp"
+
+namespace syncon::testing {
+
+// Two processes, one message:
+//   p0: a1 -> a2(send) -> a3
+//   p1: b1 -> b2(recv from a2) -> b3
+inline Execution two_process_message() {
+  ExecutionBuilder b(2);
+  b.local(0);                        // a1 = 0.1
+  const MessageToken m = b.send(0);  // a2 = 0.2
+  b.local(0);                        // a3 = 0.3
+  b.local(1);                        // b1 = 1.1
+  b.receive(1, m);                   // b2 = 1.2
+  b.local(1);                        // b3 = 1.3
+  return b.build();
+}
+
+// Three independent processes with two local events each (no messages).
+inline Execution three_process_concurrent() {
+  ExecutionBuilder b(3);
+  for (ProcessId p = 0; p < 3; ++p) {
+    b.local(p);
+    b.local(p);
+  }
+  return b.build();
+}
+
+// A 4-process execution replicating the shape of the paper's Figure 2:
+// X's eight events sit on all four time lines with cross-node messages that
+// make the four cuts C1..C4 distinct.
+//   p0: x01 x02 s0>        (s0 sends to p1)
+//   p1: r1< x11 s1>        (r1 receives s0, s1 sends to p2)
+//   p2: r2< x21 x22 s2>    (r2 receives s1, s2 sends to p3)
+//   p3: r3< x31            (r3 receives s2)
+struct Fig2Fixture {
+  Execution exec;
+  std::vector<EventId> x_events;
+
+  static Fig2Fixture make() {
+    ExecutionBuilder b(4);
+    std::vector<EventId> xs;
+    xs.push_back(b.local(0));              // x01 = 0.1
+    xs.push_back(b.local(0));              // x02 = 0.2
+    const MessageToken s0 = b.send(0);     // 0.3 (not in X)
+    b.receive(1, s0);                      // 1.1 (not in X)
+    xs.push_back(b.local(1));              // x11 = 1.2
+    xs.push_back(b.local(1));              // x12 = 1.3
+    const MessageToken s1 = b.send(1);     // 1.4 (not in X)
+    b.receive(2, s1);                      // 2.1 (not in X)
+    xs.push_back(b.local(2));              // x21 = 2.2
+    xs.push_back(b.local(2));              // x22 = 2.3
+    const MessageToken s2 = b.send(2);     // 2.4 (not in X)
+    b.receive(3, s2);                      // 3.1 (not in X)
+    xs.push_back(b.local(3));              // x31 = 3.2
+    xs.push_back(b.local(3));              // x32 = 3.3
+    b.local(0);                            // tail events outside X
+    b.local(1);
+    b.local(3);
+    return Fig2Fixture{b.build(), std::move(xs)};
+  }
+};
+
+// The randomized sweep used by property tests: a spread of process counts,
+// topologies and densities, all deterministic by seed.
+inline std::vector<WorkloadConfig> property_sweep() {
+  std::vector<WorkloadConfig> cases;
+  std::uint64_t seed = 1000;
+  for (const Topology topo :
+       {Topology::Random, Topology::Ring, Topology::ClientServer,
+        Topology::Broadcast, Topology::Phases}) {
+    for (const std::size_t p : {2u, 3u, 5u, 8u}) {
+      for (const double send_p : {0.15, 0.45}) {
+        WorkloadConfig cfg;
+        cfg.process_count = p;
+        cfg.events_per_process = 18;
+        cfg.send_probability = send_p;
+        cfg.topology = topo;
+        cfg.phase_count = 3;
+        cfg.seed = seed++;
+        cases.push_back(cfg);
+      }
+    }
+  }
+  return cases;
+}
+
+// Readable, gtest-safe parameter names for the sweep ("ring_p5_s1013"...).
+inline std::string sweep_case_name(
+    const ::testing::TestParamInfo<WorkloadConfig>& info) {
+  std::string topo = to_string(info.param.topology);
+  std::string out;
+  for (const char c : topo) {
+    if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+  }
+  out += "_p" + std::to_string(info.param.process_count);
+  out += "_s" + std::to_string(info.param.seed);
+  return out;
+}
+
+// Samples a pair of intervals guaranteed to be event-disjoint (so strict and
+// weak semantics agree; see DESIGN.md §3.3).
+inline std::pair<NonatomicEvent, NonatomicEvent> disjoint_pair(
+    const Execution& exec, Xoshiro256StarStar& rng, const IntervalSpec& spec) {
+  const NonatomicEvent x = random_interval(exec, rng, spec, "X");
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    NonatomicEvent y = random_interval(exec, rng, spec, "Y");
+    bool overlaps = false;
+    for (const EventId& e : y.events()) {
+      if (x.contains(e)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) return {x, std::move(y)};
+  }
+  // Fall back to a single-event interval at the first event not in X.
+  for (ProcessId p = 0; p < exec.process_count(); ++p) {
+    for (EventIndex k = 1; k <= exec.real_count(p); ++k) {
+      if (!x.contains(EventId{p, k})) {
+        return {x, NonatomicEvent(exec, {EventId{p, k}}, "Y")};
+      }
+    }
+  }
+  // Degenerate: X swallowed the execution; shrink X to one event instead.
+  const EventId first = x.events().front();
+  const EventId last = x.events().back();
+  return {NonatomicEvent(exec, {first}, "X"),
+          NonatomicEvent(exec, {last}, "Y")};
+}
+
+}  // namespace syncon::testing

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "model/timestamps.hpp"
+#include "nonatomic/interval.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+namespace {
+
+using testing::three_process_concurrent;
+using testing::two_process_message;
+
+TEST(NonatomicEventTest, SortsAndDeduplicates) {
+  const Execution exec = two_process_message();
+  const NonatomicEvent x(exec,
+                         {EventId{1, 2}, EventId{0, 1}, EventId{1, 2}}, "x");
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_EQ(x.events()[0], (EventId{0, 1}));
+  EXPECT_EQ(x.events()[1], (EventId{1, 2}));
+  EXPECT_EQ(x.label(), "x");
+}
+
+TEST(NonatomicEventTest, RejectsEmptyAndDummies) {
+  const Execution exec = two_process_message();
+  EXPECT_THROW(NonatomicEvent(exec, {}), ContractViolation);
+  EXPECT_THROW(NonatomicEvent(exec, {exec.initial(0)}), ContractViolation);
+  EXPECT_THROW(NonatomicEvent(exec, {exec.final(1)}), ContractViolation);
+  EXPECT_THROW(NonatomicEvent(exec, {EventId{0, 9}}), ContractViolation);
+}
+
+TEST(NonatomicEventTest, NodeSetIsSortedAndDeduplicated) {
+  const Execution exec = two_process_message();
+  const NonatomicEvent x(exec, {EventId{1, 1}, EventId{0, 2}, EventId{1, 3}});
+  EXPECT_EQ(x.node_set(), (std::vector<ProcessId>{0, 1}));
+  EXPECT_EQ(x.node_count(), 2u);
+  EXPECT_TRUE(x.occurs_on(0));
+  EXPECT_TRUE(x.occurs_on(1));
+}
+
+TEST(NonatomicEventTest, PerNodeExtremes) {
+  const Execution exec = two_process_message();
+  const NonatomicEvent x(exec, {EventId{0, 1}, EventId{0, 3}, EventId{1, 2}});
+  EXPECT_EQ(x.least_on(0), (EventId{0, 1}));
+  EXPECT_EQ(x.greatest_on(0), (EventId{0, 3}));
+  EXPECT_EQ(x.least_on(1), (EventId{1, 2}));
+  EXPECT_EQ(x.greatest_on(1), (EventId{1, 2}));
+  EXPECT_THROW(x.least_on(2), ContractViolation);
+}
+
+TEST(NonatomicEventTest, ContainsIsExact) {
+  const Execution exec = two_process_message();
+  const NonatomicEvent x(exec, {EventId{0, 1}, EventId{0, 3}});
+  EXPECT_TRUE(x.contains(EventId{0, 1}));
+  EXPECT_FALSE(x.contains(EventId{0, 2}));
+}
+
+TEST(ProxyTest, PerNodeProxiesPickExtremes) {
+  const Execution exec = two_process_message();
+  const NonatomicEvent x(
+      exec, {EventId{0, 1}, EventId{0, 2}, EventId{1, 1}, EventId{1, 3}},
+      "act");
+  const NonatomicEvent l = x.proxy_per_node(ProxyKind::Begin);
+  const NonatomicEvent u = x.proxy_per_node(ProxyKind::End);
+  EXPECT_EQ(l.events(), (std::vector<EventId>{{0, 1}, {1, 1}}));
+  EXPECT_EQ(u.events(), (std::vector<EventId>{{0, 2}, {1, 3}}));
+  EXPECT_EQ(l.node_set(), x.node_set());
+  EXPECT_EQ(l.label(), "L(act)");
+  EXPECT_EQ(u.label(), "U(act)");
+}
+
+TEST(ProxyTest, ProxyOfSingleNodeEventIsSingleton) {
+  const Execution exec = two_process_message();
+  const NonatomicEvent x(exec, {EventId{0, 1}, EventId{0, 3}});
+  EXPECT_EQ(x.proxy_per_node(ProxyKind::Begin).events(),
+            (std::vector<EventId>{{0, 1}}));
+  EXPECT_EQ(x.proxy_per_node(ProxyKind::End).events(),
+            (std::vector<EventId>{{0, 3}}));
+}
+
+TEST(ProxyTest, GlobalProxyExistsWhenChainOrdered) {
+  const Execution exec = two_process_message();
+  const Timestamps ts(exec);
+  // a2 ≺ b2 via the message, so X = {a2, b2} has global extrema.
+  const NonatomicEvent x(exec, {EventId{0, 2}, EventId{1, 2}});
+  const auto l = x.proxy_global(ProxyKind::Begin, ts);
+  const auto u = x.proxy_global(ProxyKind::End, ts);
+  ASSERT_TRUE(l.has_value());
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(l->events(), (std::vector<EventId>{{0, 2}}));
+  EXPECT_EQ(u->events(), (std::vector<EventId>{{1, 2}}));
+}
+
+TEST(ProxyTest, GlobalProxyEmptyForConcurrentExtremes) {
+  const Execution exec = three_process_concurrent();
+  const Timestamps ts(exec);
+  const NonatomicEvent x(exec, {EventId{0, 1}, EventId{1, 1}});
+  // The two candidate minima are concurrent: Defn 3 yields no proxy.
+  EXPECT_FALSE(x.proxy_global(ProxyKind::Begin, ts).has_value());
+  EXPECT_FALSE(x.proxy_global(ProxyKind::End, ts).has_value());
+}
+
+TEST(ProxyTest, GlobalProxySubsetOfPerNodeProxy) {
+  const Execution exec = two_process_message();
+  const Timestamps ts(exec);
+  const NonatomicEvent x(
+      exec, {EventId{0, 1}, EventId{0, 2}, EventId{1, 2}, EventId{1, 3}});
+  for (const ProxyKind kind : {ProxyKind::Begin, ProxyKind::End}) {
+    const auto global = x.proxy_global(kind, ts);
+    if (!global.has_value()) continue;
+    const NonatomicEvent per_node = x.proxy_per_node(kind);
+    for (const EventId& e : global->events()) {
+      EXPECT_TRUE(per_node.contains(e));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace syncon

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "helpers.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/mutex_checker.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+namespace {
+
+std::shared_ptr<const Execution> shared_two_process() {
+  ExecutionBuilder b(2);
+  b.local(0);                        // a1
+  const MessageToken m = b.send(0);  // a2
+  b.local(0);                        // a3
+  b.local(1);                        // b1
+  b.receive(1, m);                   // b2
+  b.local(1);                        // b3
+  return std::make_shared<const Execution>(b.build());
+}
+
+TEST(SyncMonitorTest, RegistersAndLooksUpByLabel) {
+  SyncMonitor m(shared_two_process());
+  const auto& exec = m.execution();
+  m.add_interval(NonatomicEvent(exec, {EventId{0, 1}}, "first"));
+  m.add_interval(NonatomicEvent(exec, {EventId{1, 3}}, "last"));
+  EXPECT_EQ(m.interval_count(), 2u);
+  EXPECT_TRUE(m.find("first").has_value());
+  EXPECT_FALSE(m.find("absent").has_value());
+  EXPECT_EQ(m.interval(m.handle("last")).label(), "last");
+  EXPECT_EQ(m.labels(), (std::vector<std::string>{"first", "last"}));
+  EXPECT_THROW(m.handle("absent"), ContractViolation);
+}
+
+TEST(SyncMonitorTest, RejectsDuplicateAndUnlabeled) {
+  SyncMonitor m(shared_two_process());
+  const auto& exec = m.execution();
+  m.add_interval(NonatomicEvent(exec, {EventId{0, 1}}, "x"));
+  EXPECT_THROW(m.add_interval(NonatomicEvent(exec, {EventId{0, 2}}, "x")),
+               ContractViolation);
+  EXPECT_THROW(m.add_interval(NonatomicEvent(exec, {EventId{0, 2}})),
+               ContractViolation);
+}
+
+TEST(SyncMonitorTest, CheckParsesAndEvaluates) {
+  SyncMonitor m(shared_two_process());
+  const auto& exec = m.execution();
+  m.add_interval(NonatomicEvent(exec, {EventId{0, 1}, EventId{0, 2}}, "X"));
+  m.add_interval(NonatomicEvent(exec, {EventId{1, 2}, EventId{1, 3}}, "Y"));
+  EXPECT_TRUE(m.check("R1(U,L)", "X", "Y"));
+  EXPECT_FALSE(m.check("R4", "Y", "X"));
+  EXPECT_TRUE(m.check("R1 & R2 & !R4(U,U) | R4(U,U)", "X", "Y"));
+}
+
+TEST(SyncMonitorTest, FindPairsScansOrderedPairs) {
+  SyncMonitor m(shared_two_process());
+  const auto& exec = m.execution();
+  const auto a = m.add_interval(NonatomicEvent(exec, {EventId{0, 1}}, "a"));
+  const auto b = m.add_interval(NonatomicEvent(exec, {EventId{1, 2}}, "b"));
+  const auto c = m.add_interval(NonatomicEvent(exec, {EventId{1, 3}}, "c"));
+  const auto pairs = m.find_pairs(SyncCondition::parse("R1(U,L)"));
+  // a ≺ b ≺ c: expect (a,b), (a,c), (b,c).
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], std::make_pair(a, b));
+  EXPECT_EQ(pairs[1], std::make_pair(a, c));
+  EXPECT_EQ(pairs[2], std::make_pair(b, c));
+}
+
+TEST(SyncMonitorTest, RelationsBetweenReturnsConsistentSet) {
+  SyncMonitor m(shared_two_process());
+  const auto& exec = m.execution();
+  const auto x =
+      m.add_interval(NonatomicEvent(exec, {EventId{0, 1}}, "X"));
+  const auto y =
+      m.add_interval(NonatomicEvent(exec, {EventId{1, 2}}, "Y"));
+  const auto rels = m.relations_between(x, y);
+  // Atomic x ≺ atomic y: all 32 relations hold.
+  EXPECT_EQ(rels.size(), 32u);
+  const auto none = m.relations_between(y, x);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(SyncMonitorTest, TimedDeadlineQueries) {
+  auto exec = shared_two_process();
+  SyncMonitor m(exec);
+  m.add_interval(NonatomicEvent(*exec, {EventId{0, 1}, EventId{0, 2}}, "X"));
+  m.add_interval(NonatomicEvent(*exec, {EventId{1, 2}, EventId{1, 3}}, "Y"));
+  EXPECT_FALSE(m.has_times());
+  EXPECT_THROW(m.times(), ContractViolation);
+  auto times = std::make_shared<const PhysicalTimes>(
+      *exec, std::vector<std::vector<TimePoint>>{{10, 20, 30}, {1, 25, 40}});
+  m.attach_times(times);
+  ASSERT_TRUE(m.has_times());
+  const TimingConstraint window{"w", Anchor::End, Anchor::Start, 0, 10};
+  const TimingCheckResult r = m.check_deadline(window, "X", "Y");
+  EXPECT_EQ(r.measured_gap, 5);  // X ends 20, Y starts 25
+  EXPECT_TRUE(r.satisfied);
+  const TimingConstraint tight{"t", Anchor::End, Anchor::Start, 0, 4};
+  EXPECT_FALSE(m.check_deadline(tight, "X", "Y").satisfied);
+}
+
+TEST(SyncMonitorTest, RejectsForeignTimeline) {
+  auto exec_a = shared_two_process();
+  auto exec_b = shared_two_process();
+  SyncMonitor m(exec_a);
+  auto times = std::make_shared<const PhysicalTimes>(
+      *exec_b, std::vector<std::vector<TimePoint>>{{10, 20, 30}, {1, 25, 40}});
+  EXPECT_THROW(m.attach_times(times), ContractViolation);
+}
+
+TEST(MutexCheckerTest, DetectsOverlap) {
+  // CS occupancies on a shared two-process resource: A and B ordered via a
+  // message, C concurrent with both.
+  ExecutionBuilder bld(3);
+  const EventId a1 = bld.local(0);
+  const MessageToken hand = bld.send(0);
+  const EventId b1 = bld.receive(1, hand);
+  const EventId b2 = bld.local(1);
+  const EventId c1 = bld.local(2);
+  auto exec = std::make_shared<const Execution>(bld.build());
+  SyncMonitor m(exec);
+  m.add_interval(NonatomicEvent(*exec, {a1, hand.source()}, "cs-A"));
+  m.add_interval(NonatomicEvent(*exec, {b1, b2}, "cs-B"));
+  m.add_interval(NonatomicEvent(*exec, {c1}, "cs-C"));
+
+  const auto ordered = check_mutual_exclusion(m, {"cs-A", "cs-B"});
+  EXPECT_TRUE(ordered.ok());
+  EXPECT_EQ(ordered.pairs_checked, 1u);
+
+  const auto bad = check_mutual_exclusion(m, {"cs-A", "cs-B", "cs-C"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.pairs_checked, 3u);
+  ASSERT_EQ(bad.violations.size(), 2u);  // C overlaps both A and B
+  EXPECT_EQ(bad.violations[0].second, "cs-C");
+}
+
+TEST(MutexCheckerTest, PhaseWorkloadCriticalSectionsAreExclusive) {
+  // Barrier phases serialize everything: windows of different phases are
+  // valid "critical sections".
+  WorkloadConfig cfg;
+  cfg.topology = Topology::Phases;
+  cfg.process_count = 4;
+  cfg.events_per_process = 12;
+  cfg.phase_count = 3;
+  auto exec = std::make_shared<const Execution>(generate_execution(cfg));
+  SyncMonitor m(exec);
+  // One interval per phase: the coordinator's gather + release events.
+  // Locate them via the receive structure: coordinator is process 0.
+  std::vector<std::string> labels;
+  std::vector<EventId> gathers;
+  for (EventIndex k = 1; k <= exec->real_count(0); ++k) {
+    if (!exec->incoming(EventId{0, k}).empty()) gathers.push_back({0, k});
+  }
+  ASSERT_EQ(gathers.size(), 3u);
+  for (std::size_t i = 0; i < gathers.size(); ++i) {
+    const std::string label = "phase" + std::to_string(i);
+    // Gather + the following release send.
+    m.add_interval(NonatomicEvent(
+        *exec, {gathers[i], EventId{0, gathers[i].index + 1}}, label));
+    labels.push_back(label);
+  }
+  EXPECT_TRUE(check_mutual_exclusion(m, labels).ok());
+}
+
+}  // namespace
+}  // namespace syncon

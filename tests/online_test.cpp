@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "model/timestamps.hpp"
+#include "online/interval_tracker.hpp"
+#include "online/online_evaluator.hpp"
+#include "online/online_system.hpp"
+#include "relations/naive.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+namespace {
+
+using testing::property_sweep;
+
+TEST(OnlineSystemTest, ClocksMatchHandComputation) {
+  OnlineSystem sys(2);
+  const EventId a1 = sys.local(0);
+  EXPECT_EQ(sys.clock_of(a1), VectorClock({2, 1}));
+  const WireMessage m = sys.send(0);
+  EXPECT_EQ(m.clock, VectorClock({3, 1}));
+  const EventId b1 = sys.local(1);
+  EXPECT_EQ(sys.clock_of(b1), VectorClock({1, 2}));
+  const EventId b2 = sys.deliver(1, m);
+  EXPECT_EQ(sys.clock_of(b2), VectorClock({3, 3}));
+  EXPECT_EQ(sys.current_clock(1), VectorClock({3, 3}));
+  EXPECT_EQ(sys.executed(0), 2u);
+  EXPECT_EQ(sys.executed(1), 2u);
+  EXPECT_EQ(sys.total_executed(), 4u);
+}
+
+TEST(OnlineSystemTest, InitialClockIsBottom) {
+  OnlineSystem sys(3);
+  EXPECT_EQ(sys.current_clock(1), VectorClock({0, 1, 0}));
+}
+
+TEST(OnlineSystemTest, RejectsSelfDelivery) {
+  OnlineSystem sys(2);
+  const WireMessage m = sys.send(0);
+  EXPECT_THROW(sys.deliver(0, m), ContractViolation);
+}
+
+TEST(OnlineSystemTest, DeliverAllMergesEverything) {
+  OnlineSystem sys(3);
+  const WireMessage m1 = sys.send(1);
+  const WireMessage m2 = sys.send(2);
+  const std::vector<WireMessage> msgs{m1, m2};
+  const EventId joined = sys.deliver_all(0, msgs);
+  EXPECT_EQ(sys.clock_of(joined), VectorClock({2, 2, 2}));
+}
+
+TEST(OnlineSystemTest, ToExecutionPreservesStructure) {
+  OnlineSystem sys(2);
+  sys.local(0);
+  const WireMessage m = sys.send(0);
+  sys.local(1);
+  sys.deliver(1, m);
+  const Execution exec = sys.to_execution();
+  EXPECT_EQ(exec.real_count(0), 2u);
+  EXPECT_EQ(exec.real_count(1), 2u);
+  ASSERT_EQ(exec.messages().size(), 1u);
+  EXPECT_EQ(exec.messages()[0].source, (EventId{0, 2}));
+  EXPECT_EQ(exec.messages()[0].target, (EventId{1, 2}));
+}
+
+TEST(IntervalTrackerTest, AccumulatesAggregates) {
+  OnlineSystem sys(2);
+  IntervalTracker tracker("act");
+  const EventId a1 = sys.local(0);
+  tracker.add(sys, a1);
+  const WireMessage m = sys.send(0);
+  tracker.add(sys, m.source);
+  const EventId b1 = sys.deliver(1, m);
+  tracker.add(sys, b1);
+  const IntervalSummary s = tracker.summary();
+  EXPECT_EQ(s.label, "act");
+  EXPECT_EQ(s.event_count, 3u);
+  EXPECT_EQ(s.nodes, (std::vector<ProcessId>{0, 1}));
+  EXPECT_EQ(s.least_index[0], 1u);
+  EXPECT_EQ(s.greatest_index[0], 2u);
+  EXPECT_EQ(s.least_index[1], 1u);
+  // ∩⇓ = min(T(a1), T(b1)) = min([2,1],[3,2]) = [2,1].
+  EXPECT_EQ(s.intersect_past, VectorClock({2, 1}));
+  // ∪⇓ = max(T(send), T(b1)) = max([3,1],[3,2]) = [3,2].
+  EXPECT_EQ(s.union_past, VectorClock({3, 2}));
+}
+
+TEST(IntervalTrackerTest, NodeSlotLookup) {
+  OnlineSystem sys(4);
+  IntervalTracker tracker("t");
+  tracker.add(sys, sys.local(1));
+  tracker.add(sys, sys.local(3));
+  const IntervalSummary s = tracker.summary();
+  EXPECT_EQ(s.node_slot(1), 0u);
+  EXPECT_EQ(s.node_slot(3), 1u);
+  EXPECT_EQ(s.node_slot(0), static_cast<std::size_t>(-1));
+  EXPECT_EQ(s.node_slot(2), static_cast<std::size_t>(-1));
+}
+
+TEST(IntervalTrackerTest, ProxySummariesCollapseExtremes) {
+  OnlineSystem sys(2);
+  IntervalTracker tracker("t");
+  tracker.add(sys, sys.local(0, 10));
+  tracker.add(sys, sys.local(0, 20));
+  tracker.add(sys, sys.local(1, 5));
+  const IntervalSummary s = tracker.summary();
+  const IntervalSummary begin = s.proxy(ProxyKind::Begin);
+  const IntervalSummary end = s.proxy(ProxyKind::End);
+  EXPECT_EQ(begin.label, "L(t)");
+  EXPECT_EQ(end.label, "U(t)");
+  EXPECT_EQ(begin.event_count, 2u);  // one per node
+  // Begin proxy keeps the least events: indices 1 on both nodes.
+  EXPECT_EQ(begin.greatest_index[0], begin.least_index[0]);
+  EXPECT_EQ(begin.least_index[0], 1u);
+  EXPECT_EQ(end.least_index[0], 2u);
+  // Physical span collapses to the surviving extremes.
+  EXPECT_EQ(begin.start_time, 5);
+  EXPECT_EQ(begin.end_time, 10);
+  EXPECT_EQ(end.start_time, 5);
+  EXPECT_EQ(end.end_time, 20);
+}
+
+TEST(IntervalTrackerTest, RejectsOutOfOrderAdds) {
+  OnlineSystem sys(1);
+  const EventId e1 = sys.local(0);
+  const EventId e2 = sys.local(0);
+  IntervalTracker tracker("t");
+  tracker.add(sys, e2);
+  EXPECT_THROW(tracker.add(sys, e1), ContractViolation);
+}
+
+TEST(IntervalTrackerTest, EmptySummaryRejected) {
+  IntervalTracker tracker("t");
+  EXPECT_THROW(tracker.summary(), ContractViolation);
+}
+
+TEST(OnlineSystemTest, PhysicalTimeStampsAreTracked) {
+  OnlineSystem sys(2);
+  const EventId a = sys.local(0, 100);
+  const WireMessage m = sys.send(0, 250);
+  const EventId b = sys.deliver(1, m, 900);
+  EXPECT_EQ(sys.time_of(a), 100);
+  EXPECT_EQ(sys.time_of(m.source), 250);
+  EXPECT_EQ(sys.time_of(b), 900);
+  // Untimed events carry the sentinel.
+  const EventId c = sys.local(1);
+  EXPECT_EQ(sys.time_of(c), OnlineSystem::kNoTime);
+}
+
+TEST(OnlineSystemTest, RejectsNonMonotoneLocalTime) {
+  OnlineSystem sys(1);
+  sys.local(0, 100);
+  EXPECT_THROW(sys.local(0, 100), ContractViolation);
+  EXPECT_THROW(sys.local(0, 50), ContractViolation);
+  EXPECT_NO_THROW(sys.local(0, 101));
+}
+
+TEST(IntervalTrackerTest, CapturesPhysicalSpan) {
+  OnlineSystem sys(2);
+  IntervalTracker tracker("t");
+  tracker.add(sys, sys.local(0, 100));
+  const WireMessage m = sys.send(0, 300);
+  tracker.add(sys, m.source);
+  tracker.add(sys, sys.deliver(1, m, 750));
+  const IntervalSummary s = tracker.summary();
+  EXPECT_TRUE(s.fully_timed);
+  EXPECT_EQ(s.start_time, 100);
+  EXPECT_EQ(s.end_time, 750);
+}
+
+TEST(IntervalTrackerTest, PartiallyTimedIntervalsAreFlagged) {
+  OnlineSystem sys(1);
+  IntervalTracker tracker("t");
+  tracker.add(sys, sys.local(0, 5));
+  tracker.add(sys, sys.local(0));  // untimed
+  const IntervalSummary s = tracker.summary();
+  EXPECT_FALSE(s.fully_timed);
+  EXPECT_EQ(s.start_time, 5);
+}
+
+TEST(OnlineCostBoundTest, QuadraticOnlyForPrimedExistentials) {
+  EXPECT_EQ(online_cost_bound(Relation::R1, 5, 7), 5u);
+  EXPECT_EQ(online_cost_bound(Relation::R2, 5, 7), 5u);
+  EXPECT_EQ(online_cost_bound(Relation::R3, 5, 7), 5u);
+  EXPECT_EQ(online_cost_bound(Relation::R4, 5, 7), 5u);
+  EXPECT_EQ(online_cost_bound(Relation::R2p, 5, 7), 35u);
+  EXPECT_EQ(online_cost_bound(Relation::R3p, 5, 7), 35u);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: replaying an offline execution online reproduces the
+// offline timestamps exactly, and online evaluation agrees with the
+// definitional semantics.
+// ---------------------------------------------------------------------------
+
+class OnlinePropertyTest : public ::testing::TestWithParam<WorkloadConfig> {};
+
+TEST_P(OnlinePropertyTest, ReplayReproducesOfflineClocks) {
+  const Execution exec = generate_execution(GetParam());
+  const Timestamps ts(exec);
+  const OnlineSystem sys = replay(exec);
+  for (const EventId& e : exec.topological_order()) {
+    ASSERT_EQ(sys.clock_of(e), ts.forward_ref(e)) << e.process << ":"
+                                                  << e.index;
+  }
+}
+
+TEST_P(OnlinePropertyTest, ToExecutionRoundTripsReplay) {
+  const Execution exec = generate_execution(GetParam());
+  const OnlineSystem sys = replay(exec);
+  const Execution back = sys.to_execution();
+  ASSERT_EQ(back.process_count(), exec.process_count());
+  ASSERT_EQ(back.total_real_count(), exec.total_real_count());
+  const Timestamps ts_a(exec), ts_b(back);
+  for (const EventId& e : exec.topological_order()) {
+    ASSERT_EQ(ts_a.forward(e), ts_b.forward(e));
+  }
+}
+
+TEST_P(OnlinePropertyTest, OnlineEvaluationMatchesWeakNaive) {
+  const Execution exec = generate_execution(GetParam());
+  const Timestamps ts(exec);
+  const OnlineSystem sys = replay(exec);
+  Xoshiro256StarStar rng(GetParam().seed ^ 0xfeed);
+  IntervalSpec spec;
+  spec.node_count = std::max<std::size_t>(1, exec.process_count() / 2 + 1);
+  spec.max_events_per_node = 3;
+  for (int trial = 0; trial < 40; ++trial) {
+    const NonatomicEvent x = random_interval(exec, rng, spec, "X");
+    const NonatomicEvent y = random_interval(exec, rng, spec, "Y");
+    IntervalTracker tx("X"), ty("Y");
+    for (const EventId& e : x.events()) tx.add(sys, e);
+    for (const EventId& e : y.events()) ty.add(sys, e);
+    const IntervalSummary sx = tx.summary();
+    const IntervalSummary sy = ty.summary();
+    for (const Relation r : kAllRelations) {
+      ComparisonCounter counter;
+      ASSERT_EQ(evaluate_online(r, sx, sy, counter),
+                evaluate_naive(r, x, y, ts, Semantics::Weak))
+          << to_string(r) << " trial " << trial;
+      ASSERT_LE(counter.integer_comparisons,
+                online_cost_bound(r, sx.node_count(), sy.node_count()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OnlinePropertyTest,
+                         ::testing::ValuesIn(property_sweep()),
+                         testing::sweep_case_name);
+
+}  // namespace
+}  // namespace syncon

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "monitor/predicate.hpp"
+
+namespace syncon {
+namespace {
+
+using testing::two_process_message;
+
+struct EvalFixture {
+  Execution exec = two_process_message();
+  Timestamps ts{exec};
+  RelationEvaluator eval{ts};
+  RelationEvaluator::Handle hx;
+  RelationEvaluator::Handle hy;
+
+  EvalFixture() {
+    hx = eval.add_event(
+        NonatomicEvent(exec, {EventId{0, 1}, EventId{0, 2}}, "X"));
+    hy = eval.add_event(
+        NonatomicEvent(exec, {EventId{1, 2}, EventId{1, 3}}, "Y"));
+  }
+};
+
+TEST(SyncConditionTest, ParsesBareRelationWithDefaultProxies) {
+  const SyncCondition c = SyncCondition::parse("R1");
+  EXPECT_EQ(c.to_string(), "R1(U,L)");
+}
+
+TEST(SyncConditionTest, ParsesExplicitProxies) {
+  EXPECT_EQ(SyncCondition::parse("R2'(L,U)").to_string(), "R2'(L,U)");
+  EXPECT_EQ(SyncCondition::parse("R4' ( U , U )").to_string(), "R4'(U,U)");
+}
+
+TEST(SyncConditionTest, ParsesBooleanStructure) {
+  const SyncCondition c = SyncCondition::parse("R1 & !R2 | (R3 & R4)");
+  // & binds tighter than |.
+  EXPECT_EQ(c.to_string(), "((R1(U,L) & !R2(U,L)) | (R3(U,L) & R4(U,L)))");
+}
+
+TEST(SyncConditionTest, ParseErrors) {
+  EXPECT_THROW(SyncCondition::parse(""), ConditionParseError);
+  EXPECT_THROW(SyncCondition::parse("R5"), ConditionParseError);
+  EXPECT_THROW(SyncCondition::parse("Q1"), ConditionParseError);
+  EXPECT_THROW(SyncCondition::parse("R1 &"), ConditionParseError);
+  EXPECT_THROW(SyncCondition::parse("R1 R2"), ConditionParseError);
+  EXPECT_THROW(SyncCondition::parse("(R1"), ConditionParseError);
+  EXPECT_THROW(SyncCondition::parse("R1(L)"), ConditionParseError);
+  EXPECT_THROW(SyncCondition::parse("R1(L,)"), ConditionParseError);
+}
+
+TEST(SyncConditionTest, EvaluatesAtoms) {
+  EvalFixture f;
+  // Every event of X precedes every event of Y in this fixture (a1,a2 ≺
+  // b2,b3), so R1 holds on all proxy pairs.
+  EXPECT_TRUE(SyncCondition::parse("R1(U,L)").evaluate(f.eval, f.hx, f.hy));
+  EXPECT_TRUE(SyncCondition::parse("R1(L,U)").evaluate(f.eval, f.hx, f.hy));
+  // And fails in the reverse direction.
+  EXPECT_FALSE(SyncCondition::parse("R4(L,U)").evaluate(f.eval, f.hy, f.hx));
+}
+
+TEST(SyncConditionTest, EvaluatesBooleanOperators) {
+  EvalFixture f;
+  EXPECT_TRUE(
+      SyncCondition::parse("R1 & R2 & R3").evaluate(f.eval, f.hx, f.hy));
+  EXPECT_FALSE(
+      SyncCondition::parse("R1 & !R2").evaluate(f.eval, f.hx, f.hy));
+  EXPECT_TRUE(
+      SyncCondition::parse("!R1 | R4").evaluate(f.eval, f.hx, f.hy));
+  EXPECT_TRUE(SyncCondition::parse("!(R1 & !R1)").evaluate(f.eval, f.hx,
+                                                           f.hy));
+}
+
+TEST(SyncConditionTest, NotBindsTightest) {
+  EvalFixture f;
+  // !R4 | R4 is a tautology only if ! binds to the atom.
+  EXPECT_TRUE(SyncCondition::parse("!R4 | R4").evaluate(f.eval, f.hx, f.hy));
+  EXPECT_TRUE(SyncCondition::parse("!R4 | R4").evaluate(f.eval, f.hy, f.hx));
+}
+
+TEST(SyncConditionTest, AtomFactory) {
+  const SyncCondition c = SyncCondition::atom(
+      RelationId{Relation::R3p, ProxyKind::Begin, ProxyKind::End});
+  EXPECT_EQ(c.to_string(), "R3'(L,U)");
+}
+
+}  // namespace
+}  // namespace syncon

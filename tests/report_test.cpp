@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "monitor/report.hpp"
+#include "sim/scenarios.hpp"
+
+namespace syncon {
+namespace {
+
+SyncMonitor monitored_scenario() {
+  const Scenario s = make_process_control({});
+  SyncMonitor m(s.execution_ptr());
+  for (const NonatomicEvent& iv : s.intervals()) m.add_interval(iv);
+  return m;
+}
+
+TEST(ReportTest, ContainsAllSections) {
+  const SyncMonitor m = monitored_scenario();
+  const SyncCondition headline = SyncCondition::parse("R1(U,L)");
+  ReportOptions options;
+  options.headline = &headline;
+  const std::string report = report_to_string(m, options);
+  EXPECT_NE(report.find("=== trace ==="), std::string::npos);
+  EXPECT_NE(report.find("=== intervals ==="), std::string::npos);
+  EXPECT_NE(report.find("=== interaction types ==="), std::string::npos);
+  EXPECT_NE(report.find("pairs satisfying R1(U,L)"), std::string::npos);
+  EXPECT_NE(report.find("sample/0"), std::string::npos);
+  EXPECT_NE(report.find("concurrency ratio"), std::string::npos);
+}
+
+TEST(ReportTest, MatrixCanBeDisabled) {
+  const SyncMonitor m = monitored_scenario();
+  ReportOptions options;
+  options.interaction_matrix = false;
+  const std::string report = report_to_string(m, options);
+  EXPECT_EQ(report.find("=== interaction types ==="), std::string::npos);
+  EXPECT_NE(report.find("=== intervals ==="), std::string::npos);
+}
+
+TEST(ReportTest, SensibleOnSingleInterval) {
+  ExecutionBuilder b(1);
+  b.local(0);
+  auto exec = std::make_shared<const Execution>(b.build());
+  SyncMonitor m(exec);
+  m.add_interval(NonatomicEvent(*exec, {EventId{0, 1}}, "solo"));
+  const std::string report = report_to_string(m);
+  EXPECT_NE(report.find("solo"), std::string::npos);
+  // No matrix section for fewer than two intervals.
+  EXPECT_EQ(report.find("=== interaction types ==="), std::string::npos);
+}
+
+TEST(ReportTest, HeadlinePairsMatchMonitorQuery) {
+  const SyncMonitor m = monitored_scenario();
+  const SyncCondition headline = SyncCondition::parse("R4");
+  ReportOptions options;
+  options.headline = &headline;
+  const std::string report = report_to_string(m, options);
+  const auto pairs = m.find_pairs(headline);
+  EXPECT_NE(report.find(std::to_string(pairs.size()) + " of"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace syncon

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace syncon {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(XoshiroTest, IsDeterministicAcrossInstances) {
+  Xoshiro256StarStar a(99), b(99);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(XoshiroTest, DifferentSeedsDiffer) {
+  Xoshiro256StarStar a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(XoshiroTest, BelowStaysInRange) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(XoshiroTest, BelowHitsEveryResidue) {
+  Xoshiro256StarStar rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(XoshiroTest, UniformIsInclusive) {
+  Xoshiro256StarStar rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 12);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 12u);
+    saw_lo |= (v == 10);
+    saw_hi |= (v == 12);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(XoshiroTest, Uniform01InHalfOpenRange) {
+  Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(XoshiroTest, BernoulliExtremes) {
+  Xoshiro256StarStar rng(5);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(XoshiroTest, BernoulliRoughlyCalibrated) {
+  Xoshiro256StarStar rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(XoshiroTest, BurstRespectsCap) {
+  Xoshiro256StarStar rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t b = rng.burst(0.9, 5);
+    ASSERT_GE(b, 1u);
+    ASSERT_LE(b, 5u);
+  }
+}
+
+TEST(XoshiroTest, SampleWithoutReplacementIsSortedAndUnique) {
+  Xoshiro256StarStar rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const auto sample = rng.sample_without_replacement(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    for (std::size_t k = 1; k < sample.size(); ++k) {
+      ASSERT_LT(sample[k - 1], sample[k]);
+    }
+    ASSERT_LT(sample.back(), 20u);
+  }
+}
+
+TEST(XoshiroTest, SampleAllReturnsIdentity) {
+  Xoshiro256StarStar rng(29);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  ASSERT_EQ(sample.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(XoshiroTest, SampleRejectsOversizedRequest) {
+  Xoshiro256StarStar rng(31);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), ContractViolation);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(RunningStatsTest, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.7 - 3;
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SampleSetTest, QuantilesInterpolate) {
+  SampleSet s;
+  for (int i = 1; i <= 5; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+}
+
+TEST(SampleSetTest, EmptyQuantileThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), ContractViolation);
+}
+
+TEST(IntHistogramTest, TracksBoundsAndViolations) {
+  IntHistogram h;
+  for (const std::uint64_t v : {1u, 2u, 2u, 3u, 8u}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min_value(), 1u);
+  EXPECT_EQ(h.max_value(), 8u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.2);
+  EXPECT_EQ(h.count_above(3), 1u);
+  EXPECT_EQ(h.count_above(8), 0u);
+  EXPECT_EQ(h.count_above(0), 5u);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"name", "n"});
+  t.new_row().add_cell(std::string("alpha")).add_cell(std::uint64_t{7});
+  t.new_row().add_cell(std::string("b")).add_cell(std::uint64_t{123});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| alpha | 7   |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 123 |"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsTooManyCells) {
+  TextTable t({"only"});
+  t.new_row().add_cell(std::string("x"));
+  EXPECT_THROW(t.add_cell(std::string("y")), ContractViolation);
+}
+
+TEST(TextTableTest, RejectsCellWithoutRow) {
+  TextTable t({"c"});
+  EXPECT_THROW(t.add_cell(std::string("x")), ContractViolation);
+}
+
+TEST(WithThousandsTest, GroupsDigits) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+}
+
+TEST(CliParserTest, ParsesOptionsAndFlags) {
+  CliParser cli("prog", "test");
+  cli.add_option("count", "5", "how many");
+  cli.add_option("name", "x", "label");
+  cli.add_flag("verbose", "say more");
+  const char* argv[] = {"prog", "--count=9", "--name", "hello", "--verbose"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("count"), 9);
+  EXPECT_EQ(cli.get("name"), "hello");
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(CliParserTest, DefaultsApply) {
+  CliParser cli("prog", "test");
+  cli.add_option("count", "5", "how many");
+  cli.add_flag("verbose", "say more");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_uint("count"), 5u);
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(CliParserTest, UnknownOptionFailsParse) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParserTest, RejectsNonNumericValues) {
+  CliParser cli("prog", "test");
+  cli.add_option("count", "5", "how many");
+  cli.add_option("rate", "0.5", "how fast");
+  const char* argv[] = {"prog", "--count=abc", "--rate=x"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.get_int("count"), ContractViolation);
+  EXPECT_THROW(cli.get_double("rate"), ContractViolation);
+}
+
+TEST(CliParserTest, RejectsTrailingJunk) {
+  CliParser cli("prog", "test");
+  cli.add_option("count", "5", "how many");
+  const char* argv[] = {"prog", "--count=12x"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_int("count"), ContractViolation);
+}
+
+TEST(CliParserTest, RejectsNegativeForUnsigned) {
+  CliParser cli("prog", "test");
+  cli.add_option("count", "5", "how many");
+  const char* argv[] = {"prog", "--count=-3"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("count"), -3);
+  EXPECT_THROW(cli.get_uint("count"), ContractViolation);
+}
+
+TEST(CliParserTest, CollectsPositional) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "a.trace", "b.trace"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "a.trace");
+}
+
+TEST(ContractsTest, ViolationCarriesContext) {
+  try {
+    SYNCON_REQUIRE(false, "this failed");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("this failed"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace syncon

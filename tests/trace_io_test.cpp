@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.hpp"
+#include "model/timestamps.hpp"
+#include "monitor/trace_io.hpp"
+#include "sim/interval_picker.hpp"
+#include "sim/workload.hpp"
+#include "timing/physical_time.hpp"
+
+namespace syncon {
+namespace {
+
+using testing::property_sweep;
+using testing::two_process_message;
+
+TEST(TraceIoTest, WritesReadableFormat) {
+  const Execution exec = two_process_message();
+  const std::string text = trace_to_string(exec);
+  EXPECT_NE(text.find("syncon-trace 1"), std::string::npos);
+  EXPECT_NE(text.find("processes 2"), std::string::npos);
+  EXPECT_NE(text.find("e 1 < 0:2"), std::string::npos);  // the receive
+}
+
+TEST(TraceIoTest, RoundTripPreservesStructure) {
+  const Execution exec = two_process_message();
+  const Execution copy = trace_from_string(trace_to_string(exec));
+  ASSERT_EQ(copy.process_count(), exec.process_count());
+  for (ProcessId p = 0; p < exec.process_count(); ++p) {
+    ASSERT_EQ(copy.real_count(p), exec.real_count(p));
+  }
+  ASSERT_EQ(copy.messages().size(), exec.messages().size());
+  // Causality is identical.
+  const Timestamps ts_a(exec), ts_b(copy);
+  for (const EventId& e : exec.topological_order()) {
+    ASSERT_EQ(ts_a.forward(e), ts_b.forward(e));
+  }
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a trace\n\nsyncon-trace 1\n# p count\nprocesses 2\n\ne 0\n# recv\n"
+      "e 1 < 0:1\n";
+  const Execution exec = trace_from_string(text);
+  EXPECT_EQ(exec.real_count(0), 1u);
+  EXPECT_EQ(exec.real_count(1), 1u);
+  EXPECT_EQ(exec.messages().size(), 1u);
+}
+
+TEST(TraceIoTest, RejectsMissingHeader) {
+  EXPECT_THROW(trace_from_string("processes 2\ne 0\n"), TraceFormatError);
+}
+
+TEST(TraceIoTest, RejectsBadProcessCount) {
+  EXPECT_THROW(trace_from_string("syncon-trace 1\nprocesses 0\n"),
+               TraceFormatError);
+  EXPECT_THROW(trace_from_string("syncon-trace 1\nprocesses x\n"),
+               TraceFormatError);
+}
+
+TEST(TraceIoTest, RejectsOutOfRangeProcess) {
+  EXPECT_THROW(trace_from_string("syncon-trace 1\nprocesses 2\ne 2\n"),
+               TraceFormatError);
+}
+
+TEST(TraceIoTest, RejectsForwardReferences) {
+  // Receive references an event that does not exist yet.
+  EXPECT_THROW(
+      trace_from_string("syncon-trace 1\nprocesses 2\ne 1 < 0:1\ne 0\n"),
+      TraceFormatError);
+}
+
+TEST(TraceIoTest, RejectsSelfReceive) {
+  EXPECT_THROW(
+      trace_from_string("syncon-trace 1\nprocesses 2\ne 0\ne 0 < 0:1\n"),
+      TraceFormatError);
+}
+
+TEST(TraceIoTest, RejectsMalformedEventRef) {
+  EXPECT_THROW(
+      trace_from_string("syncon-trace 1\nprocesses 2\ne 0\ne 1 < 0-1\n"),
+      TraceFormatError);
+}
+
+TEST(IntervalIoTest, RoundTrip) {
+  WorkloadConfig cfg;
+  cfg.seed = 5;
+  const Execution exec = generate_execution(cfg);
+  Xoshiro256StarStar rng(3);
+  IntervalSpec spec;
+  spec.node_count = 2;
+  spec.max_events_per_node = 2;
+  const auto intervals = random_intervals(exec, rng, spec, 5);
+
+  std::stringstream ss;
+  write_intervals(ss, intervals);
+  const auto loaded = read_intervals(ss, exec);
+  ASSERT_EQ(loaded.size(), intervals.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].label(), intervals[i].label());
+    EXPECT_EQ(loaded[i].events(), intervals[i].events());
+  }
+}
+
+TEST(IntervalIoTest, RejectsUnknownEvents) {
+  const Execution exec = two_process_message();
+  std::stringstream ss("syncon-intervals 1\ni bogus 0:9\n");
+  EXPECT_THROW(read_intervals(ss, exec), TraceFormatError);
+}
+
+TEST(IntervalIoTest, RejectsDummyEvents) {
+  const Execution exec = two_process_message();
+  std::stringstream ss("syncon-intervals 1\ni dummy 0:0\n");
+  EXPECT_THROW(read_intervals(ss, exec), TraceFormatError);
+}
+
+TEST(IntervalIoTest, RejectsEmptyInterval) {
+  const Execution exec = two_process_message();
+  std::stringstream ss("syncon-intervals 1\ni empty\n");
+  EXPECT_THROW(read_intervals(ss, exec), TraceFormatError);
+}
+
+TEST(TraceIoTest, GoldenFormatIsStable) {
+  // The on-disk format is a compatibility contract; this golden pins it.
+  ExecutionBuilder b(3);
+  b.local(0);
+  const MessageToken m1 = b.send(0);
+  b.receive(1, m1);
+  const MessageToken m2 = b.send(2);
+  const std::vector<MessageToken> both{m1, m2};
+  b.receive_all(1, both);
+  const Execution exec = b.build();
+  const std::string expected =
+      "syncon-trace 1\n"
+      "processes 3\n"
+      "e 0\n"
+      "e 0\n"
+      "e 1 < 0:2\n"
+      "e 2\n"
+      "e 1 < 0:2 2:1\n";
+  EXPECT_EQ(trace_to_string(exec), expected);
+}
+
+TEST(TimedTraceTest, RoundTripPreservesTimes) {
+  const Execution exec = two_process_message();
+  const PhysicalTimes times(exec, {{10, 20, 30}, {1, 25, 40}});
+  std::stringstream ss;
+  write_timed_trace(ss, exec, times);
+  const TimedTrace loaded = read_timed_trace(ss);
+  ASSERT_NE(loaded.times, nullptr);
+  for (const EventId& e : exec.topological_order()) {
+    ASSERT_EQ(loaded.times->at(e), times.at(e));
+  }
+}
+
+TEST(TimedTraceTest, UntimedInputYieldsNullTimes) {
+  const Execution exec = two_process_message();
+  std::stringstream ss(trace_to_string(exec));
+  const TimedTrace loaded = read_timed_trace(ss);
+  EXPECT_EQ(loaded.times, nullptr);
+  EXPECT_EQ(loaded.execution->total_real_count(), exec.total_real_count());
+}
+
+TEST(TimedTraceTest, RejectsMixedRecords) {
+  const std::string text =
+      "syncon-trace 1\nprocesses 2\ne 0 @10\ne 1\n";
+  std::stringstream ss(text);
+  EXPECT_THROW(read_timed_trace(ss), TraceFormatError);
+}
+
+TEST(TimedTraceTest, RejectsCausallyInvalidTimes) {
+  // Receive stamped before its send.
+  const std::string text =
+      "syncon-trace 1\nprocesses 2\ne 0 @100\ne 1 @50 < 0:1\n";
+  std::stringstream ss(text);
+  EXPECT_THROW(read_timed_trace(ss), TraceFormatError);
+}
+
+TEST(TimedTraceTest, RejectsBadAnnotation) {
+  const std::string text = "syncon-trace 1\nprocesses 1\ne 0 @abc\n";
+  std::stringstream ss(text);
+  EXPECT_THROW(read_timed_trace(ss), TraceFormatError);
+}
+
+TEST(TimedTraceTest, DesResultRoundTrips) {
+  // End-to-end: simulate with the DES engine, persist the timed trace,
+  // reload, and verify the timeline survives.
+  WorkloadConfig wcfg;  // unused; the DES run below is self-contained
+  (void)wcfg;
+  const Execution exec = two_process_message();
+  TimingModel model;
+  model.seed = 3;
+  const PhysicalTimes times = assign_times(exec, model);
+  std::stringstream ss;
+  write_timed_trace(ss, exec, times);
+  const TimedTrace loaded = read_timed_trace(ss);
+  ASSERT_NE(loaded.times, nullptr);
+  EXPECT_EQ(loaded.times->horizon(), times.horizon());
+}
+
+class TraceIoPropertyTest : public ::testing::TestWithParam<WorkloadConfig> {};
+
+TEST_P(TraceIoPropertyTest, RoundTripOnGeneratedWorkloads) {
+  const Execution exec = generate_execution(GetParam());
+  const Execution copy = trace_from_string(trace_to_string(exec));
+  ASSERT_EQ(copy.process_count(), exec.process_count());
+  ASSERT_EQ(copy.total_real_count(), exec.total_real_count());
+  ASSERT_EQ(copy.messages().size(), exec.messages().size());
+  const Timestamps ts_a(exec), ts_b(copy);
+  for (const EventId& e : exec.topological_order()) {
+    ASSERT_EQ(ts_a.forward(e), ts_b.forward(e));
+    ASSERT_EQ(ts_a.future_start(e), ts_b.future_start(e));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TraceIoPropertyTest,
+                         ::testing::ValuesIn(property_sweep()),
+                         testing::sweep_case_name);
+
+}  // namespace
+}  // namespace syncon

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "model/timestamps.hpp"
+#include "sim/interval_picker.hpp"
+#include "sim/workload.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+namespace {
+
+using testing::property_sweep;
+
+TEST(WorkloadTest, SameSeedSameExecution) {
+  WorkloadConfig cfg;
+  cfg.seed = 77;
+  const Execution a = generate_execution(cfg);
+  const Execution b = generate_execution(cfg);
+  ASSERT_EQ(a.process_count(), b.process_count());
+  for (ProcessId p = 0; p < a.process_count(); ++p) {
+    ASSERT_EQ(a.real_count(p), b.real_count(p));
+  }
+  ASSERT_EQ(a.messages().size(), b.messages().size());
+  for (std::size_t i = 0; i < a.messages().size(); ++i) {
+    ASSERT_EQ(a.messages()[i], b.messages()[i]);
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadConfig cfg;
+  cfg.seed = 1;
+  const Execution a = generate_execution(cfg);
+  cfg.seed = 2;
+  const Execution b = generate_execution(cfg);
+  // Either the message sets differ or the per-process counts do.
+  bool differ = a.messages().size() != b.messages().size();
+  if (!differ) {
+    for (std::size_t i = 0; i < a.messages().size(); ++i) {
+      if (!(a.messages()[i] == b.messages()[i])) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(WorkloadTest, VolumeNearTarget) {
+  WorkloadConfig cfg;
+  cfg.process_count = 6;
+  cfg.events_per_process = 30;
+  const Execution exec = generate_execution(cfg);
+  std::size_t total = exec.total_real_count();
+  EXPECT_GE(total, 6u * 30u);
+  EXPECT_LE(total, 6u * 30u + 200u);  // drain slack
+}
+
+TEST(WorkloadTest, RingMessagesFollowTheRing) {
+  WorkloadConfig cfg;
+  cfg.topology = Topology::Ring;
+  cfg.process_count = 5;
+  cfg.send_probability = 0.5;
+  const Execution exec = generate_execution(cfg);
+  ASSERT_GT(exec.messages().size(), 0u);
+  for (const Message& m : exec.messages()) {
+    EXPECT_EQ((m.source.process + 1) % 5, m.target.process);
+  }
+}
+
+TEST(WorkloadTest, ClientServerMessagesTouchTheServer) {
+  WorkloadConfig cfg;
+  cfg.topology = Topology::ClientServer;
+  cfg.process_count = 4;
+  cfg.send_probability = 0.5;
+  const Execution exec = generate_execution(cfg);
+  ASSERT_GT(exec.messages().size(), 0u);
+  for (const Message& m : exec.messages()) {
+    EXPECT_TRUE(m.source.process == 0 || m.target.process == 0);
+  }
+}
+
+TEST(WorkloadTest, PhasesImposeBarrierCausality) {
+  WorkloadConfig cfg;
+  cfg.topology = Topology::Phases;
+  cfg.process_count = 4;
+  cfg.events_per_process = 12;
+  cfg.phase_count = 3;
+  const Execution exec = generate_execution(cfg);
+  const Timestamps ts(exec);
+  // The first event of every process precedes the last event of every other
+  // process (through the barrier releases).
+  for (ProcessId p = 0; p < 4; ++p) {
+    for (ProcessId q = 0; q < 4; ++q) {
+      if (p == q) continue;
+      ASSERT_TRUE(ts.lt(EventId{p, 1}, EventId{q, exec.real_count(q)}));
+    }
+  }
+}
+
+TEST(WorkloadTest, SingleProcessNeedsNoMessages) {
+  WorkloadConfig cfg;
+  cfg.process_count = 1;
+  cfg.send_probability = 0.0;
+  const Execution exec = generate_execution(cfg);
+  EXPECT_EQ(exec.process_count(), 1u);
+  EXPECT_TRUE(exec.messages().empty());
+}
+
+TEST(WorkloadTest, SingleProcessWithMessagesRejected) {
+  WorkloadConfig cfg;
+  cfg.process_count = 1;
+  cfg.send_probability = 0.3;
+  EXPECT_THROW(generate_execution(cfg), ContractViolation);
+}
+
+TEST(IntervalPickerTest, RespectsSpec) {
+  WorkloadConfig cfg;
+  cfg.process_count = 6;
+  const Execution exec = generate_execution(cfg);
+  Xoshiro256StarStar rng(5);
+  IntervalSpec spec;
+  spec.node_count = 3;
+  spec.max_events_per_node = 2;
+  for (int i = 0; i < 100; ++i) {
+    const NonatomicEvent iv = random_interval(exec, rng, spec, "t");
+    EXPECT_LE(iv.node_count(), 3u);
+    EXPECT_GE(iv.node_count(), 1u);
+    for (const ProcessId p : iv.node_set()) {
+      const EventIndex lo = iv.least_on(p).index;
+      const EventIndex hi = iv.greatest_on(p).index;
+      EXPECT_LE(hi - lo + 1, 2u);
+    }
+  }
+}
+
+TEST(IntervalPickerTest, EventsAreContiguousPerNode) {
+  WorkloadConfig cfg;
+  const Execution exec = generate_execution(cfg);
+  Xoshiro256StarStar rng(9);
+  IntervalSpec spec;
+  spec.node_count = 2;
+  spec.max_events_per_node = 4;
+  const NonatomicEvent iv = random_interval(exec, rng, spec);
+  for (const ProcessId p : iv.node_set()) {
+    for (EventIndex k = iv.least_on(p).index; k <= iv.greatest_on(p).index;
+         ++k) {
+      EXPECT_TRUE(iv.contains(EventId{p, k}));
+    }
+  }
+}
+
+TEST(IntervalPickerTest, WindowedIntervalsPartitionTheTrace) {
+  WorkloadConfig cfg;
+  cfg.process_count = 3;
+  cfg.events_per_process = 10;
+  const Execution exec = generate_execution(cfg);
+  const auto windows = windowed_intervals(exec, 4);
+  ASSERT_GE(windows.size(), 2u);
+  // Every real event is in exactly one window.
+  std::size_t covered = 0;
+  for (const auto& w : windows) covered += w.size();
+  EXPECT_EQ(covered, exec.total_real_count());
+  for (std::size_t k = 0; k < windows.size(); ++k) {
+    EXPECT_EQ(windows[k].label(), "W" + std::to_string(k));
+  }
+}
+
+TEST(IntervalPickerTest, EmptyExecutionRejected) {
+  ExecutionBuilder b(2);
+  const Execution exec = b.build();
+  Xoshiro256StarStar rng(1);
+  EXPECT_THROW(random_interval(exec, rng, IntervalSpec{}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace syncon
