@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_des_pipeline.dir/bench_des_pipeline.cpp.o"
+  "CMakeFiles/bench_des_pipeline.dir/bench_des_pipeline.cpp.o.d"
+  "bench_des_pipeline"
+  "bench_des_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_des_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

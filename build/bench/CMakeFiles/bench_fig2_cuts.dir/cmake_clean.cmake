@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cuts.dir/bench_fig2_cuts.cpp.o"
+  "CMakeFiles/bench_fig2_cuts.dir/bench_fig2_cuts.cpp.o.d"
+  "bench_fig2_cuts"
+  "bench_fig2_cuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

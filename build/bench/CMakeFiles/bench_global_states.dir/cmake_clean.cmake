@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_global_states.dir/bench_global_states.cpp.o"
+  "CMakeFiles/bench_global_states.dir/bench_global_states.cpp.o.d"
+  "bench_global_states"
+  "bench_global_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_global_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

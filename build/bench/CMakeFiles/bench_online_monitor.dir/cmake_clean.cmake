@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_monitor.dir/bench_online_monitor.cpp.o"
+  "CMakeFiles/bench_online_monitor.dir/bench_online_monitor.cpp.o.d"
+  "bench_online_monitor"
+  "bench_online_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

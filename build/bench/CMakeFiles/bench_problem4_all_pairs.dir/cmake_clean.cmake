@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_problem4_all_pairs.dir/bench_problem4_all_pairs.cpp.o"
+  "CMakeFiles/bench_problem4_all_pairs.dir/bench_problem4_all_pairs.cpp.o.d"
+  "bench_problem4_all_pairs"
+  "bench_problem4_all_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_problem4_all_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

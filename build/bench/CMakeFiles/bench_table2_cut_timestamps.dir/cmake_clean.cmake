@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cut_timestamps.dir/bench_table2_cut_timestamps.cpp.o"
+  "CMakeFiles/bench_table2_cut_timestamps.dir/bench_table2_cut_timestamps.cpp.o.d"
+  "bench_table2_cut_timestamps"
+  "bench_table2_cut_timestamps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cut_timestamps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem19_ll.dir/bench_theorem19_ll.cpp.o"
+  "CMakeFiles/bench_theorem19_ll.dir/bench_theorem19_ll.cpp.o.d"
+  "bench_theorem19_ll"
+  "bench_theorem19_ll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem19_ll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_theorem19_ll.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem20_linear.dir/bench_theorem20_linear.cpp.o"
+  "CMakeFiles/bench_theorem20_linear.dir/bench_theorem20_linear.cpp.o.d"
+  "bench_theorem20_linear"
+  "bench_theorem20_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem20_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

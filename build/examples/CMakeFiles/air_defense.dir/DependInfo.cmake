@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/air_defense.cpp" "examples/CMakeFiles/air_defense.dir/air_defense.cpp.o" "gcc" "examples/CMakeFiles/air_defense.dir/air_defense.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monitor/CMakeFiles/syncon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syncon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/online/CMakeFiles/syncon_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/syncon_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/relations/CMakeFiles/syncon_relations.dir/DependInfo.cmake"
+  "/root/repo/build/src/nonatomic/CMakeFiles/syncon_nonatomic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuts/CMakeFiles/syncon_cuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/syncon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/syncon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

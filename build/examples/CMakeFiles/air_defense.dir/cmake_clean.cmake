@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_defense.dir/air_defense.cpp.o"
+  "CMakeFiles/air_defense.dir/air_defense.cpp.o.d"
+  "air_defense"
+  "air_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

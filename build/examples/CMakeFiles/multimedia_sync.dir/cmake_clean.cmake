@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_sync.dir/multimedia_sync.cpp.o"
+  "CMakeFiles/multimedia_sync.dir/multimedia_sync.cpp.o.d"
+  "multimedia_sync"
+  "multimedia_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

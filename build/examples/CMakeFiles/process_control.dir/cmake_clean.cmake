@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_control.dir/process_control.cpp.o"
+  "CMakeFiles/process_control.dir/process_control.cpp.o.d"
+  "process_control"
+  "process_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_timeout_des.dir/request_timeout_des.cpp.o"
+  "CMakeFiles/request_timeout_des.dir/request_timeout_des.cpp.o.d"
+  "request_timeout_des"
+  "request_timeout_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_timeout_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for request_timeout_des.
+# This may be replaced when dependencies are built.

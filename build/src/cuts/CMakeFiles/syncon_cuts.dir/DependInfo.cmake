@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cuts/cut.cpp" "src/cuts/CMakeFiles/syncon_cuts.dir/cut.cpp.o" "gcc" "src/cuts/CMakeFiles/syncon_cuts.dir/cut.cpp.o.d"
+  "/root/repo/src/cuts/global_states.cpp" "src/cuts/CMakeFiles/syncon_cuts.dir/global_states.cpp.o" "gcc" "src/cuts/CMakeFiles/syncon_cuts.dir/global_states.cpp.o.d"
+  "/root/repo/src/cuts/ll_relation.cpp" "src/cuts/CMakeFiles/syncon_cuts.dir/ll_relation.cpp.o" "gcc" "src/cuts/CMakeFiles/syncon_cuts.dir/ll_relation.cpp.o.d"
+  "/root/repo/src/cuts/special_cuts.cpp" "src/cuts/CMakeFiles/syncon_cuts.dir/special_cuts.cpp.o" "gcc" "src/cuts/CMakeFiles/syncon_cuts.dir/special_cuts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/syncon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/syncon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

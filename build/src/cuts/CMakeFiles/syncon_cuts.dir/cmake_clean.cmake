@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncon_cuts.dir/cut.cpp.o"
+  "CMakeFiles/syncon_cuts.dir/cut.cpp.o.d"
+  "CMakeFiles/syncon_cuts.dir/global_states.cpp.o"
+  "CMakeFiles/syncon_cuts.dir/global_states.cpp.o.d"
+  "CMakeFiles/syncon_cuts.dir/ll_relation.cpp.o"
+  "CMakeFiles/syncon_cuts.dir/ll_relation.cpp.o.d"
+  "CMakeFiles/syncon_cuts.dir/special_cuts.cpp.o"
+  "CMakeFiles/syncon_cuts.dir/special_cuts.cpp.o.d"
+  "libsyncon_cuts.a"
+  "libsyncon_cuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncon_cuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

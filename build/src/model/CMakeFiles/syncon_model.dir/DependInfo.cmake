@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/execution.cpp" "src/model/CMakeFiles/syncon_model.dir/execution.cpp.o" "gcc" "src/model/CMakeFiles/syncon_model.dir/execution.cpp.o.d"
+  "/root/repo/src/model/reachability.cpp" "src/model/CMakeFiles/syncon_model.dir/reachability.cpp.o" "gcc" "src/model/CMakeFiles/syncon_model.dir/reachability.cpp.o.d"
+  "/root/repo/src/model/scalar_clock.cpp" "src/model/CMakeFiles/syncon_model.dir/scalar_clock.cpp.o" "gcc" "src/model/CMakeFiles/syncon_model.dir/scalar_clock.cpp.o.d"
+  "/root/repo/src/model/timestamps.cpp" "src/model/CMakeFiles/syncon_model.dir/timestamps.cpp.o" "gcc" "src/model/CMakeFiles/syncon_model.dir/timestamps.cpp.o.d"
+  "/root/repo/src/model/vector_clock.cpp" "src/model/CMakeFiles/syncon_model.dir/vector_clock.cpp.o" "gcc" "src/model/CMakeFiles/syncon_model.dir/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/syncon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncon_model.dir/execution.cpp.o"
+  "CMakeFiles/syncon_model.dir/execution.cpp.o.d"
+  "CMakeFiles/syncon_model.dir/reachability.cpp.o"
+  "CMakeFiles/syncon_model.dir/reachability.cpp.o.d"
+  "CMakeFiles/syncon_model.dir/scalar_clock.cpp.o"
+  "CMakeFiles/syncon_model.dir/scalar_clock.cpp.o.d"
+  "CMakeFiles/syncon_model.dir/timestamps.cpp.o"
+  "CMakeFiles/syncon_model.dir/timestamps.cpp.o.d"
+  "CMakeFiles/syncon_model.dir/vector_clock.cpp.o"
+  "CMakeFiles/syncon_model.dir/vector_clock.cpp.o.d"
+  "libsyncon_model.a"
+  "libsyncon_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncon_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

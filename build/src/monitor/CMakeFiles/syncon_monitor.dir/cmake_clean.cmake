@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncon_monitor.dir/global_condition.cpp.o"
+  "CMakeFiles/syncon_monitor.dir/global_condition.cpp.o.d"
+  "CMakeFiles/syncon_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/syncon_monitor.dir/monitor.cpp.o.d"
+  "CMakeFiles/syncon_monitor.dir/mutex_checker.cpp.o"
+  "CMakeFiles/syncon_monitor.dir/mutex_checker.cpp.o.d"
+  "CMakeFiles/syncon_monitor.dir/predicate.cpp.o"
+  "CMakeFiles/syncon_monitor.dir/predicate.cpp.o.d"
+  "CMakeFiles/syncon_monitor.dir/report.cpp.o"
+  "CMakeFiles/syncon_monitor.dir/report.cpp.o.d"
+  "CMakeFiles/syncon_monitor.dir/trace_io.cpp.o"
+  "CMakeFiles/syncon_monitor.dir/trace_io.cpp.o.d"
+  "libsyncon_monitor.a"
+  "libsyncon_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncon_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nonatomic/cut_timestamps.cpp" "src/nonatomic/CMakeFiles/syncon_nonatomic.dir/cut_timestamps.cpp.o" "gcc" "src/nonatomic/CMakeFiles/syncon_nonatomic.dir/cut_timestamps.cpp.o.d"
+  "/root/repo/src/nonatomic/interval.cpp" "src/nonatomic/CMakeFiles/syncon_nonatomic.dir/interval.cpp.o" "gcc" "src/nonatomic/CMakeFiles/syncon_nonatomic.dir/interval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cuts/CMakeFiles/syncon_cuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/syncon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/syncon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncon_nonatomic.dir/cut_timestamps.cpp.o"
+  "CMakeFiles/syncon_nonatomic.dir/cut_timestamps.cpp.o.d"
+  "CMakeFiles/syncon_nonatomic.dir/interval.cpp.o"
+  "CMakeFiles/syncon_nonatomic.dir/interval.cpp.o.d"
+  "libsyncon_nonatomic.a"
+  "libsyncon_nonatomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncon_nonatomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncon_online.dir/interval_tracker.cpp.o"
+  "CMakeFiles/syncon_online.dir/interval_tracker.cpp.o.d"
+  "CMakeFiles/syncon_online.dir/online_evaluator.cpp.o"
+  "CMakeFiles/syncon_online.dir/online_evaluator.cpp.o.d"
+  "CMakeFiles/syncon_online.dir/online_monitor.cpp.o"
+  "CMakeFiles/syncon_online.dir/online_monitor.cpp.o.d"
+  "CMakeFiles/syncon_online.dir/online_system.cpp.o"
+  "CMakeFiles/syncon_online.dir/online_system.cpp.o.d"
+  "libsyncon_online.a"
+  "libsyncon_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncon_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relations/composition.cpp" "src/relations/CMakeFiles/syncon_relations.dir/composition.cpp.o" "gcc" "src/relations/CMakeFiles/syncon_relations.dir/composition.cpp.o.d"
+  "/root/repo/src/relations/evaluator.cpp" "src/relations/CMakeFiles/syncon_relations.dir/evaluator.cpp.o" "gcc" "src/relations/CMakeFiles/syncon_relations.dir/evaluator.cpp.o.d"
+  "/root/repo/src/relations/fast.cpp" "src/relations/CMakeFiles/syncon_relations.dir/fast.cpp.o" "gcc" "src/relations/CMakeFiles/syncon_relations.dir/fast.cpp.o.d"
+  "/root/repo/src/relations/hierarchy.cpp" "src/relations/CMakeFiles/syncon_relations.dir/hierarchy.cpp.o" "gcc" "src/relations/CMakeFiles/syncon_relations.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/relations/inference.cpp" "src/relations/CMakeFiles/syncon_relations.dir/inference.cpp.o" "gcc" "src/relations/CMakeFiles/syncon_relations.dir/inference.cpp.o.d"
+  "/root/repo/src/relations/interaction_types.cpp" "src/relations/CMakeFiles/syncon_relations.dir/interaction_types.cpp.o" "gcc" "src/relations/CMakeFiles/syncon_relations.dir/interaction_types.cpp.o.d"
+  "/root/repo/src/relations/naive.cpp" "src/relations/CMakeFiles/syncon_relations.dir/naive.cpp.o" "gcc" "src/relations/CMakeFiles/syncon_relations.dir/naive.cpp.o.d"
+  "/root/repo/src/relations/relation.cpp" "src/relations/CMakeFiles/syncon_relations.dir/relation.cpp.o" "gcc" "src/relations/CMakeFiles/syncon_relations.dir/relation.cpp.o.d"
+  "/root/repo/src/relations/sparse_cuts.cpp" "src/relations/CMakeFiles/syncon_relations.dir/sparse_cuts.cpp.o" "gcc" "src/relations/CMakeFiles/syncon_relations.dir/sparse_cuts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nonatomic/CMakeFiles/syncon_nonatomic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuts/CMakeFiles/syncon_cuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/syncon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/syncon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncon_relations.dir/composition.cpp.o"
+  "CMakeFiles/syncon_relations.dir/composition.cpp.o.d"
+  "CMakeFiles/syncon_relations.dir/evaluator.cpp.o"
+  "CMakeFiles/syncon_relations.dir/evaluator.cpp.o.d"
+  "CMakeFiles/syncon_relations.dir/fast.cpp.o"
+  "CMakeFiles/syncon_relations.dir/fast.cpp.o.d"
+  "CMakeFiles/syncon_relations.dir/hierarchy.cpp.o"
+  "CMakeFiles/syncon_relations.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/syncon_relations.dir/inference.cpp.o"
+  "CMakeFiles/syncon_relations.dir/inference.cpp.o.d"
+  "CMakeFiles/syncon_relations.dir/interaction_types.cpp.o"
+  "CMakeFiles/syncon_relations.dir/interaction_types.cpp.o.d"
+  "CMakeFiles/syncon_relations.dir/naive.cpp.o"
+  "CMakeFiles/syncon_relations.dir/naive.cpp.o.d"
+  "CMakeFiles/syncon_relations.dir/relation.cpp.o"
+  "CMakeFiles/syncon_relations.dir/relation.cpp.o.d"
+  "CMakeFiles/syncon_relations.dir/sparse_cuts.cpp.o"
+  "CMakeFiles/syncon_relations.dir/sparse_cuts.cpp.o.d"
+  "libsyncon_relations.a"
+  "libsyncon_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncon_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

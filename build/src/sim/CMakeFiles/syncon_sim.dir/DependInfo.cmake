@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/air_defense_des.cpp" "src/sim/CMakeFiles/syncon_sim.dir/air_defense_des.cpp.o" "gcc" "src/sim/CMakeFiles/syncon_sim.dir/air_defense_des.cpp.o.d"
+  "/root/repo/src/sim/des.cpp" "src/sim/CMakeFiles/syncon_sim.dir/des.cpp.o" "gcc" "src/sim/CMakeFiles/syncon_sim.dir/des.cpp.o.d"
+  "/root/repo/src/sim/interval_picker.cpp" "src/sim/CMakeFiles/syncon_sim.dir/interval_picker.cpp.o" "gcc" "src/sim/CMakeFiles/syncon_sim.dir/interval_picker.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/syncon_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/syncon_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/scenarios.cpp" "src/sim/CMakeFiles/syncon_sim.dir/scenarios.cpp.o" "gcc" "src/sim/CMakeFiles/syncon_sim.dir/scenarios.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/syncon_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/syncon_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nonatomic/CMakeFiles/syncon_nonatomic.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/syncon_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/syncon_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuts/CMakeFiles/syncon_cuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/syncon_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncon_sim.dir/air_defense_des.cpp.o"
+  "CMakeFiles/syncon_sim.dir/air_defense_des.cpp.o.d"
+  "CMakeFiles/syncon_sim.dir/des.cpp.o"
+  "CMakeFiles/syncon_sim.dir/des.cpp.o.d"
+  "CMakeFiles/syncon_sim.dir/interval_picker.cpp.o"
+  "CMakeFiles/syncon_sim.dir/interval_picker.cpp.o.d"
+  "CMakeFiles/syncon_sim.dir/metrics.cpp.o"
+  "CMakeFiles/syncon_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/syncon_sim.dir/scenarios.cpp.o"
+  "CMakeFiles/syncon_sim.dir/scenarios.cpp.o.d"
+  "CMakeFiles/syncon_sim.dir/workload.cpp.o"
+  "CMakeFiles/syncon_sim.dir/workload.cpp.o.d"
+  "libsyncon_sim.a"
+  "libsyncon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncon_support.dir/cli.cpp.o"
+  "CMakeFiles/syncon_support.dir/cli.cpp.o.d"
+  "CMakeFiles/syncon_support.dir/contracts.cpp.o"
+  "CMakeFiles/syncon_support.dir/contracts.cpp.o.d"
+  "CMakeFiles/syncon_support.dir/rng.cpp.o"
+  "CMakeFiles/syncon_support.dir/rng.cpp.o.d"
+  "CMakeFiles/syncon_support.dir/stats.cpp.o"
+  "CMakeFiles/syncon_support.dir/stats.cpp.o.d"
+  "CMakeFiles/syncon_support.dir/table.cpp.o"
+  "CMakeFiles/syncon_support.dir/table.cpp.o.d"
+  "libsyncon_support.a"
+  "libsyncon_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncon_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

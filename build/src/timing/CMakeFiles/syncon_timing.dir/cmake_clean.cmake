@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncon_timing.dir/physical_time.cpp.o"
+  "CMakeFiles/syncon_timing.dir/physical_time.cpp.o.d"
+  "CMakeFiles/syncon_timing.dir/timing_constraints.cpp.o"
+  "CMakeFiles/syncon_timing.dir/timing_constraints.cpp.o.d"
+  "libsyncon_timing.a"
+  "libsyncon_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncon_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_defense_des_test.dir/air_defense_des_test.cpp.o"
+  "CMakeFiles/air_defense_des_test.dir/air_defense_des_test.cpp.o.d"
+  "air_defense_des_test"
+  "air_defense_des_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_defense_des_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

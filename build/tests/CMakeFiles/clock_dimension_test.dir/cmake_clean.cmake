@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_dimension_test.dir/clock_dimension_test.cpp.o"
+  "CMakeFiles/clock_dimension_test.dir/clock_dimension_test.cpp.o.d"
+  "clock_dimension_test"
+  "clock_dimension_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_dimension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

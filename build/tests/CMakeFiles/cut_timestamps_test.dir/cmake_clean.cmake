@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cut_timestamps_test.dir/cut_timestamps_test.cpp.o"
+  "CMakeFiles/cut_timestamps_test.dir/cut_timestamps_test.cpp.o.d"
+  "cut_timestamps_test"
+  "cut_timestamps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cut_timestamps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_condition_test.dir/global_condition_test.cpp.o"
+  "CMakeFiles/global_condition_test.dir/global_condition_test.cpp.o.d"
+  "global_condition_test"
+  "global_condition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_condition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_states_test.dir/global_states_test.cpp.o"
+  "CMakeFiles/global_states_test.dir/global_states_test.cpp.o.d"
+  "global_states_test"
+  "global_states_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_states_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

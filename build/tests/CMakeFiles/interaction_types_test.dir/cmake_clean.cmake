@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interaction_types_test.dir/interaction_types_test.cpp.o"
+  "CMakeFiles/interaction_types_test.dir/interaction_types_test.cpp.o.d"
+  "interaction_types_test"
+  "interaction_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interaction_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

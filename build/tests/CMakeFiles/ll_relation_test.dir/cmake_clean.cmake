@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_relation_test.dir/ll_relation_test.cpp.o"
+  "CMakeFiles/ll_relation_test.dir/ll_relation_test.cpp.o.d"
+  "ll_relation_test"
+  "ll_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

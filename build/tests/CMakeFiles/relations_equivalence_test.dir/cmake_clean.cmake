@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relations_equivalence_test.dir/relations_equivalence_test.cpp.o"
+  "CMakeFiles/relations_equivalence_test.dir/relations_equivalence_test.cpp.o.d"
+  "relations_equivalence_test"
+  "relations_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relations_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

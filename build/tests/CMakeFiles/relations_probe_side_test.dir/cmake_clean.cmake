@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relations_probe_side_test.dir/relations_probe_side_test.cpp.o"
+  "CMakeFiles/relations_probe_side_test.dir/relations_probe_side_test.cpp.o.d"
+  "relations_probe_side_test"
+  "relations_probe_side_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relations_probe_side_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

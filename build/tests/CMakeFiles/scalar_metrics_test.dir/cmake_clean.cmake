@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalar_metrics_test.dir/scalar_metrics_test.cpp.o"
+  "CMakeFiles/scalar_metrics_test.dir/scalar_metrics_test.cpp.o.d"
+  "scalar_metrics_test"
+  "scalar_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_cuts_test.dir/sparse_cuts_test.cpp.o"
+  "CMakeFiles/sparse_cuts_test.dir/sparse_cuts_test.cpp.o.d"
+  "sparse_cuts_test"
+  "sparse_cuts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_cuts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

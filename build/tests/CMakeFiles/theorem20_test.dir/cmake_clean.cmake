@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem20_test.dir/theorem20_test.cpp.o"
+  "CMakeFiles/theorem20_test.dir/theorem20_test.cpp.o.d"
+  "theorem20_test"
+  "theorem20_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem20_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timestamps_test.dir/timestamps_test.cpp.o"
+  "CMakeFiles/timestamps_test.dir/timestamps_test.cpp.o.d"
+  "timestamps_test"
+  "timestamps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timestamps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
