@@ -7,12 +7,14 @@
 #include <string>
 #include <vector>
 
+#include "cuts/ll_relation.hpp"
 #include "model/timestamps.hpp"
 #include "nonatomic/cut_timestamps.hpp"
 #include "sim/interval_picker.hpp"
 #include "sim/workload.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace syncon::bench {
 
@@ -53,6 +55,27 @@ inline IntervalSpec standard_spec(std::size_t nodes,
   spec.node_count = nodes;
   spec.max_events_per_node = events_per_node;
   return spec;
+}
+
+/// Comparisons per relation query, computed from a returned QueryCost — not
+/// from any evaluator-global counter, so the number stays correct when the
+/// same evaluator serves several benchmark loops or concurrent sweeps.
+inline double comparisons_per_query(const QueryCost& cost,
+                                    std::size_t queries) {
+  if (queries == 0) return 0.0;
+  return static_cast<double>(cost.integer_comparisons) /
+         static_cast<double>(queries);
+}
+
+/// Lazily constructed pools for the parallel-vs-serial ablations; one pool
+/// per distinct thread count, reused across benchmark iterations.
+inline ThreadPool& pool_with(std::size_t threads) {
+  static std::vector<std::unique_ptr<ThreadPool>> pools;
+  for (const auto& p : pools) {
+    if (p->thread_count() == threads) return *p;
+  }
+  pools.push_back(std::make_unique<ThreadPool>(threads));
+  return *pools.back();
 }
 
 /// Prints a banner so the harness output reads like the paper artifact it

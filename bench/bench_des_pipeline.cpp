@@ -6,6 +6,7 @@
 
 #include "bench_common.hpp"
 #include "model/timestamps.hpp"
+#include "relations/batch.hpp"
 #include "relations/evaluator.hpp"
 #include "sim/air_defense_des.hpp"
 
@@ -29,18 +30,8 @@ void print_pipeline() {
   const DesEngine::Result r = make_air_defense_des(scaled_config(24));
   const Timestamps ts(*r.execution);
   RelationEvaluator eval(ts);
-  std::vector<RelationEvaluator::Handle> handles;
-  for (const NonatomicEvent& iv : r.intervals) {
-    handles.push_back(eval.add_event(iv));
-  }
-  std::size_t holding = 0, pairs = 0;
-  for (std::size_t x = 0; x < handles.size(); ++x) {
-    for (std::size_t y = 0; y < handles.size(); ++y) {
-      if (x == y) continue;
-      holding += eval.all_holding_pruned(x, y).holding.size();
-      ++pairs;
-    }
-  }
+  for (const NonatomicEvent& iv : r.intervals) eval.add_event(iv);
+  const auto sweep = BatchEvaluator(eval, nullptr).all_pairs();
   TextTable table({"stage", "value"});
   table.new_row()
       .add_cell(std::string("simulated events"))
@@ -51,13 +42,18 @@ void print_pipeline() {
   table.new_row()
       .add_cell(std::string("intervals"))
       .add_cell(r.intervals.size());
-  table.new_row().add_cell(std::string("ordered pairs")).add_cell(pairs);
+  table.new_row()
+      .add_cell(std::string("ordered pairs"))
+      .add_cell(sweep.pairs.size());
   table.new_row()
       .add_cell(std::string("relations holding"))
-      .add_cell(holding);
+      .add_cell(sweep.holding_total());
   table.new_row()
       .add_cell(std::string("comparisons spent"))
-      .add_cell(with_thousands(eval.counter().integer_comparisons));
+      .add_cell(with_thousands(sweep.cost.integer_comparisons));
+  table.new_row()
+      .add_cell(std::string("comparisons per query"))
+      .add_cell(comparisons_per_query(sweep.cost, sweep.evaluated_total()), 2);
   std::printf("%s\n", table.to_string().c_str());
 }
 
@@ -91,24 +87,40 @@ void BM_EvaluateAllPairs(benchmark::State& state) {
   const DesEngine::Result r = make_air_defense_des(scaled_config(rounds));
   const Timestamps ts(*r.execution);
   RelationEvaluator eval(ts);
-  std::vector<RelationEvaluator::Handle> handles;
-  for (const NonatomicEvent& iv : r.intervals) {
-    handles.push_back(eval.add_event(iv));
-  }
+  for (const NonatomicEvent& iv : r.intervals) eval.add_event(iv);
+  const BatchEvaluator batch(eval, nullptr);
   for (auto _ : state) {
-    std::size_t holding = 0;
-    for (std::size_t x = 0; x < handles.size(); ++x) {
-      for (std::size_t y = 0; y < handles.size(); ++y) {
-        if (x != y) holding += eval.all_holding_pruned(x, y).holding.size();
-      }
-    }
-    benchmark::DoNotOptimize(holding);
+    const auto sweep = batch.all_pairs();
+    benchmark::DoNotOptimize(sweep.holding_total());
   }
+}
+
+// Parallel-vs-serial ablation of the evaluate stage: same sweep, sharded
+// across a thread pool (identical holding sets and comparison totals).
+void BM_EvaluateAllPairsParallel(benchmark::State& state) {
+  const auto rounds = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const DesEngine::Result r = make_air_defense_des(scaled_config(rounds));
+  const Timestamps ts(*r.execution);
+  RelationEvaluator eval(ts);
+  for (const NonatomicEvent& iv : r.intervals) eval.add_event(iv);
+  const BatchEvaluator batch(eval, &pool_with(threads));
+  for (auto _ : state) {
+    const auto sweep = batch.all_pairs();
+    benchmark::DoNotOptimize(sweep.holding_total());
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
 }
 
 BENCHMARK(BM_Simulate)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Stamp)->Arg(8)->Arg(32);
 BENCHMARK(BM_EvaluateAllPairs)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvaluateAllPairsParallel)
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Args({16, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

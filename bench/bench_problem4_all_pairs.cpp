@@ -6,9 +6,13 @@
 //   uncached     EventCuts rebuilt for every pair (no Key Idea 1)
 //   pruned       cached + implication-lattice pruning of the 32 queries
 //   naive        per-pair quantifier evaluation on proxies (pre-paper)
+//   parallel/T   pruned sweep sharded over a T-thread BatchEvaluator; the
+//                holding sets and total comparison counts are bit-identical
+//                to the serial sweep (verified in the summary below)
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "relations/batch.hpp"
 #include "relations/evaluator.hpp"
 #include "relations/fast.hpp"
 #include "relations/naive.hpp"
@@ -29,83 +33,115 @@ Substrate& substrate() {
 }
 
 RelationEvaluator& evaluator() {
-  static RelationEvaluator eval = [] {
-    RelationEvaluator e(*substrate().ts);
-    for (const NonatomicEvent& iv : substrate().intervals) e.add_event(iv);
-    return e;
+  // The evaluator is immovable (it owns atomic cost tallies), so construct
+  // it in place and register the intervals once.
+  static RelationEvaluator eval(*substrate().ts);
+  static const bool filled = [] {
+    for (const NonatomicEvent& iv : substrate().intervals) eval.add_event(iv);
+    return true;
   }();
+  (void)filled;
   return eval;
+}
+
+bool identical(const BatchEvaluator::Result& a,
+               const BatchEvaluator::Result& b) {
+  if (a.pairs.size() != b.pairs.size() || !(a.cost == b.cost)) return false;
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    if (a.pairs[i].x != b.pairs[i].x || a.pairs[i].y != b.pairs[i].y ||
+        a.pairs[i].relations.holding != b.pairs[i].relations.holding) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void print_summary() {
   banner("E7: bench_problem4_all_pairs", "Key Idea 1 / Problem 4(ii)",
          "all 32 relations over all ordered interval pairs");
   RelationEvaluator& eval = evaluator();
-  eval.reset_counter();
 
-  std::size_t holding_total = 0, evaluated_exhaustive = 0,
-              evaluated_pruned = 0;
-  for (std::size_t x = 0; x < kIntervals; ++x) {
-    for (std::size_t y = 0; y < kIntervals; ++y) {
-      if (x == y) continue;
-      const auto full = eval.all_holding(x, y);
-      const auto pruned = eval.all_holding_pruned(x, y);
-      holding_total += full.holding.size();
-      evaluated_exhaustive += full.evaluated;
-      evaluated_pruned += pruned.evaluated;
-    }
+  const BatchEvaluator serial(eval, nullptr);
+  const auto full = serial.all_pairs(/*pruned=*/false);
+  const auto pruned = serial.all_pairs(/*pruned=*/true);
+  // Determinism cross-check: the parallel sweep must reproduce the serial
+  // holding sets and the exact comparison totals at every thread count.
+  bool parallel_matches = true;
+  std::size_t max_threads_checked = 0;
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    const BatchEvaluator parallel(eval, &pool_with(threads));
+    parallel_matches =
+        parallel_matches && identical(pruned, parallel.all_pairs(true));
+    max_threads_checked = threads;
   }
-  const std::size_t pairs = kIntervals * (kIntervals - 1);
+
   TextTable table({"metric", "value"});
   table.new_row().add_cell(std::string("intervals")).add_cell(kIntervals);
-  table.new_row().add_cell(std::string("ordered pairs")).add_cell(pairs);
+  table.new_row()
+      .add_cell(std::string("ordered pairs"))
+      .add_cell(pruned.pairs.size());
   table.new_row()
       .add_cell(std::string("relations holding (total)"))
-      .add_cell(holding_total);
+      .add_cell(full.holding_total());
   table.new_row()
       .add_cell(std::string("relation evaluations, exhaustive"))
-      .add_cell(evaluated_exhaustive);
+      .add_cell(full.evaluated_total());
   table.new_row()
       .add_cell(std::string("relation evaluations, lattice-pruned"))
-      .add_cell(evaluated_pruned);
+      .add_cell(pruned.evaluated_total());
   table.new_row()
       .add_cell(std::string("pruning saves"))
       .add_cell(100.0 *
-                    (1.0 - static_cast<double>(evaluated_pruned) /
-                               static_cast<double>(evaluated_exhaustive)),
+                    (1.0 - static_cast<double>(pruned.evaluated_total()) /
+                               static_cast<double>(full.evaluated_total())),
                 1);
   table.new_row()
-      .add_cell(std::string("integer comparisons (both passes)"))
-      .add_cell(with_thousands(eval.counter().integer_comparisons));
+      .add_cell(std::string("integer comparisons, exhaustive sweep"))
+      .add_cell(with_thousands(full.cost.integer_comparisons));
+  table.new_row()
+      .add_cell(std::string("integer comparisons, pruned sweep"))
+      .add_cell(with_thousands(pruned.cost.integer_comparisons));
+  table.new_row()
+      .add_cell(std::string("comparisons per query (pruned)"))
+      .add_cell(comparisons_per_query(pruned.cost, pruned.evaluated_total()),
+                2);
+  table.new_row()
+      .add_cell(std::string("parallel == serial (up to " +
+                            std::to_string(max_threads_checked) + " threads)"))
+      .add_cell(parallel_matches ? std::string("yes (bit-identical)")
+                                 : std::string("NO — BUG"));
   std::printf("%s\n", table.to_string().c_str());
 }
 
 // Cached: Key Idea 1 — proxies + cut timestamps computed once per interval.
 void BM_AllPairsCached(benchmark::State& state) {
-  RelationEvaluator& eval = evaluator();
+  const BatchEvaluator batch(evaluator(), nullptr);
   for (auto _ : state) {
-    std::size_t holding = 0;
-    for (std::size_t x = 0; x < kIntervals; ++x) {
-      for (std::size_t y = 0; y < kIntervals; ++y) {
-        if (x != y) holding += eval.all_holding(x, y).holding.size();
-      }
-    }
-    benchmark::DoNotOptimize(holding);
+    const auto result = batch.all_pairs(/*pruned=*/false);
+    benchmark::DoNotOptimize(result.holding_total());
   }
 }
 
 // Pruned: cached + hierarchy propagation.
 void BM_AllPairsPruned(benchmark::State& state) {
-  RelationEvaluator& eval = evaluator();
+  const BatchEvaluator batch(evaluator(), nullptr);
   for (auto _ : state) {
-    std::size_t holding = 0;
-    for (std::size_t x = 0; x < kIntervals; ++x) {
-      for (std::size_t y = 0; y < kIntervals; ++y) {
-        if (x != y) holding += eval.all_holding_pruned(x, y).holding.size();
-      }
-    }
-    benchmark::DoNotOptimize(holding);
+    const auto result = batch.all_pairs(/*pruned=*/true);
+    benchmark::DoNotOptimize(result.holding_total());
   }
+}
+
+// Parallel: the pruned sweep sharded across a thread pool. Compare against
+// BM_AllPairsPruned for the speedup; the summary table already verified the
+// outputs are bit-identical.
+void BM_AllPairsPrunedParallel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const BatchEvaluator batch(evaluator(), &pool_with(threads));
+  for (auto _ : state) {
+    const auto result = batch.all_pairs(/*pruned=*/true);
+    benchmark::DoNotOptimize(result.holding_total());
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
 }
 
 // Uncached: rebuild the cut timestamps for every pair (ablates Key Idea 1).
@@ -116,14 +152,14 @@ void BM_AllPairsUncached(benchmark::State& state) {
     for (std::size_t xi = 0; xi < kIntervals; ++xi) {
       for (std::size_t yi = 0; yi < kIntervals; ++yi) {
         if (xi == yi) continue;
-        ComparisonCounter counter;
+        QueryCost cost;
         for (const RelationId& id : all_relation_ids()) {
           const NonatomicEvent px =
               s.intervals[xi].proxy_per_node(id.proxy_x);
           const NonatomicEvent py =
               s.intervals[yi].proxy_per_node(id.proxy_y);
           const EventCuts xc(*s.ts, px), yc(*s.ts, py);
-          holding += evaluate_fast(id.relation, xc, yc, counter) ? 1 : 0;
+          if (evaluate_fast(id.relation, xc, yc, cost)) ++holding;
         }
       }
     }
@@ -148,11 +184,11 @@ void BM_AllPairsNaive(benchmark::State& state) {
       for (std::size_t yi = 0; yi < kIntervals; ++yi) {
         if (xi == yi) continue;
         for (const RelationId& id : all_relation_ids()) {
-          holding += evaluate_proxy_naive(
-                         id.relation, proxy_of(xi, id.proxy_x),
-                         proxy_of(yi, id.proxy_y), *s.ts, Semantics::Weak)
-                         ? 1
-                         : 0;
+          if (evaluate_proxy_naive(id.relation, proxy_of(xi, id.proxy_x),
+                                   proxy_of(yi, id.proxy_y), *s.ts,
+                                   Semantics::Weak)) {
+            ++holding;
+          }
         }
       }
     }
@@ -162,6 +198,13 @@ void BM_AllPairsNaive(benchmark::State& state) {
 
 BENCHMARK(BM_AllPairsCached)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AllPairsPruned)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AllPairsPrunedParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 BENCHMARK(BM_AllPairsUncached)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AllPairsNaive)->Unit(benchmark::kMillisecond);
 

@@ -98,7 +98,7 @@ int verify(const MutexTrace& trace, const char* title) {
   }
   std::printf("  cost: %llu integer comparisons total\n\n",
               static_cast<unsigned long long>(
-                  monitor.evaluator().counter().integer_comparisons));
+                  monitor.evaluator().accumulated_cost().integer_comparisons));
   return report.ok() ? 0 : 1;
 }
 

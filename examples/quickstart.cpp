@@ -78,7 +78,6 @@ int main() {
     std::printf("  %s\n", to_string(id).c_str());
   }
   std::printf("\ntotal integer comparisons spent: %llu\n",
-              static_cast<unsigned long long>(
-                  eval.counter().integer_comparisons));
+              static_cast<unsigned long long>(all.cost.integer_comparisons));
   return 0;
 }

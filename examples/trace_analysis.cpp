@@ -111,6 +111,9 @@ int main(int argc, char** argv) {
   }
 
   SyncMonitor monitor(exec);
+  // Scenario traces evaluate in parallel: all-pairs scans shard across the
+  // shared pool with identical results and costs to a serial run.
+  monitor.use_thread_pool(&ThreadPool::shared());
   for (const NonatomicEvent& iv : intervals) monitor.add_interval(iv);
 
   // --- queries ---------------------------------------------------------------
@@ -151,18 +154,20 @@ int main(int argc, char** argv) {
     const std::size_t n = monitor.interval_count();
     std::vector<std::string> headers{"X \\ Y"};
     for (std::size_t i = 0; i < n; ++i) {
-      headers.push_back(monitor.interval(i).label());
+      headers.push_back(monitor.interval(monitor.handle_at(i)).label());
     }
     TextTable matrix(headers);
     for (std::size_t x = 0; x < n; ++x) {
-      matrix.new_row().add_cell(monitor.interval(x).label());
-      const EventCuts xc(monitor.timestamps(), monitor.interval(x));
+      const auto hx = monitor.handle_at(x);
+      matrix.new_row().add_cell(monitor.interval(hx).label());
+      const EventCuts xc(monitor.timestamps(), monitor.interval(hx));
       for (std::size_t y = 0; y < n; ++y) {
         if (x == y) {
           matrix.add_cell(std::string("·"));
           continue;
         }
-        const EventCuts yc(monitor.timestamps(), monitor.interval(y));
+        const EventCuts yc(monitor.timestamps(),
+                           monitor.interval(monitor.handle_at(y)));
         ComparisonCounter counter;
         matrix.add_cell(std::string(
             to_string(classify(relation_profile(xc, yc, counter)))));
@@ -178,10 +183,9 @@ int main(int argc, char** argv) {
     std::printf("\n%s", report_to_string(monitor, report_options).c_str());
   }
 
+  const QueryCost spent = monitor.evaluator().accumulated_cost();
   std::printf("\ncost: %llu integer comparisons, %llu causality checks\n",
-              static_cast<unsigned long long>(
-                  monitor.evaluator().counter().integer_comparisons),
-              static_cast<unsigned long long>(
-                  monitor.evaluator().counter().causality_checks));
+              static_cast<unsigned long long>(spent.integer_comparisons),
+              static_cast<unsigned long long>(spent.causality_checks));
   return 0;
 }

@@ -24,12 +24,31 @@ namespace syncon {
 /// paper's Theorems 19/20 count (one per surface-timestamp probe);
 /// `causality_checks` counts atomic-event causality tests (the unit of the
 /// naive |N_X| x |N_Y| evaluation).
-struct ComparisonCounter {
+///
+/// QueryCost is a plain value: evaluators accumulate into a caller-provided
+/// instance, so each thread keeps its own tally and merges with `+=` at
+/// join. Totals are exact regardless of scheduling — the counts are sums of
+/// per-query contributions, and addition commutes.
+struct QueryCost {
   std::uint64_t integer_comparisons = 0;
   std::uint64_t causality_checks = 0;
 
-  void reset() { *this = ComparisonCounter{}; }
+  void reset() { *this = QueryCost{}; }
+
+  QueryCost& operator+=(const QueryCost& other) {
+    integer_comparisons += other.integer_comparisons;
+    causality_checks += other.causality_checks;
+    return *this;
+  }
+  friend QueryCost operator+(QueryCost lhs, const QueryCost& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend bool operator==(const QueryCost&, const QueryCost&) = default;
 };
+
+/// Legacy name for QueryCost, kept for the pre-batch-engine call sites.
+using ComparisonCounter = QueryCost;
 
 /// Canonical test for <<(C, C'); scans all |P| components.
 bool ll(const Cut& c, const Cut& c_prime);

@@ -1,5 +1,7 @@
 #include "monitor/monitor.hpp"
 
+#include <algorithm>
+
 #include "support/contracts.hpp"
 
 namespace syncon {
@@ -29,6 +31,10 @@ std::size_t SyncMonitor::interval_count() const {
 
 const NonatomicEvent& SyncMonitor::interval(Handle h) const {
   return eval_->event(h);
+}
+
+SyncMonitor::Handle SyncMonitor::handle_at(std::size_t index) const {
+  return eval_->handle_at(index);
 }
 
 std::optional<SyncMonitor::Handle> SyncMonitor::find(
@@ -62,13 +68,49 @@ bool SyncMonitor::check(const std::string& condition, const std::string& x,
 }
 
 std::vector<std::pair<SyncMonitor::Handle, SyncMonitor::Handle>>
-SyncMonitor::find_pairs(const SyncCondition& condition) const {
-  std::vector<std::pair<Handle, Handle>> out;
-  const std::size_t n = eval_->event_count();
-  for (Handle x = 0; x < n; ++x) {
-    for (Handle y = 0; y < n; ++y) {
-      if (x != y && condition.evaluate(*eval_, x, y)) out.emplace_back(x, y);
+SyncMonitor::find_pairs(const SyncCondition& condition,
+                        QueryCost* cost) const {
+  const std::vector<Handle> hs = eval_->handles();
+  std::vector<std::pair<Handle, Handle>> pairs;
+  pairs.reserve(hs.size() * hs.size());
+  for (const Handle& x : hs) {
+    for (const Handle& y : hs) {
+      if (x != y) pairs.emplace_back(x, y);
     }
+  }
+
+  const std::size_t shards =
+      pool_ == nullptr ? 1 : std::min(pool_->thread_count(),
+                                      std::max<std::size_t>(pairs.size(), 1));
+  std::vector<std::vector<std::pair<Handle, Handle>>> matched(shards);
+  std::vector<QueryCost> shard_costs(shards);
+  auto run_range = [&](std::size_t shard, std::size_t begin,
+                       std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& [x, y] = pairs[i];
+      if (condition.evaluate(*eval_, x, y, &shard_costs[shard])) {
+        matched[shard].emplace_back(x, y);
+      }
+    }
+  };
+  if (shards == 1) {
+    run_range(0, 0, pairs.size());
+  } else {
+    pool_->parallel_for(pairs.size(), run_range, shards);
+  }
+
+  // Concatenate in shard order: shards are contiguous x-major ranges, so
+  // the output order matches the serial scan exactly.
+  std::vector<std::pair<Handle, Handle>> out;
+  QueryCost total;
+  for (std::size_t s = 0; s < shards; ++s) {
+    out.insert(out.end(), matched[s].begin(), matched[s].end());
+    total += shard_costs[s];
+  }
+  if (cost != nullptr) {
+    *cost += total;
+  } else {
+    eval_->charge(total);  // keep accumulated_cost() meaningful
   }
   return out;
 }
@@ -76,6 +118,10 @@ SyncMonitor::find_pairs(const SyncCondition& condition) const {
 std::vector<RelationId> SyncMonitor::relations_between(Handle x,
                                                        Handle y) const {
   return eval_->all_holding_pruned(x, y).holding;
+}
+
+BatchEvaluator::Result SyncMonitor::relations_all_pairs(bool pruned) const {
+  return BatchEvaluator(*eval_, pool_).all_pairs(pruned);
 }
 
 void SyncMonitor::attach_times(std::shared_ptr<const PhysicalTimes> times) {

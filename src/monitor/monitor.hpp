@@ -14,7 +14,9 @@
 #include "model/execution.hpp"
 #include "model/timestamps.hpp"
 #include "monitor/predicate.hpp"
+#include "relations/batch.hpp"
 #include "relations/evaluator.hpp"
+#include "support/thread_pool.hpp"
 #include "timing/timing_constraints.hpp"
 
 namespace syncon {
@@ -30,10 +32,18 @@ class SyncMonitor {
   const Timestamps& timestamps() const { return *ts_; }
   const RelationEvaluator& evaluator() const { return *eval_; }
 
+  /// Evaluates scenario queries on `pool` (nullptr restores serial
+  /// evaluation). The pool must outlive the monitor; typically
+  /// &ThreadPool::shared().
+  void use_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
   /// Registers an interval under its label (must be unique and non-empty).
   Handle add_interval(NonatomicEvent interval);
   std::size_t interval_count() const;
   const NonatomicEvent& interval(Handle h) const;
+  /// Handle of the i-th registered interval (registration order).
+  Handle handle_at(std::size_t index) const;
   std::optional<Handle> find(const std::string& label) const;
   /// Handle of a label known to exist (contract otherwise).
   Handle handle(const std::string& label) const;
@@ -44,12 +54,19 @@ class SyncMonitor {
   bool check(const std::string& condition, const std::string& x,
              const std::string& y) const;
 
-  /// All ordered pairs (x, y), x != y, satisfying the condition.
+  /// All ordered pairs (x, y), x != y, satisfying the condition. Runs in
+  /// parallel when a thread pool is attached; the pair list (x-major order)
+  /// and the cost written to *cost are identical to the serial evaluation.
   std::vector<std::pair<Handle, Handle>> find_pairs(
-      const SyncCondition& condition) const;
+      const SyncCondition& condition, QueryCost* cost = nullptr) const;
 
   /// All relations of R holding for (x, y) (Problem 4 ii).
   std::vector<RelationId> relations_between(Handle x, Handle y) const;
+
+  /// Problem 4(ii) over every ordered pair of registered intervals, sharded
+  /// across the attached thread pool (serial when none). The result carries
+  /// the exact merged QueryCost of the sweep.
+  BatchEvaluator::Result relations_all_pairs(bool pruned = true) const;
 
   /// Attaches a physical timeline (must belong to the same execution),
   /// enabling quantitative queries.
@@ -69,6 +86,7 @@ class SyncMonitor {
   std::unique_ptr<RelationEvaluator> eval_;
   std::map<std::string, Handle> by_label_;
   std::shared_ptr<const PhysicalTimes> times_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace syncon

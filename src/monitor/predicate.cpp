@@ -157,19 +157,18 @@ class Parser {
 };
 
 bool evaluate_node(const Node& node, const RelationEvaluator& eval,
-                   RelationEvaluator::Handle x,
-                   RelationEvaluator::Handle y) {
+                   EventHandle x, EventHandle y, QueryCost* cost) {
   switch (node.kind) {
     case Node::Kind::Atom:
-      return eval.holds(node.atom, x, y);
+      return eval.holds(node.atom, x, y, cost);
     case Node::Kind::Not:
-      return !evaluate_node(*node.left, eval, x, y);
+      return !evaluate_node(*node.left, eval, x, y, cost);
     case Node::Kind::And:
-      return evaluate_node(*node.left, eval, x, y) &&
-             evaluate_node(*node.right, eval, x, y);
+      return evaluate_node(*node.left, eval, x, y, cost) &&
+             evaluate_node(*node.right, eval, x, y, cost);
     case Node::Kind::Or:
-      return evaluate_node(*node.left, eval, x, y) ||
-             evaluate_node(*node.right, eval, x, y);
+      return evaluate_node(*node.left, eval, x, y, cost) ||
+             evaluate_node(*node.right, eval, x, y, cost);
   }
   return false;
 }
@@ -216,10 +215,9 @@ SyncCondition SyncCondition::atom(RelationId id) {
   return SyncCondition(make_atom(id));
 }
 
-bool SyncCondition::evaluate(const RelationEvaluator& eval,
-                             RelationEvaluator::Handle x,
-                             RelationEvaluator::Handle y) const {
-  return evaluate_node(*root_, eval, x, y);
+bool SyncCondition::evaluate(const RelationEvaluator& eval, EventHandle x,
+                             EventHandle y, QueryCost* cost) const {
+  return evaluate_node(*root_, eval, x, y, cost);
 }
 
 std::string SyncCondition::to_string() const {

@@ -41,9 +41,11 @@ class SyncCondition {
   ~SyncCondition();
 
   /// Evaluates the condition on the ordered pair (x, y) with the fast
-  /// (Theorem 20) relation evaluator.
-  bool evaluate(const RelationEvaluator& eval, RelationEvaluator::Handle x,
-                RelationEvaluator::Handle y) const;
+  /// (Theorem 20) relation evaluator. The cost of every atom goes to *cost
+  /// when given (one sink per thread makes this thread-safe), otherwise to
+  /// the evaluator's shared tally.
+  bool evaluate(const RelationEvaluator& eval, EventHandle x, EventHandle y,
+                QueryCost* cost = nullptr) const;
 
   /// Canonical rendering (fully parenthesized atoms).
   std::string to_string() const;

@@ -37,7 +37,7 @@ void write_report(std::ostream& os, const SyncMonitor& monitor,
   TextTable interval_table({"label", "|X|", "|N_X|", "nodes"});
   const std::size_t n = monitor.interval_count();
   for (std::size_t i = 0; i < n; ++i) {
-    const NonatomicEvent& iv = monitor.interval(i);
+    const NonatomicEvent& iv = monitor.interval(monitor.handle_at(i));
     std::string nodes;
     for (const ProcessId p : iv.node_set()) {
       nodes += "p" + std::to_string(p) + " ";
@@ -54,18 +54,20 @@ void write_report(std::ostream& os, const SyncMonitor& monitor,
     os << "\n=== interaction types ===\n";
     std::vector<std::string> headers{"X \\ Y"};
     for (std::size_t i = 0; i < n; ++i) {
-      headers.push_back(monitor.interval(i).label());
+      headers.push_back(monitor.interval(monitor.handle_at(i)).label());
     }
     TextTable matrix(std::move(headers));
     for (std::size_t x = 0; x < n; ++x) {
-      matrix.new_row().add_cell(monitor.interval(x).label());
-      const EventCuts xc(monitor.timestamps(), monitor.interval(x));
+      matrix.new_row().add_cell(monitor.interval(monitor.handle_at(x)).label());
+      const EventCuts xc(monitor.timestamps(),
+                         monitor.interval(monitor.handle_at(x)));
       for (std::size_t y = 0; y < n; ++y) {
         if (x == y) {
           matrix.add_cell(std::string("."));
           continue;
         }
-        const EventCuts yc(monitor.timestamps(), monitor.interval(y));
+        const EventCuts yc(monitor.timestamps(),
+                           monitor.interval(monitor.handle_at(y)));
         ComparisonCounter counter;
         matrix.add_cell(
             std::string(to_string(classify(relation_profile(xc, yc, counter)))));

@@ -8,9 +8,19 @@
 
 namespace syncon {
 
-RelationEvaluator::RelationEvaluator(const Timestamps& ts) : ts_(&ts) {}
+namespace {
 
-RelationEvaluator::Handle RelationEvaluator::add_event(NonatomicEvent event) {
+std::uint64_t next_evaluator_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+RelationEvaluator::RelationEvaluator(const Timestamps& ts)
+    : ts_(&ts), id_(next_evaluator_id()) {}
+
+EventHandle RelationEvaluator::add_event(NonatomicEvent event) {
   SYNCON_REQUIRE(&event.execution() == &ts_->execution(),
                  "event belongs to a different execution");
   NonatomicEvent begin_proxy = event.proxy_per_node(ProxyKind::Begin);
@@ -30,37 +40,87 @@ RelationEvaluator::Handle RelationEvaluator::add_event(NonatomicEvent event) {
     e->global_end_cuts = std::make_unique<EventCuts>(*ts_, *e->global_end);
   }
   entries_.push_back(std::move(e));
-  return entries_.size() - 1;
+  return EventHandle(id_, entries_.size() - 1);
 }
 
-const RelationEvaluator::Entry& RelationEvaluator::entry(Handle h) const {
-  SYNCON_REQUIRE(h < entries_.size(), "invalid event handle");
-  return *entries_[h];
+EventHandle RelationEvaluator::handle_at(std::size_t index) const {
+  SYNCON_REQUIRE(index < entries_.size(), "event index out of range");
+  return EventHandle(id_, index);
 }
 
-const NonatomicEvent& RelationEvaluator::event(Handle h) const {
+std::vector<EventHandle> RelationEvaluator::handles() const {
+  std::vector<EventHandle> out;
+  out.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out.push_back(EventHandle(id_, i));
+  }
+  return out;
+}
+
+const RelationEvaluator::Entry& RelationEvaluator::entry(EventHandle h) const {
+  SYNCON_REQUIRE(h.evaluator_id_ == id_,
+                 "handle minted by a different evaluator");
+  SYNCON_REQUIRE(h.index_ < entries_.size(), "invalid event handle");
+  return *entries_[h.index_];
+}
+
+const NonatomicEvent& RelationEvaluator::event(EventHandle h) const {
   return entry(h).event;
 }
 
-const NonatomicEvent& RelationEvaluator::proxy(Handle h,
+const NonatomicEvent& RelationEvaluator::proxy(EventHandle h,
                                                ProxyKind kind) const {
   const Entry& e = entry(h);
   return kind == ProxyKind::Begin ? e.begin_proxy : e.end_proxy;
 }
 
-const EventCuts& RelationEvaluator::proxy_cuts(Handle h,
+const EventCuts& RelationEvaluator::proxy_cuts(EventHandle h,
                                                ProxyKind kind) const {
   const Entry& e = entry(h);
   return kind == ProxyKind::Begin ? *e.begin_cuts : *e.end_cuts;
 }
 
-bool RelationEvaluator::holds(const RelationId& r, Handle x, Handle y) const {
-  return evaluate_fast(r.relation, proxy_cuts(x, r.proxy_x),
-                       proxy_cuts(y, r.proxy_y), counter_);
+void RelationEvaluator::deposit(const QueryCost& cost, QueryCost* sink) const {
+  if (sink != nullptr) {
+    *sink += cost;
+    return;
+  }
+  tally_integer_comparisons_.fetch_add(cost.integer_comparisons,
+                                       std::memory_order_relaxed);
+  tally_causality_checks_.fetch_add(cost.causality_checks,
+                                    std::memory_order_relaxed);
 }
 
-bool RelationEvaluator::holds_strict(const RelationId& r, Handle x,
-                                     Handle y) const {
+QueryCost RelationEvaluator::accumulated_cost() const {
+  QueryCost out;
+  out.integer_comparisons =
+      tally_integer_comparisons_.load(std::memory_order_relaxed);
+  out.causality_checks =
+      tally_causality_checks_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void RelationEvaluator::reset_accumulated_cost() {
+  tally_integer_comparisons_.store(0, std::memory_order_relaxed);
+  tally_causality_checks_.store(0, std::memory_order_relaxed);
+}
+
+bool RelationEvaluator::holds_impl(const RelationId& r, EventHandle x,
+                                   EventHandle y, QueryCost& cost) const {
+  return evaluate_fast(r.relation, proxy_cuts(x, r.proxy_x),
+                       proxy_cuts(y, r.proxy_y), cost);
+}
+
+bool RelationEvaluator::holds(const RelationId& r, EventHandle x,
+                              EventHandle y, QueryCost* cost) const {
+  QueryCost local;
+  const bool value = holds_impl(r, x, y, local);
+  deposit(local, cost);
+  return value;
+}
+
+bool RelationEvaluator::holds_strict(const RelationId& r, EventHandle x,
+                                     EventHandle y, QueryCost* cost) const {
   const NonatomicEvent& px = proxy(x, r.proxy_x);
   const NonatomicEvent& py = proxy(y, r.proxy_y);
   // Overlap check over the two sorted event lists.
@@ -78,13 +138,17 @@ bool RelationEvaluator::holds_strict(const RelationId& r, Handle x,
       ++j;
     }
   }
-  if (!overlap) return holds(r, x, y);
-  return evaluate_proxy_naive(r.relation, px, py, *ts_, Semantics::Strict,
-                              &counter_);
+  if (!overlap) return holds(r, x, y, cost);
+  QueryCost local;
+  const bool value = evaluate_proxy_naive(r.relation, px, py, *ts_,
+                                          Semantics::Strict, &local);
+  deposit(local, cost);
+  return value;
 }
 
 std::optional<bool> RelationEvaluator::holds_global_proxies(
-    const RelationId& r, Handle x, Handle y) const {
+    const RelationId& r, EventHandle x, EventHandle y,
+    QueryCost* cost) const {
   const Entry& ex = entry(x);
   const Entry& ey = entry(y);
   const EventCuts* xc = r.proxy_x == ProxyKind::Begin
@@ -94,27 +158,35 @@ std::optional<bool> RelationEvaluator::holds_global_proxies(
                             ? ey.global_begin_cuts.get()
                             : ey.global_end_cuts.get();
   if (xc == nullptr || yc == nullptr) return std::nullopt;
-  return evaluate_fast(r.relation, *xc, *yc, counter_);
+  QueryCost local;
+  const bool value = evaluate_fast(r.relation, *xc, *yc, local);
+  deposit(local, cost);
+  return value;
 }
 
-bool RelationEvaluator::holds_naive(const RelationId& r, Handle x, Handle y,
-                                    Semantics sem) const {
-  return evaluate_naive(r.relation, proxy(x, r.proxy_x), proxy(y, r.proxy_y),
-                        *ts_, sem, &counter_);
+bool RelationEvaluator::holds_naive(const RelationId& r, EventHandle x,
+                                    EventHandle y, Semantics sem,
+                                    QueryCost* cost) const {
+  QueryCost local;
+  const bool value = evaluate_naive(r.relation, proxy(x, r.proxy_x),
+                                    proxy(y, r.proxy_y), *ts_, sem, &local);
+  deposit(local, cost);
+  return value;
 }
 
 RelationEvaluator::AllRelationsResult RelationEvaluator::all_holding(
-    Handle x, Handle y) const {
+    EventHandle x, EventHandle y, QueryCost* cost) const {
   AllRelationsResult result;
   for (const RelationId& id : all_relation_ids()) {
     ++result.evaluated;
-    if (holds(id, x, y)) result.holding.push_back(id);
+    if (holds_impl(id, x, y, result.cost)) result.holding.push_back(id);
   }
+  deposit(result.cost, cost);
   return result;
 }
 
 RelationEvaluator::AllRelationsResult RelationEvaluator::all_holding_pruned(
-    Handle x, Handle y) const {
+    EventHandle x, EventHandle y, QueryCost* cost) const {
   const auto ids = all_relation_ids();
   std::array<std::optional<bool>, 32> decided;
 
@@ -122,7 +194,7 @@ RelationEvaluator::AllRelationsResult RelationEvaluator::all_holding_pruned(
   // Evaluate in declaration order (strong relations first: R1 block leads).
   for (std::size_t i = 0; i < ids.size(); ++i) {
     if (decided[i].has_value()) continue;
-    const bool value = holds(ids[i], x, y);
+    const bool value = holds_impl(ids[i], x, y, result.cost);
     ++result.evaluated;
     decided[i] = value;
     // Propagate: a true relation forces everything it implies true; a false
@@ -136,6 +208,7 @@ RelationEvaluator::AllRelationsResult RelationEvaluator::all_holding_pruned(
   for (std::size_t i = 0; i < ids.size(); ++i) {
     if (*decided[i]) result.holding.push_back(ids[i]);
   }
+  deposit(result.cost, cost);
   return result;
 }
 

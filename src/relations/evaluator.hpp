@@ -5,8 +5,16 @@
 // timestamps (Key Idea 1's one-time cost). Every subsequent relation query
 // r(X, Y), for r in the 32-relation set R, then runs in the Theorem 20
 // comparison budget.
+//
+// Concurrency model (DESIGN.md §3.6): registration (add_event) is a
+// single-threaded setup phase. After it, every const query method is
+// thread-safe — queries share no mutable state. Cost accounting is explicit:
+// each query either writes its QueryCost into a caller-provided sink (one
+// per thread; merge with `+=`) or, when no sink is passed, folds it into a
+// lock-free shared tally readable via accumulated_cost().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -19,10 +27,41 @@
 
 namespace syncon {
 
+class RelationEvaluator;
+
+/// Strong handle to an event registered with one specific RelationEvaluator.
+/// Carries the owning evaluator's id, so a handle minted by one evaluator
+/// cannot be silently used with another (contract violation instead of a
+/// wrong answer). Value-semantic, ordered and hashable-by-members; a
+/// default-constructed handle is invalid.
+class EventHandle {
+ public:
+  constexpr EventHandle() = default;
+
+  /// Position of the event in its evaluator's registration order.
+  constexpr std::size_t index() const { return index_; }
+  /// Id of the evaluator that minted the handle (0 for an invalid handle).
+  constexpr std::uint64_t evaluator_id() const { return evaluator_id_; }
+  constexpr bool valid() const { return evaluator_id_ != 0; }
+
+  friend constexpr bool operator==(const EventHandle&,
+                                   const EventHandle&) = default;
+  friend constexpr auto operator<=>(const EventHandle&,
+                                    const EventHandle&) = default;
+
+ private:
+  friend class RelationEvaluator;
+  constexpr EventHandle(std::uint64_t evaluator_id, std::size_t index)
+      : evaluator_id_(evaluator_id), index_(index) {}
+
+  std::uint64_t evaluator_id_ = 0;
+  std::size_t index_ = 0;
+};
+
 class RelationEvaluator {
  public:
   /// Handle to a registered nonatomic event.
-  using Handle = std::size_t;
+  using Handle = EventHandle;
 
   /// Result of an all-relations query (Problem 4 ii).
   struct AllRelationsResult {
@@ -30,6 +69,8 @@ class RelationEvaluator {
     /// How many of the 32 relations were actually evaluated (the rest were
     /// decided by hierarchy propagation).
     std::size_t evaluated = 0;
+    /// Exact cost of this call (Theorem 20 units).
+    QueryCost cost;
   };
 
   explicit RelationEvaluator(const Timestamps& ts);
@@ -37,42 +78,78 @@ class RelationEvaluator {
   const Timestamps& timestamps() const { return *ts_; }
 
   /// Registers an event: computes proxies and cut timestamps (one-time,
-  /// O(|N_X| · |P|)). Returns its handle.
-  Handle add_event(NonatomicEvent event);
+  /// O(|N_X| · |P|)). Returns its handle. NOT thread-safe — registration is
+  /// the setup phase; queries become thread-safe once it is done.
+  EventHandle add_event(NonatomicEvent event);
 
   std::size_t event_count() const { return entries_.size(); }
-  const NonatomicEvent& event(Handle h) const;
-  const NonatomicEvent& proxy(Handle h, ProxyKind kind) const;
-  const EventCuts& proxy_cuts(Handle h, ProxyKind kind) const;
+  /// Handle of the i-th registered event (registration order).
+  EventHandle handle_at(std::size_t index) const;
+  /// Handles of all registered events, in registration order.
+  std::vector<EventHandle> handles() const;
+
+  const NonatomicEvent& event(EventHandle h) const;
+  const NonatomicEvent& proxy(EventHandle h, ProxyKind kind) const;
+  const EventCuts& proxy_cuts(EventHandle h, ProxyKind kind) const;
 
   /// Problem 4(i): does r(X, Y) hold? Weak (⪯) semantics, Theorem 20 cost.
-  bool holds(const RelationId& r, Handle x, Handle y) const;
+  /// The cost of the call is added to *cost when given, otherwise to the
+  /// shared tally (accumulated_cost()).
+  bool holds(const RelationId& r, EventHandle x, EventHandle y,
+             QueryCost* cost = nullptr) const;
 
   /// Strict (≺) semantics. When the two proxies share no atomic event the
   /// weak fast path is exact and is used (Theorem 20 cost); otherwise the
   /// evaluator falls back to the |N_X|·|N_Y| proxy quantification, which is
   /// the best known bound for the boundary case (DESIGN.md §3.3).
-  bool holds_strict(const RelationId& r, Handle x, Handle y) const;
+  bool holds_strict(const RelationId& r, EventHandle x, EventHandle y,
+                    QueryCost* cost = nullptr) const;
 
   /// r(X, Y) under the Defn 3 (global-extremum) proxies. nullopt when the
   /// required proxy does not exist (X or Y has no global extremum).
-  std::optional<bool> holds_global_proxies(const RelationId& r, Handle x,
-                                           Handle y) const;
+  std::optional<bool> holds_global_proxies(const RelationId& r, EventHandle x,
+                                           EventHandle y,
+                                           QueryCost* cost = nullptr) const;
 
   /// Reference evaluation of the same relation by direct quantification over
   /// the proxy events (|N_X| · |N_Y| causality checks).
-  bool holds_naive(const RelationId& r, Handle x, Handle y,
-                   Semantics sem = Semantics::Weak) const;
+  bool holds_naive(const RelationId& r, EventHandle x, EventHandle y,
+                   Semantics sem = Semantics::Weak,
+                   QueryCost* cost = nullptr) const;
 
-  /// Problem 4(ii): all relations of R that hold between X and Y.
-  AllRelationsResult all_holding(Handle x, Handle y) const;
+  /// Problem 4(ii): all relations of R that hold between X and Y. The
+  /// result carries its own exact QueryCost; additionally the cost goes to
+  /// *cost when given, else to the shared tally.
+  AllRelationsResult all_holding(EventHandle x, EventHandle y,
+                                 QueryCost* cost = nullptr) const;
   /// Same, skipping relations decided by the implication lattice.
-  AllRelationsResult all_holding_pruned(Handle x, Handle y) const;
+  AllRelationsResult all_holding_pruned(EventHandle x, EventHandle y,
+                                        QueryCost* cost = nullptr) const;
 
-  /// Accumulated cost counters (integer comparisons for fast paths,
-  /// causality checks for naive paths).
-  const ComparisonCounter& counter() const { return counter_; }
-  void reset_counter() const { counter_.reset(); }
+  /// The shared cost tally: every query made without an explicit sink folds
+  /// its cost here (lock-free, exact under concurrency).
+  QueryCost accumulated_cost() const;
+  /// Folds an externally tracked cost into the shared tally (thread-safe);
+  /// lets batch drivers that used private sinks keep the tally meaningful.
+  void charge(const QueryCost& cost) const { deposit(cost, nullptr); }
+  /// Clears the shared tally. Deliberately non-const: resetting is a
+  /// bookkeeping mutation, not a query.
+  void reset_accumulated_cost();
+
+  /// Deprecated pre-batch-engine spelling of accumulated_cost(); returns a
+  /// snapshot by value (it used to expose the internal counter itself).
+  [[deprecated(
+      "pass a QueryCost sink to the query, or read accumulated_cost(); see "
+      "DESIGN.md §3.6")]]
+  ComparisonCounter counter() const {
+    return accumulated_cost();
+  }
+  /// Deprecated: the old const escape hatch. Now plain (non-const) and
+  /// forwards to reset_accumulated_cost().
+  [[deprecated("use reset_accumulated_cost()")]]
+  void reset_counter() {
+    reset_accumulated_cost();
+  }
 
  private:
   struct Entry {
@@ -88,11 +165,20 @@ class RelationEvaluator {
     std::unique_ptr<EventCuts> global_end_cuts;
   };
 
-  const Entry& entry(Handle h) const;
+  const Entry& entry(EventHandle h) const;
+  bool holds_impl(const RelationId& r, EventHandle x, EventHandle y,
+                  QueryCost& cost) const;
+  /// Routes a finished call's cost to the sink or the shared tally.
+  void deposit(const QueryCost& cost, QueryCost* sink) const;
 
   const Timestamps* ts_;
+  const std::uint64_t id_;
   std::vector<std::unique_ptr<Entry>> entries_;
-  mutable ComparisonCounter counter_;
+  // Shared tally for sink-less calls. Atomics keep sink-less queries
+  // thread-safe; queries with explicit sinks never touch these (no
+  // cache-line traffic on the parallel path).
+  mutable std::atomic<std::uint64_t> tally_integer_comparisons_{0};
+  mutable std::atomic<std::uint64_t> tally_causality_checks_{0};
 };
 
 }  // namespace syncon

@@ -1,0 +1,111 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  SYNCON_REQUIRE(task != nullptr, "submit needs a task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SYNCON_REQUIRE(!stopping_, "submit on a stopping pool");
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t shard, std::size_t begin,
+                             std::size_t end)>& body,
+    std::size_t shards) {
+  SYNCON_REQUIRE(body != nullptr, "parallel_for needs a body");
+  if (shards == 0) shards = thread_count();
+  shards = std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(count, 1)));
+
+  // Per-call join state; shared_ptr so stray workers finishing after an
+  // exception rethrow can never touch a dead frame.
+  struct Join {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining = shards - 1;
+
+  auto run_shard = [count, shards, &body](std::size_t shard) {
+    const std::size_t begin = shard * count / shards;
+    const std::size_t end = (shard + 1) * count / shards;
+    body(shard, begin, end);
+  };
+
+  for (std::size_t s = 1; s < shards; ++s) {
+    submit([join, run_shard, s] {
+      try {
+        run_shard(s);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(join->mutex);
+        if (!join->error) join->error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(join->mutex);
+      if (--join->remaining == 0) join->done.notify_all();
+    });
+  }
+
+  // The caller works too: shard 0 runs here.
+  try {
+    run_shard(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(join->mutex);
+    if (!join->error) join->error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(join->mutex);
+  join->done.wait(lock, [&] { return join->remaining == 0; });
+  if (join->error) std::rethrow_exception(join->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace syncon

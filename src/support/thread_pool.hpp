@@ -1,0 +1,60 @@
+// A small fixed-size thread pool with deterministic static sharding — no
+// work stealing, by design: parallel_for assigns shard s the contiguous
+// index block [s·n/T, (s+1)·n/T), so which worker computes which item is a
+// pure function of (n, T). Combined with per-shard accumulators merged in
+// shard order at the join, parallel runs produce bit-identical aggregates
+// to serial runs (see DESIGN.md §3.6).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace syncon {
+
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; runs on some worker. Tasks must not throw out of the
+  /// pool via submit — use parallel_for for exception propagation.
+  void submit(std::function<void()> task);
+
+  /// Runs body(shard, begin, end) for shard = 0..shards-1 over a static
+  /// contiguous partition of [0, count), blocking until all shards finish.
+  /// `shards` defaults (0) to thread_count(). The calling thread executes
+  /// shard 0 itself, so a 1-thread pool degenerates to a plain serial loop
+  /// plus one handoff. The first exception thrown by any shard is rethrown
+  /// here after all shards complete.
+  void parallel_for(
+      std::size_t count,
+      const std::function<void(std::size_t shard, std::size_t begin,
+                               std::size_t end)>& body,
+      std::size_t shards = 0);
+
+  /// Process-wide default pool, sized to the hardware. Lives until exit.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace syncon

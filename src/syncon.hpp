@@ -11,11 +11,12 @@
 //   online     — runtime monitoring with piggybacked clocks
 #pragma once
 
-#include "support/cli.hpp"        // IWYU pragma: export
-#include "support/contracts.hpp"  // IWYU pragma: export
-#include "support/rng.hpp"        // IWYU pragma: export
-#include "support/stats.hpp"      // IWYU pragma: export
-#include "support/table.hpp"      // IWYU pragma: export
+#include "support/cli.hpp"          // IWYU pragma: export
+#include "support/contracts.hpp"    // IWYU pragma: export
+#include "support/rng.hpp"          // IWYU pragma: export
+#include "support/stats.hpp"        // IWYU pragma: export
+#include "support/table.hpp"        // IWYU pragma: export
+#include "support/thread_pool.hpp"  // IWYU pragma: export
 
 #include "model/execution.hpp"     // IWYU pragma: export
 #include "model/reachability.hpp"  // IWYU pragma: export
@@ -32,6 +33,7 @@
 #include "nonatomic/cut_timestamps.hpp"  // IWYU pragma: export
 #include "nonatomic/interval.hpp"        // IWYU pragma: export
 
+#include "relations/batch.hpp"              // IWYU pragma: export
 #include "relations/composition.hpp"        // IWYU pragma: export
 #include "relations/evaluator.hpp"          // IWYU pragma: export
 #include "relations/fast.hpp"               // IWYU pragma: export

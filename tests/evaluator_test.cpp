@@ -33,7 +33,27 @@ TEST(RelationEvaluatorTest, InvalidHandleRejected) {
   const Execution exec = two_process_message();
   const Timestamps ts(exec);
   RelationEvaluator eval(ts);
-  EXPECT_THROW(eval.event(0), ContractViolation);
+  EXPECT_THROW(eval.handle_at(0), ContractViolation);
+  // A default-constructed handle was minted by no evaluator.
+  EXPECT_THROW(eval.event(EventHandle{}), ContractViolation);
+}
+
+TEST(RelationEvaluatorTest, HandlesFromAnotherEvaluatorRejected) {
+  const Execution exec = two_process_message();
+  const Timestamps ts(exec);
+  RelationEvaluator eval_a(ts);
+  RelationEvaluator eval_b(ts);
+  const auto ha = eval_a.add_event(NonatomicEvent(exec, {EventId{0, 1}}, "A"));
+  const auto hb = eval_b.add_event(NonatomicEvent(exec, {EventId{1, 1}}, "B"));
+  EXPECT_NE(ha, hb);  // same index, different evaluator id
+  EXPECT_EQ(ha.index(), hb.index());
+  EXPECT_THROW(eval_a.event(hb), ContractViolation);
+  EXPECT_THROW(
+      eval_a.holds({Relation::R1, ProxyKind::End, ProxyKind::Begin}, ha, hb),
+      ContractViolation);
+  // handle_at re-mints the same strong handle.
+  EXPECT_EQ(eval_a.handle_at(0), ha);
+  EXPECT_EQ(eval_a.handles(), std::vector<EventHandle>{ha});
 }
 
 TEST(RelationEvaluatorTest, HoldsEvaluatesProxyPair) {
@@ -59,21 +79,59 @@ TEST(RelationEvaluatorTest, HoldsEvaluatesProxyPair) {
       eval.holds({Relation::R4, ProxyKind::Begin, ProxyKind::End}, hx, hy));
 }
 
-TEST(RelationEvaluatorTest, CounterAccumulatesAndResets) {
+TEST(RelationEvaluatorTest, ExplicitCostSinkReceivesPerCallCost) {
   const Execution exec = two_process_message();
   const Timestamps ts(exec);
   RelationEvaluator eval(ts);
   const auto hx = eval.add_event(NonatomicEvent(exec, {EventId{0, 1}}, "X"));
   const auto hy = eval.add_event(NonatomicEvent(exec, {EventId{1, 2}}, "Y"));
-  EXPECT_EQ(eval.counter().integer_comparisons, 0u);
+  QueryCost cost;
+  (void)eval.holds({Relation::R4, ProxyKind::Begin, ProxyKind::Begin}, hx, hy,
+                   &cost);
+  EXPECT_EQ(cost.integer_comparisons, 1u);
+  (void)eval.holds_naive({Relation::R4, ProxyKind::Begin, ProxyKind::Begin},
+                         hx, hy, Semantics::Weak, &cost);
+  EXPECT_EQ(cost.causality_checks, 1u);
+  // Sink-routed calls bypass the shared tally entirely.
+  EXPECT_EQ(eval.accumulated_cost(), QueryCost{});
+  // all_holding reports its own exact cost on the result.
+  const auto all = eval.all_holding(hx, hy, &cost);
+  EXPECT_GT(all.cost.integer_comparisons, 0u);
+  EXPECT_EQ(cost.integer_comparisons, 1u + all.cost.integer_comparisons);
+}
+
+TEST(RelationEvaluatorTest, SharedTallyAccumulatesAndResets) {
+  const Execution exec = two_process_message();
+  const Timestamps ts(exec);
+  RelationEvaluator eval(ts);
+  const auto hx = eval.add_event(NonatomicEvent(exec, {EventId{0, 1}}, "X"));
+  const auto hy = eval.add_event(NonatomicEvent(exec, {EventId{1, 2}}, "Y"));
+  EXPECT_EQ(eval.accumulated_cost().integer_comparisons, 0u);
   (void)eval.holds({Relation::R4, ProxyKind::Begin, ProxyKind::Begin}, hx, hy);
-  EXPECT_EQ(eval.counter().integer_comparisons, 1u);
+  EXPECT_EQ(eval.accumulated_cost().integer_comparisons, 1u);
   (void)eval.holds_naive({Relation::R4, ProxyKind::Begin, ProxyKind::Begin},
                          hx, hy);
-  EXPECT_EQ(eval.counter().causality_checks, 1u);
+  EXPECT_EQ(eval.accumulated_cost().causality_checks, 1u);
+  eval.charge(QueryCost{10, 20});
+  EXPECT_EQ(eval.accumulated_cost().integer_comparisons, 11u);
+  EXPECT_EQ(eval.accumulated_cost().causality_checks, 21u);
+  eval.reset_accumulated_cost();
+  EXPECT_EQ(eval.accumulated_cost(), QueryCost{});
+}
+
+TEST(RelationEvaluatorTest, DeprecatedCounterShimStillWorks) {
+  const Execution exec = two_process_message();
+  const Timestamps ts(exec);
+  RelationEvaluator eval(ts);
+  const auto hx = eval.add_event(NonatomicEvent(exec, {EventId{0, 1}}, "X"));
+  const auto hy = eval.add_event(NonatomicEvent(exec, {EventId{1, 2}}, "Y"));
+  (void)eval.holds({Relation::R4, ProxyKind::Begin, ProxyKind::Begin}, hx, hy);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(eval.counter().integer_comparisons, 1u);
   eval.reset_counter();
   EXPECT_EQ(eval.counter().integer_comparisons, 0u);
-  EXPECT_EQ(eval.counter().causality_checks, 0u);
+#pragma GCC diagnostic pop
 }
 
 TEST(RelationEvaluatorTest, RejectsForeignEvents) {

@@ -86,8 +86,8 @@ TEST_P(InferencePropertyTest, PropagatedFactsAreTrue) {
   // path through the interval set); propagation must stay sound on the
   // untouched pairs.
   for (std::size_t i = 0; i + 1 < kIntervals; ++i) {
-    const EventCuts a(ts, eval.event(i));
-    const EventCuts b(ts, eval.event(i + 1));
+    const EventCuts a(ts, eval.event(eval.handle_at(i)));
+    const EventCuts b(ts, eval.event(eval.handle_at(i + 1)));
     ComparisonCounter counter;
     for (const Relation r : kAllRelations) {
       if (evaluate_fast(r, a, b, counter)) {
@@ -100,8 +100,8 @@ TEST_P(InferencePropertyTest, PropagatedFactsAreTrue) {
   for (std::size_t x = 0; x < kIntervals; ++x) {
     for (std::size_t y = 0; y < kIntervals; ++y) {
       if (x == y) continue;
-      const EventCuts a(ts, eval.event(x));
-      const EventCuts b(ts, eval.event(y));
+      const EventCuts a(ts, eval.event(eval.handle_at(x)));
+      const EventCuts b(ts, eval.event(eval.handle_at(y)));
       ComparisonCounter counter;
       for (const Relation r : kAllRelations) {
         if (knowledge.known(x, y, r)) {

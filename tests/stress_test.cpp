@@ -165,8 +165,9 @@ TEST(StressTest, EvaluatorScalesToManyIntervals) {
   for (std::size_t x = 0; x < kCount; x += 7) {
     for (std::size_t y = 1; y < kCount; y += 5) {
       if (x == y) continue;
-      const auto a = eval.all_holding(x, y);
-      const auto b = eval.all_holding_pruned(x, y);
+      const auto a = eval.all_holding(eval.handle_at(x), eval.handle_at(y));
+      const auto b =
+          eval.all_holding_pruned(eval.handle_at(x), eval.handle_at(y));
       ASSERT_EQ(a.holding.size(), b.holding.size());
       ++checked;
     }

@@ -1,0 +1,113 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+namespace {
+
+TEST(ThreadPoolTest, SizedToRequestOrHardware) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  ThreadPool defaulted;
+  EXPECT_GE(defaulted.thread_count(), 1u);
+  EXPECT_GE(ThreadPool::shared().thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::atomic<int> remaining{50};
+  std::mutex m;
+  std::condition_variable done;
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] {
+      ran.fetch_add(1);
+      std::lock_guard<std::mutex> lock(m);
+      if (--remaining == 0) done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(m);
+  done.wait(lock, [&] { return remaining.load() == 0; });
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEachIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t, std::size_t begin,
+                                std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForShardingIsStatic) {
+  // The shard → index-range mapping is a pure function of (count, shards):
+  // two runs see identical boundaries, the contract behind bit-identical
+  // parallel aggregates.
+  ThreadPool pool(3);
+  auto boundaries = [&](std::size_t count) {
+    std::vector<std::pair<std::size_t, std::size_t>> out(3);
+    pool.parallel_for(count, [&](std::size_t shard, std::size_t begin,
+                                 std::size_t end) { out[shard] = {begin, end}; },
+                      3);
+    return out;
+  };
+  const auto a = boundaries(100);
+  const auto b = boundaries(100);
+  EXPECT_EQ(a, b);
+  // Contiguous, ordered, complete.
+  EXPECT_EQ(a[0].first, 0u);
+  EXPECT_EQ(a[0].second, a[1].first);
+  EXPECT_EQ(a[1].second, a[2].first);
+  EXPECT_EQ(a[2].second, 100u);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesDegenerateShapes) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  // count < shards: the pool must not invent indices.
+  pool.parallel_for(2, [&](std::size_t, std::size_t begin, std::size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 2u);
+  // Empty range: no body invocation may see a non-empty range.
+  pool.parallel_for(0, [&](std::size_t, std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, end);
+  });
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t, std::size_t begin, std::size_t) {
+                          if (begin > 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives and stays usable.
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(10, [&](std::size_t, std::size_t begin, std::size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 10u);
+}
+
+TEST(ThreadPoolTest, RejectsNullWork) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), ContractViolation);
+  EXPECT_THROW(pool.parallel_for(4, nullptr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace syncon
