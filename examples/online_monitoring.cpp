@@ -42,8 +42,12 @@ int main(int argc, char** argv) {
   Xoshiro256StarStar rng(7);
 
   TextTable table({"watch", "pair", "verdict"});
+  // Confidence is always Definite here: the monitor reads the system
+  // directly, no lossy report channel is involved (see lossy_monitoring for
+  // the degraded-mode counterpart).
   auto relation_cb = [&](const char* what) {
-    return [&, what](const std::string& x, const std::string& y, bool holds) {
+    return [&, what](const std::string& x, const std::string& y, bool holds,
+                     Confidence) {
       table.new_row()
           .add_cell(std::string(what))
           .add_cell(x + " , " + y)
@@ -51,7 +55,7 @@ int main(int argc, char** argv) {
     };
   };
   auto deadline_cb = [&](const std::string& x, const std::string& y,
-                         Duration measured, bool ok) {
+                         Duration measured, bool ok, Confidence) {
     table.new_row()
         .add_cell(std::string("deadline ") + std::to_string(measured) + "µs")
         .add_cell(x + " , " + y)

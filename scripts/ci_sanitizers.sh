@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under every supported sanitizer configuration:
+#   asan  — address+undefined over the full suite
+#   tsan  — thread over the concurrency + fault suites
+# Each preset builds into its own binary dir (build-asan / build-tsan), so
+# this composes with (and never dirties) the plain `build` tree.
+#
+# Usage: scripts/ci_sanitizers.sh [asan|tsan ...]   (default: both)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  local preset="$1"
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset" -j "$(nproc)"
+}
+
+presets=("$@")
+if [ "${#presets[@]}" -eq 0 ]; then
+  presets=(asan tsan)
+fi
+
+for p in "${presets[@]}"; do
+  case "$p" in
+    asan|tsan) run_preset "$p" ;;
+    *) echo "unknown preset '$p' (expected asan or tsan)" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== all sanitizer suites passed ==="

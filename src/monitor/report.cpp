@@ -99,4 +99,58 @@ std::string report_to_string(const SyncMonitor& monitor,
   return oss.str();
 }
 
+void write_online_report(std::ostream& os, const OnlineMonitor& monitor) {
+  os << "=== online monitor health ===\n";
+  TextTable health({"metric", "value"});
+  health.new_row().add_cell(std::string("mode")).add_cell(std::string(
+      monitor.degraded() ? "degraded (report feed)" : "direct"));
+  health.new_row().add_cell(std::string("open actions"))
+      .add_cell(monitor.open_actions().size());
+  health.new_row().add_cell(std::string("completed summaries"))
+      .add_cell(monitor.retained());
+  health.new_row().add_cell(std::string("duplicate reports suppressed"))
+      .add_cell(monitor.duplicate_reports());
+  health.new_row().add_cell(std::string("known-lost reports"))
+      .add_cell(monitor.missing_reports().size());
+  health.new_row().add_cell(std::string("definite watch firings"))
+      .add_cell(monitor.definite_fires());
+  health.new_row().add_cell(std::string("pending-gap watch firings"))
+      .add_cell(monitor.pending_fires());
+  health.print(os);
+
+  const auto missing = monitor.missing_reports();
+  if (!missing.empty()) {
+    os << "\n=== known-lost reports ===\n";
+    TextTable lost({"event", "recoverable"});
+    for (const EventId& e : missing) {
+      lost.new_row()
+          .add_cell("p" + std::to_string(e.process) + ":" +
+                    std::to_string(e.index))
+          .add_cell(std::string(monitor.is_crashed(e.process)
+                                    ? "NO (process crashed)"
+                                    : "yes (resync)"));
+    }
+    lost.print(os);
+  }
+
+  const auto crashed = monitor.crashed_processes();
+  if (!crashed.empty()) {
+    os << "\n=== crash watchdog ===\n";
+    os << "crashed:";
+    for (const ProcessId p : crashed) os << " p" << p;
+    os << "\n";
+    for (const std::string& label : monitor.doomed_actions()) {
+      os << "doomed action: " << label
+         << " (component events on a crashed process; it can never "
+            "complete)\n";
+    }
+  }
+}
+
+std::string online_report_to_string(const OnlineMonitor& monitor) {
+  std::ostringstream oss;
+  write_online_report(oss, monitor);
+  return oss.str();
+}
+
 }  // namespace syncon

@@ -9,6 +9,7 @@
 
 #include "monitor/monitor.hpp"
 #include "monitor/predicate.hpp"
+#include "online/online_monitor.hpp"
 
 namespace syncon {
 
@@ -25,5 +26,13 @@ void write_report(std::ostream& os, const SyncMonitor& monitor,
 
 std::string report_to_string(const SyncMonitor& monitor,
                              const ReportOptions& options = {});
+
+/// Degraded-mode health report for an online monitor behind a lossy report
+/// channel (DESIGN.md §3.7): feed integrity (duplicates, known-lost
+/// reports), watch firings by confidence, and the crash watchdog's verdicts
+/// (doomed actions, permanently unrecoverable reports).
+void write_online_report(std::ostream& os, const OnlineMonitor& monitor);
+
+std::string online_report_to_string(const OnlineMonitor& monitor);
 
 }  // namespace syncon

@@ -15,30 +15,45 @@ std::string event_ref(const EventId& e) {
   return std::to_string(e.process) + ":" + std::to_string(e.index);
 }
 
-EventId parse_event_ref(const std::string& token) {
+EventId parse_event_ref(const std::string& token, std::size_t line_no) {
   const auto colon = token.find(':');
   if (colon == std::string::npos || colon == 0 || colon + 1 == token.size()) {
-    throw TraceFormatError("malformed event reference '" + token + "'");
+    throw TraceFormatError(line_no, "malformed event reference", token);
   }
   try {
     const unsigned long p = std::stoul(token.substr(0, colon));
     const unsigned long i = std::stoul(token.substr(colon + 1));
     return EventId{static_cast<ProcessId>(p), static_cast<EventIndex>(i)};
   } catch (const std::exception&) {
-    throw TraceFormatError("malformed event reference '" + token + "'");
+    throw TraceFormatError(line_no, "malformed event reference", token);
   }
 }
 
-// Reads the next content line (skipping blanks and comments); false at EOF.
-bool next_line(std::istream& is, std::string& line) {
-  while (std::getline(is, line)) {
-    const auto pos = line.find_first_not_of(" \t\r");
-    if (pos == std::string::npos) continue;
-    if (line[pos] == '#') continue;
-    return true;
+// Reads content lines (skipping blanks and comments) while tracking the
+// 1-based physical line number, so every parse error can name its line.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  // Next content line; false at EOF.
+  bool next(std::string& line) {
+    while (std::getline(is_, line)) {
+      ++number_;
+      const auto pos = line.find_first_not_of(" \t\r");
+      if (pos == std::string::npos) continue;
+      if (line[pos] == '#') continue;
+      return true;
+    }
+    ++number_;  // the (virtual) line after the last — for EOF errors
+    return false;
   }
-  return false;
-}
+
+  std::size_t number() const { return number_; }
+
+ private:
+  std::istream& is_;
+  std::size_t number_ = 0;
+};
 
 }  // namespace
 
@@ -63,50 +78,60 @@ std::string trace_to_string(const Execution& exec) {
 }
 
 Execution read_trace(std::istream& is) {
+  LineReader reader(is);
   std::string line;
-  if (!next_line(is, line) || line != kTraceHeader) {
-    throw TraceFormatError("missing 'syncon-trace 1' header");
+  if (!reader.next(line) || line != kTraceHeader) {
+    throw TraceFormatError(reader.number(), "missing 'syncon-trace 1' header",
+                           line);
   }
-  if (!next_line(is, line)) {
-    throw TraceFormatError("missing 'processes' record");
+  if (!reader.next(line)) {
+    throw TraceFormatError(reader.number(), "missing 'processes' record");
   }
   std::istringstream header(line);
   std::string keyword;
   std::size_t p_count = 0;
   header >> keyword >> p_count;
   if (keyword != "processes" || p_count == 0) {
-    throw TraceFormatError("malformed 'processes' record: " + line);
+    throw TraceFormatError(reader.number(), "malformed 'processes' record",
+                           line);
   }
 
   ExecutionBuilder builder(p_count);
-  while (next_line(is, line)) {
+  while (reader.next(line)) {
     std::istringstream rec(line);
     std::string kind;
     rec >> kind;
     if (kind != "e") {
-      throw TraceFormatError("unknown record '" + line + "'");
+      throw TraceFormatError(reader.number(), "unknown record kind", kind);
     }
     unsigned long p_raw = p_count;
     rec >> p_raw;
     if (rec.fail() || p_raw >= p_count) {
-      throw TraceFormatError("bad process id in '" + line + "'");
+      throw TraceFormatError(reader.number(),
+                             "bad process id (trace has " +
+                                 std::to_string(p_count) + " processes)",
+                             line);
     }
     const auto p = static_cast<ProcessId>(p_raw);
     std::string token;
     if (rec >> token) {
       if (token != "<") {
-        throw TraceFormatError("expected '<' before sources in '" + line +
-                               "'");
+        throw TraceFormatError(reader.number(), "expected '<' before sources",
+                               token);
       }
       std::vector<EventId> sources;
-      while (rec >> token) sources.push_back(parse_event_ref(token));
+      while (rec >> token) {
+        sources.push_back(parse_event_ref(token, reader.number()));
+      }
       if (sources.empty()) {
-        throw TraceFormatError("receive without sources in '" + line + "'");
+        throw TraceFormatError(reader.number(), "receive without sources",
+                               line);
       }
       try {
         builder.receive_from(p, sources);
       } catch (const ContractViolation& e) {
-        throw TraceFormatError(std::string("invalid receive: ") + e.what());
+        throw TraceFormatError(reader.number(),
+                               std::string("invalid receive: ") + e.what());
       }
     } else {
       builder.local(p);
@@ -136,29 +161,31 @@ void write_intervals(std::ostream& os,
 
 std::vector<NonatomicEvent> read_intervals(std::istream& is,
                                            const Execution& exec) {
+  LineReader reader(is);
   std::string line;
-  if (!next_line(is, line) || line != kIntervalHeader) {
-    throw TraceFormatError("missing 'syncon-intervals 1' header");
+  if (!reader.next(line) || line != kIntervalHeader) {
+    throw TraceFormatError(reader.number(),
+                           "missing 'syncon-intervals 1' header", line);
   }
   std::vector<NonatomicEvent> out;
-  while (next_line(is, line)) {
+  while (reader.next(line)) {
     std::istringstream rec(line);
     std::string kind, label, token;
     rec >> kind >> label;
     if (kind != "i" || label.empty()) {
-      throw TraceFormatError("unknown record '" + line + "'");
+      throw TraceFormatError(reader.number(), "unknown record kind", kind);
     }
     std::vector<EventId> events;
     while (rec >> token) {
-      const EventId e = parse_event_ref(token);
+      const EventId e = parse_event_ref(token, reader.number());
       if (!exec.is_real(e)) {
-        throw TraceFormatError("interval references unknown event '" + token +
-                               "'");
+        throw TraceFormatError(reader.number(),
+                               "interval references unknown event", token);
       }
       events.push_back(e);
     }
     if (events.empty()) {
-      throw TraceFormatError("empty interval '" + label + "'");
+      throw TraceFormatError(reader.number(), "empty interval '" + label + "'");
     }
     out.emplace_back(exec, std::move(events), std::move(label));
   }
@@ -183,33 +210,41 @@ void write_timed_trace(std::ostream& os, const Execution& exec,
 }
 
 TimedTrace read_timed_trace(std::istream& is) {
+  LineReader reader(is);
   std::string line;
-  if (!next_line(is, line) || line != kTraceHeader) {
-    throw TraceFormatError("missing 'syncon-trace 1' header");
+  if (!reader.next(line) || line != kTraceHeader) {
+    throw TraceFormatError(reader.number(), "missing 'syncon-trace 1' header",
+                           line);
   }
-  if (!next_line(is, line)) {
-    throw TraceFormatError("missing 'processes' record");
+  if (!reader.next(line)) {
+    throw TraceFormatError(reader.number(), "missing 'processes' record");
   }
   std::istringstream header(line);
   std::string keyword;
   std::size_t p_count = 0;
   header >> keyword >> p_count;
   if (keyword != "processes" || p_count == 0) {
-    throw TraceFormatError("malformed 'processes' record: " + line);
+    throw TraceFormatError(reader.number(), "malformed 'processes' record",
+                           line);
   }
 
   ExecutionBuilder builder(p_count);
   std::vector<std::vector<TimePoint>> times(p_count);
   bool any_timed = false, any_untimed = false;
-  while (next_line(is, line)) {
+  while (reader.next(line)) {
     std::istringstream rec(line);
     std::string kind;
     rec >> kind;
-    if (kind != "e") throw TraceFormatError("unknown record '" + line + "'");
+    if (kind != "e") {
+      throw TraceFormatError(reader.number(), "unknown record kind", kind);
+    }
     unsigned long p_raw = p_count;
     rec >> p_raw;
     if (rec.fail() || p_raw >= p_count) {
-      throw TraceFormatError("bad process id in '" + line + "'");
+      throw TraceFormatError(reader.number(),
+                             "bad process id (trace has " +
+                                 std::to_string(p_count) + " processes)",
+                             line);
     }
     const auto p = static_cast<ProcessId>(p_raw);
     std::string token;
@@ -220,16 +255,20 @@ TimedTrace read_timed_trace(std::istream& is) {
         try {
           times[p].push_back(std::stoll(token.substr(1)));
         } catch (const std::exception&) {
-          throw TraceFormatError("bad time annotation '" + token + "'");
+          throw TraceFormatError(reader.number(), "bad time annotation",
+                                 token);
         }
         timed = true;
       } else if (token == "<") {
-        while (rec >> token) sources.push_back(parse_event_ref(token));
+        while (rec >> token) {
+          sources.push_back(parse_event_ref(token, reader.number()));
+        }
         if (sources.empty()) {
-          throw TraceFormatError("receive without sources in '" + line + "'");
+          throw TraceFormatError(reader.number(), "receive without sources",
+                                 line);
         }
       } else {
-        throw TraceFormatError("unexpected token '" + token + "'");
+        throw TraceFormatError(reader.number(), "unexpected token", token);
       }
     }
     (timed ? any_timed : any_untimed) = true;
@@ -240,11 +279,13 @@ TimedTrace read_timed_trace(std::istream& is) {
         builder.receive_from(p, sources);
       }
     } catch (const ContractViolation& e) {
-      throw TraceFormatError(std::string("invalid receive: ") + e.what());
+      throw TraceFormatError(reader.number(),
+                             std::string("invalid receive: ") + e.what());
     }
   }
   if (any_timed && any_untimed) {
-    throw TraceFormatError("mixed timed and untimed event records");
+    throw TraceFormatError(reader.number(),
+                           "mixed timed and untimed event records");
   }
   TimedTrace out;
   auto exec = std::make_shared<const Execution>(builder.build());
@@ -253,7 +294,8 @@ TimedTrace read_timed_trace(std::istream& is) {
       out.times =
           std::make_shared<const PhysicalTimes>(*exec, std::move(times));
     } catch (const ContractViolation& e) {
-      throw TraceFormatError(std::string("invalid timeline: ") + e.what());
+      throw TraceFormatError(reader.number(),
+                             std::string("invalid timeline: ") + e.what());
     }
   }
   out.execution = std::move(exec);

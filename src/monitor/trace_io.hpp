@@ -27,10 +27,28 @@
 
 namespace syncon {
 
-/// Thrown on malformed trace/interval input.
+/// Thrown on malformed trace/interval input. what() always pinpoints the
+/// failure as "line <N>: <problem> [near '<token>']"; the raw location and
+/// offending token are also available structurally.
 class TraceFormatError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit TraceFormatError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+  TraceFormatError(std::size_t line, const std::string& problem,
+                   const std::string& token = "")
+      : std::runtime_error("line " + std::to_string(line) + ": " + problem +
+                           (token.empty() ? "" : " near '" + token + "'")),
+        line_(line),
+        token_(token) {}
+
+  /// 1-based input line the failure was detected on (0 if unknown).
+  std::size_t line() const { return line_; }
+  /// The token that failed to parse ("" when the whole line is at fault).
+  const std::string& token() const { return token_; }
+
+ private:
+  std::size_t line_ = 0;
+  std::string token_;
 };
 
 void write_trace(std::ostream& os, const Execution& exec);

@@ -1,0 +1,87 @@
+#include "online/gap_tracker.hpp"
+
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+GapTracker::GapTracker(std::size_t process_count) : peers_(process_count) {
+  SYNCON_REQUIRE(process_count > 0, "gap tracker needs at least one process");
+}
+
+bool GapTracker::witness(EventId e) {
+  SYNCON_REQUIRE(e.process < peers_.size(),
+                 "witnessed event of unknown process " +
+                     std::to_string(e.process) + " (tracker covers " +
+                     std::to_string(peers_.size()) + " processes)");
+  SYNCON_REQUIRE(e.index >= 1, "real events have index >= 1");
+  Peer& peer = peers_[e.process];
+  if (e.index <= peer.contiguous || peer.ahead.count(e.index)) {
+    return false;  // duplicate
+  }
+  if (e.index == peer.contiguous + 1) {
+    ++peer.contiguous;
+    // Absorb any out-of-order arrivals that are now contiguous.
+    auto it = peer.ahead.begin();
+    while (it != peer.ahead.end() && *it == peer.contiguous + 1) {
+      ++peer.contiguous;
+      it = peer.ahead.erase(it);
+    }
+  } else {
+    peer.ahead.insert(e.index);
+  }
+  ++witnessed_total_;
+  return true;
+}
+
+bool GapTracker::witnessed(EventId e) const {
+  SYNCON_REQUIRE(e.process < peers_.size(), "unknown process");
+  const Peer& peer = peers_[e.process];
+  return e.index >= 1 &&
+         (e.index <= peer.contiguous || peer.ahead.count(e.index) != 0);
+}
+
+void GapTracker::claim(const VectorClock& clock) {
+  SYNCON_REQUIRE(clock.size() == peers_.size(),
+                 "claimed clock has " + std::to_string(clock.size()) +
+                     " components, tracker covers " +
+                     std::to_string(peers_.size()) + " processes");
+  for (ProcessId q = 0; q < peers_.size(); ++q) {
+    if (clock[q] > 0) claim(q, clock[q] - 1);  // component counts the dummy
+  }
+}
+
+void GapTracker::claim(ProcessId q, EventIndex up_to) {
+  SYNCON_REQUIRE(q < peers_.size(), "claim for unknown process");
+  peers_[q].claimed = std::max(peers_[q].claimed, up_to);
+}
+
+std::vector<EventId> GapTracker::missing() const {
+  std::vector<EventId> out;
+  for (ProcessId q = 0; q < peers_.size(); ++q) {
+    const Peer& peer = peers_[q];
+    auto it = peer.ahead.begin();
+    for (EventIndex i = peer.contiguous + 1; i <= peer.claimed; ++i) {
+      while (it != peer.ahead.end() && *it < i) ++it;
+      if (it != peer.ahead.end() && *it == i) continue;
+      out.push_back(EventId{q, i});
+    }
+  }
+  return out;
+}
+
+bool GapTracker::has_gap() const {
+  for (ProcessId q = 0; q < peers_.size(); ++q) {
+    if (gap_on(q)) return true;
+  }
+  return false;
+}
+
+bool GapTracker::gap_on(ProcessId q) const {
+  SYNCON_REQUIRE(q < peers_.size(), "unknown process");
+  // If every witnessed index beyond the prefix were contiguous it would have
+  // been absorbed, so claimed > contiguous implies a hole at contiguous + 1
+  // unless the hole lies beyond everything claimed.
+  return peers_[q].claimed > peers_[q].contiguous;
+}
+
+}  // namespace syncon

@@ -1,0 +1,71 @@
+// Receiver-side loss accounting for the fault-tolerant online stack
+// (DESIGN.md §3.7): a receiver keeps, per peer, which of the peer's events
+// it has *witnessed* directly (their message or event report arrived) and
+// which it merely knows happened because some piggybacked vector clock
+// vouched for them (*claimed*). An event that is claimed but never
+// witnessed is a lost predecessor — the causal-gap signal that turns
+// "silently evaluate on corrupted state" into "report a pending gap and
+// request retransmission".
+//
+// The structure is the classical contiguous-prefix + out-of-order-set form
+// (cf. selective acknowledgment): witnessing is idempotent, reordered
+// arrivals are absorbed, and missing() enumerates the exact holes.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "model/types.hpp"
+#include "model/vector_clock.hpp"
+
+namespace syncon {
+
+/// The events a receiver wants retransmitted (served from the sender's or
+/// the authoritative system's log via OnlineSystem::serve).
+struct RetransmitRequest {
+  std::vector<EventId> events;  // sorted by (process, index)
+  bool empty() const { return events.empty(); }
+};
+
+class GapTracker {
+ public:
+  explicit GapTracker(std::size_t process_count);
+
+  std::size_t process_count() const { return peers_.size(); }
+
+  /// Marks e as directly witnessed (its message/report arrived). Idempotent:
+  /// returns false if e had already been witnessed.
+  bool witness(EventId e);
+  bool witnessed(EventId e) const;
+
+  /// A piggybacked clock vouches for its causal past: component q of value
+  /// c means events (q, 1..c-1) happened before the carrier (the clock
+  /// convention counts the dummy, so c = 1 + greatest real index).
+  void claim(const VectorClock& clock);
+  /// Vouches for events (q, 1 .. up_to).
+  void claim(ProcessId q, EventIndex up_to);
+
+  /// Claimed-but-never-witnessed events, sorted: the known-lost
+  /// predecessors. Empty iff the local history explains every clock seen.
+  std::vector<EventId> missing() const;
+  bool has_gap() const;
+  /// True iff some event of q is claimed but not witnessed.
+  bool gap_on(ProcessId q) const;
+
+  /// Distinct events witnessed so far.
+  std::size_t witnessed_count() const { return witnessed_total_; }
+
+  /// Retransmit request covering missing().
+  RetransmitRequest resync_request() const { return {missing()}; }
+
+ private:
+  struct Peer {
+    EventIndex contiguous = 0;   // all of 1..contiguous witnessed
+    std::set<EventIndex> ahead;  // witnessed beyond the contiguous prefix
+    EventIndex claimed = 0;      // highest index any clock vouched for
+  };
+  std::vector<Peer> peers_;
+  std::size_t witnessed_total_ = 0;
+};
+
+}  // namespace syncon

@@ -56,15 +56,23 @@ IntervalTracker::IntervalTracker(std::string label)
     : label_(std::move(label)) {}
 
 void IntervalTracker::add(const OnlineSystem& system, EventId e) {
-  const VectorClock& clock = system.clock_of(e);  // validates e
-  process_count_ = system.process_count();
+  add(e, system.clock_of(e), system.time_of(e));  // clock_of validates e
+}
+
+void IntervalTracker::add(EventId e, const VectorClock& clock,
+                          std::int64_t when) {
+  SYNCON_REQUIRE(e.index >= 1, "real events have index >= 1");
+  SYNCON_REQUIRE(clock.size() > e.process,
+                 "event's clock has no component for its own process");
+  SYNCON_REQUIRE(process_count_ == 0 || process_count_ == clock.size(),
+                 "events of one interval must come from one system");
+  process_count_ = clock.size();
   ++event_count_;
-  const std::int64_t t = system.time_of(e);
-  if (t == OnlineSystem::kNoTime) {
+  if (when == OnlineSystem::kNoTime) {
     all_timed_ = false;
   } else {
-    start_time_ = start_time_ < 0 ? t : std::min(start_time_, t);
-    end_time_ = std::max(end_time_, t);
+    start_time_ = start_time_ < 0 ? when : std::min(start_time_, when);
+    end_time_ = std::max(end_time_, when);
   }
   auto it = std::lower_bound(
       per_node_.begin(), per_node_.end(), e.process,
@@ -74,15 +82,31 @@ void IntervalTracker::add(const OnlineSystem& system, EventId e) {
     agg.process = e.process;
     agg.least = agg.greatest = e.index;
     agg.least_clock = agg.greatest_clock = clock;
-    agg.least_time = agg.greatest_time = t;
+    agg.least_time = agg.greatest_time = when;
     per_node_.insert(it, std::move(agg));
     return;
   }
-  SYNCON_REQUIRE(e.index > it->greatest,
-                 "per-process events must be added in execution order");
-  it->greatest = e.index;
-  it->greatest_clock = clock;
-  it->greatest_time = t;
+  SYNCON_REQUIRE(e.index != it->least && e.index != it->greatest,
+                 "event added twice to one interval (deduplicate at-least-"
+                 "once deliveries before folding)");
+  // Out-of-order tolerant: only the per-node extremes matter, so an event
+  // arriving late (or early) just competes for the least / greatest slot.
+  if (e.index < it->least) {
+    it->least = e.index;
+    it->least_clock = clock;
+    it->least_time = when;
+  } else if (e.index > it->greatest) {
+    it->greatest = e.index;
+    it->greatest_clock = clock;
+    it->greatest_time = when;
+  }
+}
+
+std::vector<ProcessId> IntervalTracker::nodes() const {
+  std::vector<ProcessId> out;
+  out.reserve(per_node_.size());
+  for (const NodeAgg& agg : per_node_) out.push_back(agg.process);
+  return out;
 }
 
 IntervalSummary IntervalTracker::summary() const {

@@ -61,12 +61,27 @@ class IntervalTracker {
  public:
   explicit IntervalTracker(std::string label);
 
-  /// Folds one component event in. Events of the same process must be added
-  /// in their execution order (the natural online order).
+  /// Folds one component event in, reading its clock and physical time from
+  /// the (authoritative) running system.
+  ///
+  /// Fault tolerance: events of one process may be added in ANY order — the
+  /// natural online order is not required, so a monitor fed over a lossy,
+  /// reordering channel can fold reports in as they arrive. Each event must
+  /// be added at most once; callers on at-least-once transports deduplicate
+  /// first (OnlineMonitor::ingest does, via its GapTracker).
   void add(const OnlineSystem& system, EventId e);
+
+  /// Same, from the event's wire report instead of the shared system — the
+  /// form a monitor deployed behind a lossy channel uses (it may never see
+  /// the authoritative system at all). `when` is the event's physical time
+  /// if the report carried one.
+  void add(EventId e, const VectorClock& clock,
+           std::int64_t when = /* OnlineSystem::kNoTime */ -1);
 
   bool empty() const { return per_node_.empty(); }
   std::size_t event_count() const { return event_count_; }
+  /// Processes with at least one folded component event, sorted.
+  std::vector<ProcessId> nodes() const;
 
   /// Finalizes the aggregates. The tracker may keep accumulating afterwards;
   /// summary() just snapshots the current state.

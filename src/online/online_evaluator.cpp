@@ -50,6 +50,15 @@ bool evaluate_online(Relation r, const IntervalSummary& x,
                      const IntervalSummary& y, ComparisonCounter& counter) {
   SYNCON_REQUIRE(x.process_count == y.process_count,
                  "summaries from different systems");
+  // A summary assembled from wire reports (degraded-mode feed) could in
+  // principle carry malformed aggregates; fail loudly rather than index a
+  // too-narrow past cut below.
+  SYNCON_REQUIRE(x.intersect_past.size() == x.process_count &&
+                     x.union_past.size() == x.process_count &&
+                     y.intersect_past.size() == y.process_count &&
+                     y.union_past.size() == y.process_count,
+                 "summary past-cut width disagrees with its process count "
+                 "(corrupt report feed?)");
   switch (r) {
     case Relation::R1:
     case Relation::R1p:

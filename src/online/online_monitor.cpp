@@ -1,10 +1,28 @@
 #include "online/online_monitor.hpp"
 
+#include <algorithm>
+
 #include "support/contracts.hpp"
 
 namespace syncon {
 
-OnlineMonitor::OnlineMonitor(const OnlineSystem& system) : system_(&system) {}
+const char* to_string(Confidence c) {
+  return c == Confidence::Definite ? "definite" : "pending-gap";
+}
+
+OnlineMonitor::OnlineMonitor(const OnlineSystem& system)
+    : system_(&system),
+      process_count_(system.process_count()),
+      gaps_(system.process_count()),
+      crashed_(system.process_count(), false) {}
+
+OnlineMonitor::OnlineMonitor(std::size_t process_count)
+    : system_(nullptr),
+      process_count_(process_count),
+      gaps_(process_count),
+      crashed_(process_count, false) {
+  SYNCON_REQUIRE(process_count > 0, "need at least one process");
+}
 
 void OnlineMonitor::begin(const std::string& label) {
   SYNCON_REQUIRE(!label.empty(), "actions need a label");
@@ -14,6 +32,9 @@ void OnlineMonitor::begin(const std::string& label) {
 }
 
 void OnlineMonitor::record(const std::string& label, EventId e) {
+  SYNCON_REQUIRE(system_ != nullptr,
+                 "record() reads the running system; a feed-only monitor "
+                 "must ingest() event reports instead");
   const auto it = open_.find(label);
   SYNCON_REQUIRE(it != open_.end(), "no open action labeled '" + label + "'");
   it->second.add(*system_, e);
@@ -23,10 +44,16 @@ const IntervalSummary& OnlineMonitor::complete(const std::string& label) {
   const auto it = open_.find(label);
   SYNCON_REQUIRE(it != open_.end(), "no open action labeled '" + label + "'");
   SYNCON_REQUIRE(!it->second.empty(),
-                 "completing '" + label + "' with no recorded events");
+                 "completing '" + label + "' with no recorded events" +
+                     (system_ == nullptr
+                          ? " — every report may have been lost; checkpoint() "
+                            "an authoritative snapshot and resync first"
+                          : ""));
   auto [pos, inserted] = completed_.emplace(label, it->second.summary());
   SYNCON_ASSERT(inserted, "label uniqueness invariant broken");
-  open_.erase(it);
+  // Keep the tracker: a late report recovered after a loss can still repair
+  // this summary (degraded mode). forget() releases it.
+  sealed_.insert(open_.extract(it));
   fire_ready_watches();
   return pos->second;
 }
@@ -39,6 +66,12 @@ bool OnlineMonitor::is_complete(const std::string& label) const {
   return completed_.count(label) != 0;
 }
 
+std::size_t OnlineMonitor::recorded_events(const std::string& label) const {
+  const auto it = open_.find(label);
+  SYNCON_REQUIRE(it != open_.end(), "no open action labeled '" + label + "'");
+  return it->second.event_count();
+}
+
 const IntervalSummary* OnlineMonitor::summary(const std::string& label) const {
   const auto it = completed_.find(label);
   return it == completed_.end() ? nullptr : &it->second;
@@ -48,6 +81,7 @@ void OnlineMonitor::forget(const std::string& label) {
   SYNCON_REQUIRE(completed_.count(label) != 0,
                  "no completed action labeled '" + label + "'");
   completed_.erase(label);
+  sealed_.erase(label);
   std::erase_if(relation_watches_, [&](const RelationWatch& w) {
     return w.x == label || w.y == label;
   });
@@ -56,11 +90,99 @@ void OnlineMonitor::forget(const std::string& label) {
   });
 }
 
+std::vector<std::string> OnlineMonitor::open_actions() const {
+  std::vector<std::string> out;
+  out.reserve(open_.size());
+  for (const auto& [label, tracker] : open_) out.push_back(label);
+  return out;
+}
+
+bool OnlineMonitor::observe(const WireMessage& report) {
+  degraded_ = true;
+  if (!gaps_.witness(report.source)) {
+    ++duplicate_reports_;
+    return false;
+  }
+  gaps_.claim(report.clock);
+  if (!gaps_.has_gap()) rearm_after_recovery(nullptr);
+  fire_ready_watches();
+  return true;
+}
+
+void OnlineMonitor::ingest(const std::string& label,
+                           const WireMessage& report, std::int64_t when) {
+  degraded_ = true;
+  const auto open_it = open_.find(label);
+  const auto sealed_it = sealed_.find(label);
+  SYNCON_REQUIRE(open_it != open_.end() || sealed_it != sealed_.end(),
+                 "no open or completed action labeled '" + label + "'");
+  if (!gaps_.witness(report.source)) {
+    ++duplicate_reports_;
+    return;
+  }
+  gaps_.claim(report.clock);
+  if (open_it != open_.end()) {
+    open_it->second.add(report.source, report.clock, when);
+  } else {
+    // Late report for a completed action: repair the sealed summary and let
+    // the watches that consumed it re-fire with the corrected verdict.
+    sealed_it->second.add(report.source, report.clock, when);
+    completed_[label] = sealed_it->second.summary();
+    rearm_after_recovery(&label);
+  }
+  if (!gaps_.has_gap()) rearm_after_recovery(nullptr);
+  fire_ready_watches();
+}
+
+void OnlineMonitor::checkpoint(const VectorClock& snapshot) {
+  degraded_ = true;
+  gaps_.claim(snapshot);
+}
+
+void OnlineMonitor::mark_crashed(ProcessId p) {
+  SYNCON_REQUIRE(p < process_count_, "process id out of range");
+  crashed_[p] = true;
+}
+
+bool OnlineMonitor::is_crashed(ProcessId p) const {
+  SYNCON_REQUIRE(p < process_count_, "process id out of range");
+  return crashed_[p];
+}
+
+std::vector<ProcessId> OnlineMonitor::crashed_processes() const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < process_count_; ++p) {
+    if (crashed_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<std::string> OnlineMonitor::doomed_actions() const {
+  std::vector<std::string> out;
+  for (const auto& [label, tracker] : open_) {
+    for (const ProcessId p : tracker.nodes()) {
+      if (crashed_[p]) {
+        out.push_back(label);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<EventId> OnlineMonitor::unrecoverable_reports() const {
+  std::vector<EventId> out;
+  for (const EventId& e : gaps_.missing()) {
+    if (crashed_[e.process]) out.push_back(e);
+  }
+  return out;
+}
+
 void OnlineMonitor::watch(const RelationId& relation, const std::string& x,
                           const std::string& y, RelationCallback callback) {
   SYNCON_REQUIRE(callback != nullptr, "watch needs a callback");
   relation_watches_.push_back(
-      RelationWatch{relation, x, y, std::move(callback), false});
+      RelationWatch{relation, x, y, std::move(callback)});
   fire_ready_watches();
 }
 
@@ -71,12 +193,34 @@ void OnlineMonitor::watch_deadline(const TimingConstraint& constraint,
   SYNCON_REQUIRE(constraint.min_gap <= constraint.max_gap,
                  "constraint window must be ordered");
   deadline_watches_.push_back(
-      DeadlineWatch{constraint, x, y, std::move(callback), false});
+      DeadlineWatch{constraint, x, y, std::move(callback)});
   fire_ready_watches();
 }
 
 Duration OnlineMonitor::anchor_time(const IntervalSummary& s, Anchor a) {
   return a == Anchor::Start ? s.start_time : s.end_time;
+}
+
+Confidence OnlineMonitor::current_confidence() const {
+  // Conservative: any outstanding gap taints every verdict — a lost report
+  // could be a component event of any action (even one whose node set does
+  // not show the lost event's process: all of an action's events on that
+  // process may have been lost). See DESIGN.md §3.7.
+  return degraded_ && gaps_.has_gap() ? Confidence::PendingGap
+                                      : Confidence::Definite;
+}
+
+void OnlineMonitor::rearm_after_recovery(const std::string* label) {
+  const bool all_clear = !gaps_.has_gap();
+  const auto rearm = [&](auto& watch) {
+    if (watch.fires == 0 || watch.armed) return;
+    const bool repaired =
+        label != nullptr && (watch.x == *label || watch.y == *label);
+    const bool upgradable = all_clear && watch.last == Confidence::PendingGap;
+    if (repaired || upgradable) watch.armed = true;
+  };
+  for (RelationWatch& w : relation_watches_) rearm(w);
+  for (DeadlineWatch& w : deadline_watches_) rearm(w);
 }
 
 void OnlineMonitor::fire_ready_watches() {
@@ -90,11 +234,15 @@ void OnlineMonitor::fire_ready_watches() {
   while (fired_any) {  // repeat: a callback may make earlier watches ready
     fired_any = false;
     for (std::size_t i = 0; i < relation_watches_.size(); ++i) {
-      if (relation_watches_[i].fired) continue;
+      if (!relation_watches_[i].armed) continue;
       const IntervalSummary* sx = summary(relation_watches_[i].x);
       const IntervalSummary* sy = summary(relation_watches_[i].y);
       if (sx == nullptr || sy == nullptr) continue;
-      relation_watches_[i].fired = true;
+      const Confidence conf = current_confidence();
+      relation_watches_[i].armed = false;
+      relation_watches_[i].last = conf;
+      ++relation_watches_[i].fires;
+      (conf == Confidence::Definite ? definite_fires_ : pending_fires_) += 1;
       fired_any = true;
       const bool holds =
           evaluate_online(relation_watches_[i].relation, *sx, *sy, counter_);
@@ -103,28 +251,32 @@ void OnlineMonitor::fire_ready_watches() {
       const RelationCallback callback = relation_watches_[i].callback;
       const std::string x = relation_watches_[i].x;
       const std::string y = relation_watches_[i].y;
-      callback(x, y, holds);
+      callback(x, y, holds, conf);
     }
     for (std::size_t i = 0; i < deadline_watches_.size(); ++i) {
-      if (deadline_watches_[i].fired) continue;
+      if (!deadline_watches_[i].armed) continue;
       const IntervalSummary* sx = summary(deadline_watches_[i].x);
       const IntervalSummary* sy = summary(deadline_watches_[i].y);
       if (sx == nullptr || sy == nullptr) continue;
-      deadline_watches_[i].fired = true;
+      const Confidence conf = current_confidence();
+      deadline_watches_[i].armed = false;
+      deadline_watches_[i].last = conf;
+      ++deadline_watches_[i].fires;
+      (conf == Confidence::Definite ? definite_fires_ : pending_fires_) += 1;
       fired_any = true;
       const TimingConstraint constraint = deadline_watches_[i].constraint;
       const DeadlineCallback callback = deadline_watches_[i].callback;
       const std::string x = deadline_watches_[i].x;
       const std::string y = deadline_watches_[i].y;
       if (!sx->fully_timed || !sy->fully_timed) {
-        callback(x, y, 0, false);
+        callback(x, y, 0, false, conf);
         continue;
       }
       const Duration measured = anchor_time(*sy, constraint.anchor_y) -
                                 anchor_time(*sx, constraint.anchor_x);
       const bool ok =
           measured >= constraint.min_gap && measured <= constraint.max_gap;
-      callback(x, y, measured, ok);
+      callback(x, y, measured, ok, conf);
     }
   }
   firing_ = false;

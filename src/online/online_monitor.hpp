@@ -3,6 +3,19 @@
 // deadline watches fire the moment both actions of a pair complete — the
 // "detect the relations efficiently" loop the paper motivates, without any
 // post-hoc trace pass.
+//
+// Degraded mode (DESIGN.md §3.7): a monitor deployed behind a real network
+// sees event *reports* that can be lost, duplicated or reordered, and it
+// must not silently evaluate on the resulting corrupted state. The ingest
+// path folds reports in any arrival order, suppresses duplicates, and runs
+// a GapTracker over the piggybacked clocks; every watch then fires with a
+// Confidence flag — Definite when the local history explains every clock
+// seen, PendingGap when known-lost predecessor reports may still change
+// the verdict. When recovery (resync_request → OnlineSystem::serve →
+// ingest) closes all gaps, pending watches re-fire Definite with the
+// repaired summaries, converging to the fault-free verdicts. A crash
+// watchdog (mark_crashed / doomed_actions) surfaces open actions that can
+// never complete because their process died.
 #pragma once
 
 #include <functional>
@@ -12,23 +25,44 @@
 #include <vector>
 
 #include "cuts/ll_relation.hpp"
+#include "online/gap_tracker.hpp"
 #include "online/interval_tracker.hpp"
 #include "online/online_evaluator.hpp"
 #include "timing/timing_constraints.hpp"
 
 namespace syncon {
 
+/// How much a fired verdict can be trusted in degraded mode.
+enum class Confidence {
+  /// Every clock the monitor has seen is fully explained by witnessed
+  /// reports — the verdict equals the fault-free one (for the data seen).
+  Definite,
+  /// Known-lost predecessor reports are outstanding; the verdict was
+  /// computed on provably incomplete state and will be re-issued after
+  /// recovery.
+  PendingGap,
+};
+
+const char* to_string(Confidence c);
+
 class OnlineMonitor {
  public:
-  /// Fired when both actions of a watched pair have completed.
-  using RelationCallback = std::function<void(
-      const std::string& x, const std::string& y, bool holds)>;
+  /// Fired when both actions of a watched pair have completed (and again,
+  /// at most once per repair, when recovery upgrades a PendingGap verdict).
+  using RelationCallback =
+      std::function<void(const std::string& x, const std::string& y,
+                         bool holds, Confidence confidence)>;
   using DeadlineCallback = std::function<void(
       const std::string& x, const std::string& y, Duration measured_gap,
-      bool satisfied)>;
+      bool satisfied, Confidence confidence)>;
 
   /// The monitor observes (does not own) the running system.
   explicit OnlineMonitor(const OnlineSystem& system);
+
+  /// A monitor with no access to the running system — the deployment shape
+  /// behind a lossy report channel. Only the ingest/observe feed works;
+  /// record() requires the system-observing constructor.
+  explicit OnlineMonitor(std::size_t process_count);
 
   // --- interval lifecycle ---------------------------------------------------
 
@@ -42,6 +76,12 @@ class OnlineMonitor {
 
   bool is_open(const std::string& label) const;
   bool is_complete(const std::string& label) const;
+  /// Component events folded so far into an open action. In degraded mode
+  /// an action can reach its completion point with zero recorded events —
+  /// every report lost — and complete() requires at least one; callers
+  /// behind a lossy feed check this and resync (checkpoint + resync_request)
+  /// before completing.
+  std::size_t recorded_events(const std::string& label) const;
   /// Summary of a completed action (nullptr otherwise).
   const IntervalSummary* summary(const std::string& label) const;
 
@@ -53,11 +93,64 @@ class OnlineMonitor {
 
   /// Completed summaries currently retained.
   std::size_t retained() const { return completed_.size(); }
+  /// Labels currently open, sorted.
+  std::vector<std::string> open_actions() const;
+
+  // --- degraded-mode report feed --------------------------------------------
+
+  /// Integrates an event report that arrived over a (possibly lossy)
+  /// channel without folding it into any action: deduplication and gap
+  /// bookkeeping only. Returns true iff the report was fresh.
+  bool observe(const WireMessage& report);
+
+  /// observe() + fold the event into the named action from the report's
+  /// own clock (never reading the shared system). The action must be open,
+  /// or already completed — a late report for a completed action repairs
+  /// its summary and re-arms the watches that used it. Duplicate reports
+  /// are dropped. Reports may arrive in any order.
+  void ingest(const std::string& label, const WireMessage& report,
+              std::int64_t when = OnlineSystem::kNoTime);
+
+  /// Clock-snapshot recovery: an authoritative clock snapshot (e.g. from
+  /// OnlineSystem::snapshot(), broadcast periodically) vouches for every
+  /// event executed so far, exposing tail losses no later report would
+  /// claim. Closing the resulting gaps goes through the usual resync path.
+  void checkpoint(const VectorClock& snapshot);
+
+  /// Known-lost reports: claimed by some clock seen here, never ingested.
+  std::vector<EventId> missing_reports() const { return gaps_.missing(); }
+  /// Retransmit request covering missing_reports() (serve it from the
+  /// authoritative log with OnlineSystem::serve, then ingest the replies).
+  RetransmitRequest resync_request() const { return gaps_.resync_request(); }
+  /// True once any report has been observed/ingested (the monitor then
+  /// treats outstanding gaps as verdict-tainting).
+  bool degraded() const { return degraded_; }
+  /// Duplicate reports suppressed so far.
+  std::uint64_t duplicate_reports() const { return duplicate_reports_; }
+
+  // --- crash watchdog -------------------------------------------------------
+
+  /// Marks a process as crashed (fed by the fault plan or an external
+  /// failure detector). Its lost reports can never be retransmitted.
+  void mark_crashed(ProcessId p);
+  bool is_crashed(ProcessId p) const;
+  std::vector<ProcessId> crashed_processes() const;
+
+  /// Watchdog: open actions that can never complete — they have component
+  /// events on a crashed process, so the rest of the action (and its
+  /// completion) will never arrive.
+  std::vector<std::string> doomed_actions() const;
+
+  /// Missing reports whose process crashed: no log can serve them, so the
+  /// gaps they cause are permanent (watches involving them stay PendingGap).
+  std::vector<EventId> unrecoverable_reports() const;
 
   // --- watches ---------------------------------------------------------------
 
-  /// Watch r(X, Y) for the labeled pair; fires once, at the later
-  /// completion. Registration after both completed fires immediately.
+  /// Watch r(X, Y) for the labeled pair; fires at the later completion with
+  /// the current Confidence. A PendingGap firing leaves the watch armed: it
+  /// fires once more, Definite, when recovery closes every gap.
+  /// Registration after both completed fires immediately.
   void watch(const RelationId& relation, const std::string& x,
              const std::string& y, RelationCallback callback);
 
@@ -71,29 +164,51 @@ class OnlineMonitor {
   /// Comparison-cost accounting across all fired watches.
   const ComparisonCounter& counter() const { return counter_; }
 
+  /// Watch firings so far, by confidence (re-firings count again).
+  std::uint64_t definite_fires() const { return definite_fires_; }
+  std::uint64_t pending_fires() const { return pending_fires_; }
+
  private:
   struct RelationWatch {
     RelationId relation;
     std::string x, y;
     RelationCallback callback;
-    bool fired = false;
+    bool armed = true;
+    int fires = 0;
+    Confidence last = Confidence::Definite;
   };
   struct DeadlineWatch {
     TimingConstraint constraint;
     std::string x, y;
     DeadlineCallback callback;
-    bool fired = false;
+    bool armed = true;
+    int fires = 0;
+    Confidence last = Confidence::Definite;
   };
 
   void fire_ready_watches();
+  Confidence current_confidence() const;
+  /// Re-arms watches so they re-fire with repaired state: all watches
+  /// naming `label` (after a late report repaired it), and — when every gap
+  /// has closed — all watches whose last firing was PendingGap.
+  void rearm_after_recovery(const std::string* label);
   static Duration anchor_time(const IntervalSummary& s, Anchor a);
 
-  const OnlineSystem* system_;
+  const OnlineSystem* system_;  // null for the feed-only monitor
+  std::size_t process_count_;
   std::map<std::string, IntervalTracker> open_;
+  /// Trackers of completed actions, kept so late reports can repair them.
+  std::map<std::string, IntervalTracker> sealed_;
   std::map<std::string, IntervalSummary> completed_;
   std::vector<RelationWatch> relation_watches_;
   std::vector<DeadlineWatch> deadline_watches_;
+  GapTracker gaps_;
+  std::vector<bool> crashed_;
   ComparisonCounter counter_;
+  bool degraded_ = false;
+  std::uint64_t duplicate_reports_ = 0;
+  std::uint64_t definite_fires_ = 0;
+  std::uint64_t pending_fires_ = 0;
   bool firing_ = false;
 };
 

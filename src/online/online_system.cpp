@@ -1,10 +1,18 @@
 #include "online/online_system.hpp"
 
-#include <unordered_map>
+#include <string>
 
 #include "support/contracts.hpp"
 
 namespace syncon {
+
+namespace {
+
+std::string describe(const EventId& e) {
+  return std::to_string(e.process) + ":" + std::to_string(e.index);
+}
+
+}  // namespace
 
 OnlineSystem::OnlineSystem(std::size_t process_count) {
   SYNCON_REQUIRE(process_count > 0, "need at least one process");
@@ -16,12 +24,41 @@ OnlineSystem::OnlineSystem(std::size_t process_count) {
     clocks_.push_back(std::move(c));
   }
   log_.resize(process_count);
+  delivered_.resize(process_count);
+  gaps_.assign(process_count, GapTracker(process_count));
+}
+
+void OnlineSystem::check_deliverable(ProcessId p, const WireMessage& m) const {
+  SYNCON_REQUIRE(m.source.process < clocks_.size(),
+                 "message source " + describe(m.source) +
+                     " names an unknown process (system has " +
+                     std::to_string(clocks_.size()) + " processes)");
+  SYNCON_REQUIRE(m.source.process != p,
+                 "process " + std::to_string(p) +
+                     " cannot receive its own message " + describe(m.source));
+  SYNCON_REQUIRE(m.source.index >= 1,
+                 "message source " + describe(m.source) +
+                     " is not a real event (real events have index >= 1)");
+  SYNCON_REQUIRE(m.clock.size() == clocks_[p].size(),
+                 "message " + describe(m.source) + " carries a clock of " +
+                     std::to_string(m.clock.size()) +
+                     " components; this system has " +
+                     std::to_string(clocks_[p].size()));
+  SYNCON_REQUIRE(
+      m.clock[p] <= clocks_[p][p],
+      "message " + describe(m.source) +
+          " claims receiver events that never executed (corrupt or foreign "
+          "message: clock[" +
+          std::to_string(p) + "] = " + std::to_string(m.clock[p]) +
+          " > " + std::to_string(clocks_[p][p]) + ")");
 }
 
 EventId OnlineSystem::advance(ProcessId p,
                               std::span<const WireMessage> messages,
                               std::int64_t when) {
-  SYNCON_REQUIRE(p < clocks_.size(), "process id out of range");
+  SYNCON_REQUIRE(p < clocks_.size(),
+                 "process id " + std::to_string(p) + " out of range (" +
+                     std::to_string(clocks_.size()) + " processes)");
   SYNCON_REQUIRE(when == kNoTime || log_[p].empty() ||
                      log_[p].back().time == kNoTime ||
                      when > log_[p].back().time,
@@ -30,14 +67,17 @@ EventId OnlineSystem::advance(ProcessId p,
   LoggedEvent logged;
   logged.time = when;
   for (const WireMessage& m : messages) {
-    SYNCON_REQUIRE(m.source.process != p,
-                   "a process cannot receive its own message");
-    SYNCON_REQUIRE(m.source.process < clocks_.size(),
-                   "message from unknown process");
-    SYNCON_REQUIRE(m.clock.size() == clock.size(),
-                   "foreign clock has the wrong size");
+    check_deliverable(p, m);
     clock.merge_max(m.clock);
     logged.sources.push_back(m.source);
+    // Loss accounting: the source itself was witnessed; everything its
+    // clock vouches for (other than p's own events) must eventually be
+    // witnessed too, or it was lost.
+    gaps_[p].witness(m.source);
+    for (ProcessId q = 0; q < clock.size(); ++q) {
+      if (q == p || m.clock[q] == 0) continue;
+      gaps_[p].claim(q, m.clock[q] - 1);
+    }
   }
   // The paper's axiom ⊥_i ≺ e lifts every component to at least 1.
   for (std::size_t i = 0; i < clock.size(); ++i) {
@@ -48,6 +88,9 @@ EventId OnlineSystem::advance(ProcessId p,
   logged.clock = clock;
   log_[p].push_back(std::move(logged));
   ++total_;
+  for (const WireMessage& m : messages) {
+    delivered_[p].emplace(m.source, e);
+  }
   return e;
 }
 
@@ -62,6 +105,15 @@ WireMessage OnlineSystem::send(ProcessId p, std::int64_t when) {
 
 EventId OnlineSystem::deliver(ProcessId p, const WireMessage& message,
                               std::int64_t when) {
+  SYNCON_REQUIRE(p < clocks_.size(),
+                 "process id " + std::to_string(p) + " out of range (" +
+                     std::to_string(clocks_.size()) + " processes)");
+  check_deliverable(p, message);
+  const auto it = delivered_[p].find(message.source);
+  if (it != delivered_[p].end()) {
+    ++duplicates_suppressed_;
+    return it->second;
+  }
   const WireMessage msgs[] = {message};
   return advance(p, msgs, when);
 }
@@ -69,8 +121,40 @@ EventId OnlineSystem::deliver(ProcessId p, const WireMessage& message,
 EventId OnlineSystem::deliver_all(ProcessId p,
                                   std::span<const WireMessage> messages,
                                   std::int64_t when) {
+  SYNCON_REQUIRE(p < clocks_.size(),
+                 "process id " + std::to_string(p) + " out of range (" +
+                     std::to_string(clocks_.size()) + " processes)");
   SYNCON_REQUIRE(!messages.empty(), "deliver_all needs at least one message");
-  return advance(p, messages, when);
+  // Suppress duplicates: against earlier deliveries and within the batch
+  // (the same gather point may legitimately see one wire message twice on a
+  // faulty transport).
+  std::vector<WireMessage> fresh;
+  fresh.reserve(messages.size());
+  for (const WireMessage& m : messages) {
+    check_deliverable(p, m);
+    if (delivered_[p].count(m.source)) {
+      ++duplicates_suppressed_;
+      continue;
+    }
+    bool in_batch = false;
+    for (const WireMessage& f : fresh) {
+      if (f.source == m.source) {
+        in_batch = true;
+        break;
+      }
+    }
+    if (in_batch) {
+      ++duplicates_suppressed_;
+      continue;
+    }
+    fresh.push_back(m);
+  }
+  if (fresh.empty()) {
+    // Every message was a duplicate: idempotent no-op, answered with the
+    // receive that first consumed the batch's first source.
+    return delivered_[p].at(messages.front().source);
+  }
+  return advance(p, fresh, when);
 }
 
 std::int64_t OnlineSystem::time_of(EventId e) const {
@@ -95,6 +179,50 @@ const VectorClock& OnlineSystem::clock_of(EventId e) const {
 EventIndex OnlineSystem::executed(ProcessId p) const {
   SYNCON_REQUIRE(p < log_.size(), "process id out of range");
   return static_cast<EventIndex>(log_[p].size());
+}
+
+WireMessage OnlineSystem::wire_of(EventId e) const {
+  return WireMessage{e, clock_of(e)};  // clock_of validates e
+}
+
+bool OnlineSystem::already_delivered(ProcessId p, EventId source) const {
+  SYNCON_REQUIRE(p < delivered_.size(), "process id out of range");
+  return delivered_[p].count(source) != 0;
+}
+
+std::vector<EventId> OnlineSystem::missing_at(ProcessId p) const {
+  SYNCON_REQUIRE(p < gaps_.size(), "process id out of range");
+  return gaps_[p].missing();
+}
+
+bool OnlineSystem::has_gap(ProcessId p) const {
+  SYNCON_REQUIRE(p < gaps_.size(), "process id out of range");
+  return gaps_[p].has_gap();
+}
+
+RetransmitRequest OnlineSystem::resync_request(ProcessId p) const {
+  return RetransmitRequest{missing_at(p)};
+}
+
+std::vector<WireMessage> OnlineSystem::serve(
+    const RetransmitRequest& request) const {
+  std::vector<WireMessage> out;
+  out.reserve(request.events.size());
+  for (const EventId& e : request.events) {
+    if (e.process < log_.size() && e.index >= 1 &&
+        e.index <= log_[e.process].size()) {
+      out.push_back(wire_of(e));
+    }
+  }
+  return out;
+}
+
+VectorClock OnlineSystem::snapshot() const {
+  VectorClock snap(process_count(), 0);
+  for (ProcessId q = 0; q < process_count(); ++q) {
+    snap[q] = static_cast<EventIndex>(log_[q].size() + 1);
+  }
+  return snap;
 }
 
 Execution OnlineSystem::to_execution() const {

@@ -7,20 +7,33 @@
 // The clock convention matches the offline Timestamps class (T counts
 // dummies, so a process's first event has own-component 2), which makes the
 // online and offline paths directly comparable in tests.
+//
+// Fault tolerance (DESIGN.md §3.7): real transports drop, duplicate,
+// reorder and delay messages. Delivery is therefore idempotent — each
+// (receiver, source-event) pair executes at most one receive event; a
+// duplicate arrival is suppressed and answered with the original receive's
+// id. Each receiver also runs a GapTracker over the piggybacked clocks: a
+// received clock vouching for events never directly delivered here flags a
+// lost predecessor, and the resync path (resync_request → serve → deliver)
+// recovers it from the sender's log, converging a faulty run back to the
+// fault-free one.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "model/execution.hpp"
 #include "model/types.hpp"
 #include "model/vector_clock.hpp"
+#include "online/gap_tracker.hpp"
 
 namespace syncon {
 
 /// What actually travels on the wire: the sender's event id plus its
 /// timestamp. |P| clock values per message — the protocol's only overhead.
+/// The same record doubles as the event *report* a remote monitor consumes.
 struct WireMessage {
   EventId source;
   VectorClock clock;
@@ -42,11 +55,17 @@ class OnlineSystem {
   WireMessage send(ProcessId p, std::int64_t when = kNoTime);
 
   /// Executes a receive event on p, merging the piggybacked clock.
+  /// Idempotent: delivering a message whose source was already consumed by
+  /// p executes nothing and returns the original receive event's id (the
+  /// suppression is counted in duplicates_suppressed()).
   EventId deliver(ProcessId p, const WireMessage& message,
                   std::int64_t when = kNoTime);
 
   /// Executes one receive event consuming several messages at once (gather
-  /// / barrier commit points).
+  /// / barrier commit points). Duplicate sources — within the batch or
+  /// against earlier deliveries — are suppressed first; if every message is
+  /// a duplicate, no event executes and the receive that first consumed
+  /// messages[0].source is returned.
   EventId deliver_all(ProcessId p, std::span<const WireMessage> messages,
                       std::int64_t when = kNoTime);
 
@@ -67,6 +86,43 @@ class OnlineSystem {
   EventIndex executed(ProcessId p) const;
   std::size_t total_executed() const { return total_; }
 
+  // --- fault tolerance -------------------------------------------------------
+
+  /// Re-materializes the wire form of any executed event from the log — the
+  /// retransmission primitive: a lost message (or a lost event report for a
+  /// remote monitor) can be served again at any time.
+  WireMessage wire_of(EventId e) const;
+
+  /// True iff p already consumed a message with this source event.
+  bool already_delivered(ProcessId p, EventId source) const;
+
+  /// Duplicate deliveries suppressed across all processes so far.
+  std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+
+  /// Lost predecessors at p: events some delivered clock vouched for but
+  /// whose own message never reached p. Exact for topologies where peers
+  /// ship every event to p (monitor feeds, full replication); in sparse
+  /// meshes transitively-learned events are reported too, by design — p
+  /// genuinely never witnessed them.
+  std::vector<EventId> missing_at(ProcessId p) const;
+  bool has_gap(ProcessId p) const;
+
+  /// Retransmit request covering missing_at(p).
+  RetransmitRequest resync_request(ProcessId p) const;
+
+  /// Serves a retransmit request from this (authoritative) log: one wire
+  /// message per requested event that has executed here. Requested events
+  /// not executed here are skipped — a crashed process's log cannot serve.
+  std::vector<WireMessage> serve(const RetransmitRequest& request) const;
+
+  /// Authoritative global clock snapshot: component q = 1 + events executed
+  /// by q (same dummy-counting convention as event clocks). Broadcast it
+  /// periodically so observers can detect *tail* losses — lost reports no
+  /// later report's clock would ever vouch for (OnlineMonitor::checkpoint).
+  VectorClock snapshot() const;
+
   /// Materializes the run so far as an offline Execution (for
   /// cross-validation and archival).
   Execution to_execution() const;
@@ -74,6 +130,7 @@ class OnlineSystem {
  private:
   EventId advance(ProcessId p, std::span<const WireMessage> messages,
                   std::int64_t when);
+  void check_deliverable(ProcessId p, const WireMessage& m) const;
 
   std::vector<VectorClock> clocks_;  // current clock per process
   // Log: per process, per event (1-based index - 1): its clock + sources.
@@ -83,6 +140,11 @@ class OnlineSystem {
     std::int64_t time = kNoTime;
   };
   std::vector<std::vector<LoggedEvent>> log_;
+  // Per receiver: source event -> the receive that consumed it (dedup).
+  std::vector<std::unordered_map<EventId, EventId>> delivered_;
+  // Per receiver: witnessed/claimed account of every peer's events.
+  std::vector<GapTracker> gaps_;
+  std::uint64_t duplicates_suppressed_ = 0;
   std::size_t total_ = 0;
 };
 

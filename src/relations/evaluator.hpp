@@ -136,21 +136,6 @@ class RelationEvaluator {
   /// bookkeeping mutation, not a query.
   void reset_accumulated_cost();
 
-  /// Deprecated pre-batch-engine spelling of accumulated_cost(); returns a
-  /// snapshot by value (it used to expose the internal counter itself).
-  [[deprecated(
-      "pass a QueryCost sink to the query, or read accumulated_cost(); see "
-      "DESIGN.md §3.6")]]
-  ComparisonCounter counter() const {
-    return accumulated_cost();
-  }
-  /// Deprecated: the old const escape hatch. Now plain (non-const) and
-  /// forwards to reset_accumulated_cost().
-  [[deprecated("use reset_accumulated_cost()")]]
-  void reset_counter() {
-    reset_accumulated_cost();
-  }
-
  private:
   struct Entry {
     NonatomicEvent event;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <queue>
+#include <set>
+#include <utility>
 
 #include "support/contracts.hpp"
 
@@ -39,6 +41,18 @@ struct DesEngine::Impl {
                    "latency window must be ordered and >= 1µs");
     SYNCON_REQUIRE(cfg.loss_probability >= 0.0 && cfg.loss_probability < 1.0,
                    "loss probability must be in [0, 1)");
+    SYNCON_REQUIRE(cfg.duplicate_probability >= 0.0 &&
+                       cfg.duplicate_probability <= 1.0,
+                   "duplicate probability must be in [0, 1]");
+    SYNCON_REQUIRE(cfg.reorder_probability >= 0.0 &&
+                       cfg.reorder_probability <= 1.0,
+                   "reorder probability must be in [0, 1]");
+    for (const CrashWindow& w : cfg.crashes) {
+      SYNCON_REQUIRE(w.process < processes.size(),
+                     "crash window names an unknown process");
+      SYNCON_REQUIRE(w.crash_at < w.restart_at,
+                     "crash window must be non-empty (crash_at < restart_at)");
+    }
     local_time.assign(processes.size(), 0);
     event_times.resize(processes.size());
     for (ProcessId p = 0; p < processes.size(); ++p) {
@@ -59,8 +73,22 @@ struct DesEngine::Impl {
     event_times[p].push_back(t);
   }
 
+  bool crashed_at(ProcessId p, TimePoint t) const {
+    for (const CrashWindow& w : config.crashes) {
+      if (w.process == p && t >= w.crash_at && t < w.restart_at) return true;
+    }
+    return false;
+  }
+
   void run_one(const Activation& act) {
     const ProcessId p = act.process;
+    // A crashed process is deaf: deliveries and timers landing inside its
+    // crash window are discarded, so it executes nothing until something
+    // reaches it after restart.
+    if (act.kind != Kind::Start && crashed_at(p, act.time)) {
+      ++fault_stats.crash_discarded;
+      return;
+    }
     DesContext ctx(*self, p);
     // The process cannot act before the activation reaches it.
     local_time[p] = std::max(local_time[p], act.time);
@@ -69,6 +97,12 @@ struct DesEngine::Impl {
         processes[p]->on_start(ctx);
         break;
       case Kind::Delivery: {
+        // At-least-once transport: the protocol layer consumes each
+        // (receiver, message) pair exactly once.
+        if (!seen_deliveries.insert({p, act.delivery_id}).second) {
+          ++fault_stats.duplicates_suppressed;
+          return;
+        }
         const MessageToken token = tokens[act.delivery_id];
         const TimePoint t = advance(p, 1);
         current_receive = builder.receive(p, token);
@@ -93,6 +127,8 @@ struct DesEngine::Impl {
   std::vector<std::vector<TimePoint>> event_times;
   std::vector<MessageToken> tokens;
   std::map<std::string, std::vector<EventId>> marks;
+  std::set<std::pair<ProcessId, std::uint64_t>> seen_deliveries;
+  DesFaultStats fault_stats;
   std::uint64_t next_seq = 0;
   std::size_t executed = 0;
   EventId current_receive{};
@@ -118,6 +154,10 @@ void DesEngine::run(TimePoint until) {
 }
 
 std::size_t DesEngine::events_executed() const { return impl_->executed; }
+
+const DesFaultStats& DesEngine::fault_stats() const {
+  return impl_->fault_stats;
+}
 
 DesEngine::Result DesEngine::finish() {
   SYNCON_REQUIRE(!impl_->finished, "finish() called twice");
@@ -169,16 +209,34 @@ EventId DesContext::multicast(std::span<const ProcessId> to,
   const std::uint64_t token_id = impl.tokens.size() - 1;
   for (const ProcessId dest : to) {
     if (impl.rng.bernoulli(impl.config.loss_probability)) {
+      ++impl.fault_stats.lost;
       continue;  // lost in transit for this destination
     }
-    const Duration latency =
-        impl.config.min_latency +
-        static_cast<Duration>(impl.rng.uniform(
-            0, static_cast<std::uint64_t>(impl.config.max_latency -
-                                          impl.config.min_latency)));
+    const auto sample_latency = [&impl]() {
+      Duration latency =
+          impl.config.min_latency +
+          static_cast<Duration>(impl.rng.uniform(
+              0, static_cast<std::uint64_t>(impl.config.max_latency -
+                                            impl.config.min_latency)));
+      if (impl.rng.bernoulli(impl.config.reorder_probability)) {
+        // Stale route: an extra delay lets later sends overtake this copy.
+        latency += static_cast<Duration>(impl.rng.uniform(
+            0, static_cast<std::uint64_t>(impl.config.max_latency)));
+        ++impl.fault_stats.reordered;
+      }
+      return latency;
+    };
     impl.push(DesEngine::Impl::Activation{
-        t + latency, impl.next_seq++, DesEngine::Impl::Kind::Delivery, dest,
+        t + sample_latency(), impl.next_seq++,
+        DesEngine::Impl::Kind::Delivery, dest,
         DesMessage{process_, tag, value}, token_id, 0});
+    if (impl.rng.bernoulli(impl.config.duplicate_probability)) {
+      ++impl.fault_stats.duplicates_scheduled;
+      impl.push(DesEngine::Impl::Activation{
+          t + sample_latency(), impl.next_seq++,
+          DesEngine::Impl::Kind::Delivery, dest,
+          DesMessage{process_, tag, value}, token_id, 0});
+    }
   }
   return send_event;
 }

@@ -18,6 +18,7 @@
 
 #include "model/execution.hpp"
 #include "nonatomic/interval.hpp"
+#include "sim/faulty_channel.hpp"
 #include "support/rng.hpp"
 #include "timing/physical_time.hpp"
 
@@ -61,7 +62,27 @@ struct DesConfig {
   /// occurs; no delivery is scheduled). Models the fault environment that
   /// makes timeout/retry protocols — and their causal analysis — matter.
   double loss_probability = 0.0;
+  /// Probability the transport redelivers a message (at-least-once). The
+  /// engine's protocol layer suppresses the duplicate at the receiver (no
+  /// second receive event) and counts it in fault_stats().
+  double duplicate_probability = 0.0;
+  /// Probability a delivery takes a stale route: an extra delay of up to
+  /// max_latency is added, letting later sends overtake it.
+  double reorder_probability = 0.0;
+  /// Crash-and-restart schedule: a process inside a crash window receives
+  /// no deliveries or timer firings (they are silently discarded) and so
+  /// executes nothing until an activation after restart reaches it.
+  std::vector<CrashWindow> crashes;
   std::uint64_t seed = 1;
+};
+
+/// What the simulated transport did to the traffic.
+struct DesFaultStats {
+  std::uint64_t lost = 0;                   ///< deliveries never scheduled
+  std::uint64_t duplicates_scheduled = 0;   ///< redeliveries injected
+  std::uint64_t duplicates_suppressed = 0;  ///< redeliveries caught at rcvr
+  std::uint64_t reordered = 0;              ///< stale-route delay penalties
+  std::uint64_t crash_discarded = 0;        ///< activations to crashed procs
 };
 
 /// API handed to process callbacks.
@@ -123,6 +144,9 @@ class DesEngine {
   Result finish();
 
   std::size_t events_executed() const;
+
+  /// Transport-fault accounting for the run so far.
+  const DesFaultStats& fault_stats() const;
 
  private:
   friend class DesContext;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 
 #include "model/reachability.hpp"
 #include "model/timestamps.hpp"
@@ -233,6 +234,56 @@ TEST(DesEngineTest, ContractViolations) {
   DesConfig bad;
   bad.min_latency = 0;
   EXPECT_THROW(DesEngine(std::move(procs), bad), ContractViolation);
+}
+
+TEST(DesEngineTest, FaultKnobsAreDeterministicAndAccounted) {
+  const auto run = [](std::uint64_t seed) {
+    std::vector<std::unique_ptr<DesProcess>> procs;
+    procs.push_back(std::make_unique<Pinger>(10));
+    procs.push_back(std::make_unique<Ponger>());
+    DesConfig cfg;
+    cfg.seed = seed;
+    cfg.duplicate_probability = 0.5;
+    cfg.reorder_probability = 0.5;
+    DesEngine engine(std::move(procs), cfg);
+    engine.run(100'000'000);
+    const DesFaultStats stats = engine.fault_stats();
+    return std::make_pair(engine.finish(), stats);
+  };
+  const auto [a, sa] = run(5);
+  // Redeliveries were injected, and every one was suppressed at the
+  // receiver: the trace still has exactly one receive per unique message,
+  // so the causal structure matches the fault-free protocol.
+  EXPECT_GT(sa.duplicates_scheduled, 0u);
+  EXPECT_EQ(sa.duplicates_suppressed, sa.duplicates_scheduled);
+  EXPECT_GT(sa.reordered, 0u);
+  EXPECT_EQ(a.execution->messages().size(), 20u);
+
+  // Same seed, same fault schedule, same timeline.
+  const auto [b, sb] = run(5);
+  EXPECT_EQ(sb.duplicates_scheduled, sa.duplicates_scheduled);
+  EXPECT_EQ(sb.reordered, sa.reordered);
+  ASSERT_EQ(a.execution->total_real_count(), b.execution->total_real_count());
+  for (const EventId& e : a.execution->topological_order()) {
+    ASSERT_EQ(a.times->at(e), b.times->at(e));
+  }
+}
+
+TEST(DesEngineTest, CrashWindowsDiscardActivations) {
+  std::vector<std::unique_ptr<DesProcess>> procs;
+  procs.push_back(std::make_unique<Heart>());
+  procs.push_back(std::make_unique<Ponger>());
+  DesConfig cfg;
+  cfg.crashes = {CrashWindow{0, 500, 2'500}};
+  DesEngine engine(std::move(procs), cfg);
+  engine.run(100'000);
+  // The 1000µs heartbeat fires into the crash window and is discarded;
+  // with no handler run, no timer is re-armed, so the process stays
+  // silent even after restart — exactly a crash-and-restart with no
+  // recovery logic.
+  EXPECT_EQ(engine.fault_stats().crash_discarded, 1u);
+  const auto result = engine.finish();
+  EXPECT_TRUE(result.intervals.empty());
 }
 
 }  // namespace

@@ -119,21 +119,6 @@ TEST(RelationEvaluatorTest, SharedTallyAccumulatesAndResets) {
   EXPECT_EQ(eval.accumulated_cost(), QueryCost{});
 }
 
-TEST(RelationEvaluatorTest, DeprecatedCounterShimStillWorks) {
-  const Execution exec = two_process_message();
-  const Timestamps ts(exec);
-  RelationEvaluator eval(ts);
-  const auto hx = eval.add_event(NonatomicEvent(exec, {EventId{0, 1}}, "X"));
-  const auto hy = eval.add_event(NonatomicEvent(exec, {EventId{1, 2}}, "Y"));
-  (void)eval.holds({Relation::R4, ProxyKind::Begin, ProxyKind::Begin}, hx, hy);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(eval.counter().integer_comparisons, 1u);
-  eval.reset_counter();
-  EXPECT_EQ(eval.counter().integer_comparisons, 0u);
-#pragma GCC diagnostic pop
-}
-
 TEST(RelationEvaluatorTest, RejectsForeignEvents) {
   const Execution exec_a = two_process_message();
   const Execution exec_b = two_process_message();

@@ -47,8 +47,9 @@ TEST(OnlineMonitorTest, WatchFiresAtLaterCompletion) {
   monitor.begin("produce");
   monitor.begin("consume");
   monitor.watch({Relation::R1, ProxyKind::End, ProxyKind::Begin}, "produce",
-                "consume", [&](const std::string& x, const std::string&,
-                               bool holds) { fired.emplace_back(x, holds); });
+                "consume",
+                [&](const std::string& x, const std::string&, bool holds,
+                    Confidence) { fired.emplace_back(x, holds); });
 
   monitor.record("produce", sys.local(0));
   const WireMessage m = sys.send(0);
@@ -76,9 +77,11 @@ TEST(OnlineMonitorTest, WatchRegisteredLateFiresImmediately) {
   int calls = 0;
   bool value = true;
   monitor.watch({Relation::R4, ProxyKind::Begin, ProxyKind::End}, "a", "b",
-                [&](const std::string&, const std::string&, bool holds) {
+                [&](const std::string&, const std::string&, bool holds,
+                    Confidence conf) {
                   ++calls;
                   value = holds;
+                  EXPECT_EQ(conf, Confidence::Definite);  // direct observer
                 });
   EXPECT_EQ(calls, 1);
   EXPECT_FALSE(value);  // concurrent actions
@@ -100,7 +103,7 @@ TEST(OnlineMonitorTest, DeadlineWatchMeasuresGap) {
   monitor.watch_deadline(
       TimingConstraint{"rt", Anchor::End, Anchor::End, 0, 2500}, "req", "rsp",
       [&](const std::string&, const std::string&, Duration gap_us,
-          bool satisfied) {
+          bool satisfied, Confidence) {
         measured = gap_us;
         ok = satisfied;
       });
@@ -122,7 +125,7 @@ TEST(OnlineMonitorTest, DeadlineOnUntimedActionsReportsUnsatisfied) {
                                           1000},
                          "a", "b",
                          [&](const std::string&, const std::string&, Duration,
-                             bool satisfied) { ok = satisfied; });
+                             bool satisfied, Confidence) { ok = satisfied; });
   EXPECT_FALSE(ok);
 }
 
@@ -138,14 +141,13 @@ TEST(OnlineMonitorTest, ReentrantCallbacksAreSafe) {
   int second_fired = 0;
   monitor.watch(
       {Relation::R4, ProxyKind::Begin, ProxyKind::End}, "first", "first",
-      [&](const std::string&, const std::string&, bool) {
+      [&](const std::string&, const std::string&, bool, Confidence) {
         // Re-entrant: complete "second" and register a watch on it.
         monitor.complete("second");
         monitor.watch({Relation::R4, ProxyKind::Begin, ProxyKind::End},
                       "second", "second",
-                      [&](const std::string&, const std::string&, bool) {
-                        ++second_fired;
-                      });
+                      [&](const std::string&, const std::string&, bool,
+                          Confidence) { ++second_fired; });
       });
   monitor.complete("first");  // fires the first watch, which cascades
   EXPECT_EQ(second_fired, 1);
@@ -174,7 +176,8 @@ TEST(OnlineMonitorTest, ForgetDropsDanglingWatches) {
   monitor.complete("a");
   int calls = 0;
   monitor.watch({Relation::R4, ProxyKind::Begin, ProxyKind::End}, "a",
-                "never", [&](const std::string&, const std::string&, bool) {
+                "never",
+                [&](const std::string&, const std::string&, bool, Confidence) {
                   ++calls;
                 });
   monitor.forget("a");

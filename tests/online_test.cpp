@@ -38,6 +38,65 @@ TEST(OnlineSystemTest, RejectsSelfDelivery) {
   OnlineSystem sys(2);
   const WireMessage m = sys.send(0);
   EXPECT_THROW(sys.deliver(0, m), ContractViolation);
+  // The message mentions who tried to self-deliver what.
+  try {
+    sys.deliver(0, m);
+    FAIL() << "self-delivery must throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("own message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("0:1"), std::string::npos);
+  }
+}
+
+TEST(OnlineSystemTest, RejectsForeignOrCorruptMessages) {
+  OnlineSystem sys(2);
+  // Source process beyond process_count(), with a descriptive message.
+  try {
+    sys.deliver(0, WireMessage{EventId{7, 1}, VectorClock({1, 1})});
+    FAIL() << "unknown source process must throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown process"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("2 processes"), std::string::npos);
+  }
+  // Receiver id beyond process_count().
+  const WireMessage m = sys.send(0);
+  EXPECT_THROW(sys.deliver(9, m), ContractViolation);
+  // Clock of the wrong width.
+  EXPECT_THROW(sys.deliver(1, WireMessage{EventId{0, 1}, VectorClock({1})}),
+               ContractViolation);
+  // Dummy source index.
+  EXPECT_THROW(sys.deliver(1, WireMessage{EventId{0, 0}, VectorClock({1, 1})}),
+               ContractViolation);
+  // A clock claiming receiver events that never executed (corruption).
+  EXPECT_THROW(
+      sys.deliver(1, WireMessage{EventId{0, 1}, VectorClock({2, 99})}),
+      ContractViolation);
+}
+
+TEST(OnlineSystemTest, DeliverIsIdempotent) {
+  OnlineSystem sys(2);
+  const WireMessage m = sys.send(0);
+  const EventId first = sys.deliver(1, m);
+  const std::size_t total = sys.total_executed();
+  // Redelivery (any number of times) executes nothing and returns the
+  // original receive event.
+  EXPECT_EQ(sys.deliver(1, m), first);
+  EXPECT_EQ(sys.deliver(1, m), first);
+  EXPECT_EQ(sys.total_executed(), total);
+  EXPECT_EQ(sys.duplicates_suppressed(), 2u);
+  EXPECT_TRUE(sys.already_delivered(1, m.source));
+  EXPECT_EQ(sys.current_clock(1), sys.clock_of(first));
+}
+
+TEST(OnlineSystemTest, StaleTimestampedDuplicateDoesNotThrow) {
+  // A duplicate arriving after later events carries an old send time; the
+  // dedup path must answer before time-monotonicity checks can object.
+  OnlineSystem sys(2);
+  const WireMessage m = sys.send(0, 100);
+  const EventId first = sys.deliver(1, m, 200);
+  sys.local(1, 300);
+  EXPECT_EQ(sys.deliver(1, m, 150), first);
 }
 
 TEST(OnlineSystemTest, DeliverAllMergesEverything) {
@@ -47,6 +106,47 @@ TEST(OnlineSystemTest, DeliverAllMergesEverything) {
   const std::vector<WireMessage> msgs{m1, m2};
   const EventId joined = sys.deliver_all(0, msgs);
   EXPECT_EQ(sys.clock_of(joined), VectorClock({2, 2, 2}));
+}
+
+TEST(OnlineSystemTest, DeliverAllSuppressesWithinBatchDuplicates) {
+  // The same wire message twice in one gather (an at-least-once transport
+  // redelivered it into the same batch): one receive, one suppression.
+  OnlineSystem sys(3);
+  const WireMessage m1 = sys.send(1);
+  const WireMessage m2 = sys.send(2);
+  const std::vector<WireMessage> msgs{m1, m2, m1};
+  const EventId joined = sys.deliver_all(0, msgs);
+  EXPECT_EQ(sys.clock_of(joined), VectorClock({2, 2, 2}));
+  EXPECT_EQ(sys.duplicates_suppressed(), 1u);
+  EXPECT_EQ(sys.executed(0), 1u);
+}
+
+TEST(OnlineSystemTest, DeliverAllSuppressesAgainstEarlierDeliveries) {
+  // A batch overlapping an earlier deliver: only the fresh message merges.
+  OnlineSystem sys(3);
+  const WireMessage m1 = sys.send(1);
+  const WireMessage m2 = sys.send(2);
+  sys.deliver(0, m1);
+  const std::vector<WireMessage> msgs{m1, m2};
+  const EventId joined = sys.deliver_all(0, msgs);
+  EXPECT_EQ(sys.clock_of(joined), VectorClock({3, 2, 2}));
+  EXPECT_EQ(sys.duplicates_suppressed(), 1u);
+  EXPECT_EQ(sys.executed(0), 2u);  // two receive events, no third
+}
+
+TEST(OnlineSystemTest, DeliverAllOfOnlyDuplicatesIsANoOp) {
+  OnlineSystem sys(3);
+  const WireMessage m1 = sys.send(1);
+  const WireMessage m2 = sys.send(2);
+  const std::vector<WireMessage> batch{m1, m2};
+  const EventId joined = sys.deliver_all(0, batch);
+  const std::size_t total = sys.total_executed();
+  // Redelivering the whole batch executes nothing and answers with the
+  // receive that first consumed the batch's first source.
+  const std::vector<WireMessage> again{m2, m1};
+  EXPECT_EQ(sys.deliver_all(0, again), joined);
+  EXPECT_EQ(sys.total_executed(), total);
+  EXPECT_EQ(sys.duplicates_suppressed(), 2u);
 }
 
 TEST(OnlineSystemTest, ToExecutionPreservesStructure) {
@@ -120,13 +220,31 @@ TEST(IntervalTrackerTest, ProxySummariesCollapseExtremes) {
   EXPECT_EQ(end.end_time, 20);
 }
 
-TEST(IntervalTrackerTest, RejectsOutOfOrderAdds) {
+TEST(IntervalTrackerTest, ToleratesOutOfOrderAddsButRejectsDuplicates) {
+  // Fault tolerance: a monitor behind a reordering channel folds events in
+  // arrival order, so the tracker accepts any order — the per-node extremes
+  // come out the same. Duplicates, however, are a caller bug (dedup happens
+  // upstream) and are rejected.
   OnlineSystem sys(1);
   const EventId e1 = sys.local(0);
   const EventId e2 = sys.local(0);
-  IntervalTracker tracker("t");
-  tracker.add(sys, e2);
-  EXPECT_THROW(tracker.add(sys, e1), ContractViolation);
+  const EventId e3 = sys.local(0);
+  IntervalTracker reversed("t");
+  reversed.add(sys, e3);
+  reversed.add(sys, e1);
+  reversed.add(sys, e2);  // interior event: folds without touching extremes
+  EXPECT_THROW(reversed.add(sys, e1), ContractViolation);
+  EXPECT_THROW(reversed.add(sys, e3), ContractViolation);
+
+  IntervalTracker forward("t");
+  forward.add(sys, e1);
+  forward.add(sys, e2);
+  forward.add(sys, e3);
+  const IntervalSummary a = reversed.summary(), b = forward.summary();
+  EXPECT_EQ(a.least_index, b.least_index);
+  EXPECT_EQ(a.greatest_index, b.greatest_index);
+  EXPECT_EQ(a.intersect_past, b.intersect_past);
+  EXPECT_EQ(a.union_past, b.union_past);
 }
 
 TEST(IntervalTrackerTest, EmptySummaryRejected) {
@@ -185,6 +303,26 @@ TEST(OnlineCostBoundTest, QuadraticOnlyForPrimedExistentials) {
   EXPECT_EQ(online_cost_bound(Relation::R4, 5, 7), 5u);
   EXPECT_EQ(online_cost_bound(Relation::R2p, 5, 7), 35u);
   EXPECT_EQ(online_cost_bound(Relation::R3p, 5, 7), 35u);
+}
+
+TEST(OnlineEvaluatorTest, RejectsMalformedSummaries) {
+  OnlineSystem sys(2);
+  IntervalTracker tx("X"), ty("Y");
+  tx.add(sys, sys.local(0));
+  ty.add(sys, sys.local(1));
+  const IntervalSummary good_x = tx.summary();
+  IntervalSummary bad_y = ty.summary();
+  ComparisonCounter counter;
+  // Mismatched process counts are two different systems.
+  bad_y.process_count = 3;
+  EXPECT_THROW(evaluate_online(Relation::R1, good_x, bad_y, counter),
+               ContractViolation);
+  // A past cut narrower than the claimed process count is a corrupt
+  // aggregate; it must fail loudly, not index out of bounds.
+  bad_y = ty.summary();
+  bad_y.intersect_past = VectorClock(1);
+  EXPECT_THROW(evaluate_online(Relation::R1, good_x, bad_y, counter),
+               ContractViolation);
 }
 
 // ---------------------------------------------------------------------------

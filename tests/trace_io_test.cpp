@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "helpers.hpp"
 #include "model/timestamps.hpp"
@@ -217,6 +220,87 @@ TEST_P(TraceIoPropertyTest, RoundTripOnGeneratedWorkloads) {
 INSTANTIATE_TEST_SUITE_P(Sweep, TraceIoPropertyTest,
                          ::testing::ValuesIn(property_sweep()),
                          testing::sweep_case_name);
+
+TEST(TraceIoErrorTest, ErrorsCarryLineAndToken) {
+  try {
+    trace_from_string("syncon-trace 1\nprocesses 2\ne 0\ne 7\n");
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& err) {
+    EXPECT_EQ(err.line(), 4u);
+    EXPECT_EQ(err.token(), "e 7");
+    const std::string what = err.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos);
+    EXPECT_NE(what.find("2 processes"), std::string::npos);
+    EXPECT_NE(what.find("'e 7'"), std::string::npos);
+  }
+}
+
+// Robustness property (DESIGN.md §3.7): a reader facing storage/transport
+// corruption must either parse (when the damage happens to leave a valid
+// trace) or throw a clean TraceFormatError — never crash, never escape a
+// different exception type, never return a structurally broken Execution.
+class TraceCorruptionTest : public ::testing::Test {
+ protected:
+  // Returns true if the text still parsed; validates failure cleanliness
+  // otherwise. Any non-TraceFormatError exception propagates and fails.
+  static bool parses_or_fails_cleanly(const std::string& text) {
+    try {
+      const Execution parsed = trace_from_string(text);
+      // No silent misparse: the accepted result must itself round-trip.
+      const Execution again = trace_from_string(trace_to_string(parsed));
+      EXPECT_EQ(again.total_real_count(), parsed.total_real_count());
+      return true;
+    } catch (const TraceFormatError& err) {
+      EXPECT_FALSE(std::string(err.what()).empty());
+      const auto lines = static_cast<std::size_t>(
+          1 + std::count(text.begin(), text.end(), '\n'));
+      EXPECT_LE(err.line(), lines + 1);  // LineReader's virtual EOF line
+      return false;
+    }
+  }
+
+  static std::string valid_trace() {
+    WorkloadConfig cfg;
+    cfg.seed = 9;
+    return trace_to_string(generate_execution(cfg));
+  }
+};
+
+TEST_F(TraceCorruptionTest, EveryTruncationFailsCleanlyOrParses) {
+  const std::string good = valid_trace();
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    parses_or_fails_cleanly(good.substr(0, len));
+  }
+}
+
+TEST_F(TraceCorruptionTest, BitFlipsFailCleanlyOrParse) {
+  const std::string good = valid_trace();
+  Xoshiro256StarStar rng(2026);
+  std::size_t rejected = 0;
+  for (int trial = 0; trial < 800; ++trial) {
+    std::string text = good;
+    const std::size_t pos = rng.below(text.size());
+    text[pos] = static_cast<char>(
+        static_cast<unsigned char>(text[pos]) ^ (1u << rng.below(8)));
+    if (!parses_or_fails_cleanly(text)) ++rejected;
+  }
+  // The format is dense enough that most single-bit flips are detected.
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST_F(TraceCorruptionTest, LinePermutationsFailCleanlyOrParse) {
+  const std::string good = valid_trace();
+  std::vector<std::string> lines;
+  std::istringstream in(good);
+  for (std::string l; std::getline(in, l);) lines.push_back(l);
+  Xoshiro256StarStar rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::shuffle(lines.begin(), lines.end(), rng);
+    std::string text;
+    for (const std::string& l : lines) text += l + "\n";
+    parses_or_fails_cleanly(text);
+  }
+}
 
 }  // namespace
 }  // namespace syncon
