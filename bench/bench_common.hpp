@@ -3,11 +3,18 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cuts/ll_relation.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "model/timestamps.hpp"
 #include "nonatomic/cut_timestamps.hpp"
 #include "sim/interval_picker.hpp"
@@ -76,6 +83,34 @@ inline ThreadPool& pool_with(std::size_t threads) {
   }
   pools.push_back(std::make_unique<ThreadPool>(threads));
   return *pools.back();
+}
+
+/// Turns telemetry on for the whole benchmark run (DESIGN.md §3.8). Pair
+/// with finish_telemetry() at the end of main.
+inline void start_telemetry() { obs::set_enabled(true); }
+
+/// Prints the per-phase span summary table, then honors two environment
+/// variables: SYNCON_BENCH_JSON names a file for the telemetry JSON
+/// snapshot (scripts/ci_bench_smoke.sh assembles these per-binary
+/// snapshots into BENCH_smoke.json), and SYNCON_BENCH_TRACE names a file
+/// for the Chrome trace-event export (load it in Perfetto or
+/// chrome://tracing — see README "Telemetry" quickstart).
+inline void finish_telemetry(const char* run_name) {
+  obs::set_enabled(false);
+  std::printf("\n=== span summary: %s ===\n", run_name);
+  std::ostringstream table;
+  obs::write_span_summary(table, obs::TraceRecorder::global());
+  std::fputs(table.str().c_str(), stdout);
+  if (const char* path = std::getenv("SYNCON_BENCH_JSON")) {
+    std::ofstream out(path);
+    obs::write_json(out, obs::MetricRegistry::global().snapshot(), run_name);
+    std::printf("telemetry snapshot -> %s\n", path);
+  }
+  if (const char* path = std::getenv("SYNCON_BENCH_TRACE")) {
+    std::ofstream out(path);
+    obs::write_chrome_trace(out, obs::TraceRecorder::global());
+    std::printf("chrome trace -> %s (open in Perfetto)\n", path);
+  }
 }
 
 /// Prints a banner so the harness output reads like the paper artifact it

@@ -144,10 +144,12 @@ void register_all() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  start_telemetry();
   print_summary();
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  finish_telemetry("bench_online_monitor");
   return 0;
 }

@@ -211,9 +211,11 @@ BENCHMARK(BM_AllPairsNaive)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  start_telemetry();
   print_summary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  finish_telemetry("bench_problem4_all_pairs");
   return 0;
 }

@@ -17,6 +17,10 @@
 
 #include "monitor/monitor.hpp"
 #include "monitor/report.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "relations/interaction_types.hpp"
 #include "monitor/trace_io.hpp"
 #include "sim/interval_picker.hpp"
@@ -47,7 +51,16 @@ int main(int argc, char** argv) {
   cli.add_flag("matrix", "print the interaction-type matrix of all intervals");
   cli.add_option("dot", "", "write a Graphviz rendering to this file");
   cli.add_flag("report", "print the full analysis report");
+  cli.add_option("chrome-trace", "",
+                 "enable telemetry; write the span trace here as Chrome "
+                 "trace-event JSON (open in Perfetto / chrome://tracing)");
+  cli.add_option("metrics", "",
+                 "enable telemetry; write Prometheus text metrics here");
   if (!cli.parse(argc, argv)) return 1;
+
+  const bool telemetry =
+      !cli.get("chrome-trace").empty() || !cli.get("metrics").empty();
+  if (telemetry) obs::set_enabled(true);
 
   // --- obtain the execution -------------------------------------------------
   std::shared_ptr<const Execution> exec;
@@ -187,5 +200,25 @@ int main(int argc, char** argv) {
   std::printf("\ncost: %llu integer comparisons, %llu causality checks\n",
               static_cast<unsigned long long>(spent.integer_comparisons),
               static_cast<unsigned long long>(spent.causality_checks));
+
+  if (telemetry) {
+    obs::set_enabled(false);
+    std::printf("\nspan summary:\n");
+    std::ostringstream spans;
+    obs::write_span_summary(spans, obs::TraceRecorder::global());
+    std::printf("%s", spans.str().c_str());
+    if (!cli.get("chrome-trace").empty()) {
+      std::ofstream out(cli.get("chrome-trace"));
+      obs::write_chrome_trace(out, obs::TraceRecorder::global());
+      std::printf("wrote Chrome trace to %s (open in Perfetto)\n",
+                  cli.get("chrome-trace").c_str());
+    }
+    if (!cli.get("metrics").empty()) {
+      std::ofstream out(cli.get("metrics"));
+      obs::write_prometheus(out, obs::MetricRegistry::global().snapshot());
+      std::printf("wrote Prometheus metrics to %s\n",
+                  cli.get("metrics").c_str());
+    }
+  }
   return 0;
 }

@@ -1,10 +1,12 @@
 #include "model/timestamps.hpp"
 
+#include "obs/span.hpp"
 #include "support/contracts.hpp"
 
 namespace syncon {
 
 Timestamps::Timestamps(const Execution& exec) : exec_(&exec) {
+  SYNCON_SPAN("model/stamp");
   const std::size_t p_count = exec.process_count();
   const auto& order = exec.topological_order();
   forward_.resize(order.size());

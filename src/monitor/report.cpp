@@ -104,18 +104,11 @@ void write_online_report(std::ostream& os, const OnlineMonitor& monitor) {
   TextTable health({"metric", "value"});
   health.new_row().add_cell(std::string("mode")).add_cell(std::string(
       monitor.degraded() ? "degraded (report feed)" : "direct"));
-  health.new_row().add_cell(std::string("open actions"))
-      .add_cell(monitor.open_actions().size());
-  health.new_row().add_cell(std::string("completed summaries"))
-      .add_cell(monitor.retained());
-  health.new_row().add_cell(std::string("duplicate reports suppressed"))
-      .add_cell(monitor.duplicate_reports());
-  health.new_row().add_cell(std::string("known-lost reports"))
-      .add_cell(monitor.missing_reports().size());
-  health.new_row().add_cell(std::string("definite watch firings"))
-      .add_cell(monitor.definite_fires());
-  health.new_row().add_cell(std::string("pending-gap watch firings"))
-      .add_cell(monitor.pending_fires());
+  // The rows come from the same health_metrics() list publish_metrics()
+  // exports, so this table and the Prometheus/JSON exporters always agree.
+  for (const OnlineMonitor::HealthMetric& m : monitor.health_metrics()) {
+    health.new_row().add_cell(m.label).add_cell(m.value);
+  }
   health.print(os);
 
   const auto missing = monitor.missing_reports();

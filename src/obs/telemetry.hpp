@@ -1,0 +1,25 @@
+// Global telemetry switch (DESIGN.md §3.8). Instrumentation sites across
+// the library guard every metric/span recording on obs::enabled(), which is
+// a single relaxed atomic load — with telemetry off (the default) the hot
+// paths pay one predictable branch and nothing else: no clock reads, no
+// registry lookups, no allocations.
+#pragma once
+
+#include <atomic>
+
+namespace syncon::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True iff telemetry recording is on. Off by default.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips telemetry recording globally. Thread-safe; spans already open keep
+/// the state they started with.
+void set_enabled(bool on);
+
+}  // namespace syncon::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "support/contracts.hpp"
 
 namespace syncon {
@@ -98,12 +100,15 @@ std::vector<std::string> OnlineMonitor::open_actions() const {
 }
 
 bool OnlineMonitor::observe(const WireMessage& report) {
+  SYNCON_SPAN("monitor/ingest");
   degraded_ = true;
+  ++reports_seen_;
   if (!gaps_.witness(report.source)) {
     ++duplicate_reports_;
     return false;
   }
   gaps_.claim(report.clock);
+  note_gap_state();
   if (!gaps_.has_gap()) rearm_after_recovery(nullptr);
   fire_ready_watches();
   return true;
@@ -111,7 +116,9 @@ bool OnlineMonitor::observe(const WireMessage& report) {
 
 void OnlineMonitor::ingest(const std::string& label,
                            const WireMessage& report, std::int64_t when) {
+  SYNCON_SPAN("monitor/ingest");
   degraded_ = true;
+  ++reports_seen_;
   const auto open_it = open_.find(label);
   const auto sealed_it = sealed_.find(label);
   SYNCON_REQUIRE(open_it != open_.end() || sealed_it != sealed_.end(),
@@ -130,6 +137,7 @@ void OnlineMonitor::ingest(const std::string& label,
     completed_[label] = sealed_it->second.summary();
     rearm_after_recovery(&label);
   }
+  note_gap_state();
   if (!gaps_.has_gap()) rearm_after_recovery(nullptr);
   fire_ready_watches();
 }
@@ -137,6 +145,27 @@ void OnlineMonitor::ingest(const std::string& label,
 void OnlineMonitor::checkpoint(const VectorClock& snapshot) {
   degraded_ = true;
   gaps_.claim(snapshot);
+  note_gap_state();
+}
+
+void OnlineMonitor::note_gap_state() {
+  const bool open_now = gaps_.has_gap();
+  if (open_now && !gap_open_) {
+    gap_open_ = true;
+    gap_opened_at_report_ = reports_seen_;
+  } else if (!open_now && gap_open_) {
+    gap_open_ = false;
+    if (obs::enabled()) {
+      // Duration measured in reports observed while the gap stayed open —
+      // the monitor's own deterministic clock, unlike wall time.
+      static obs::Histogram& open_reports =
+          obs::MetricRegistry::global().histogram(
+              "syncon_monitor_gap_open_reports",
+              obs::HistogramSpec::exponential(1.0, 4096.0));
+      open_reports.record(
+          static_cast<double>(reports_seen_ - gap_opened_at_report_));
+    }
+  }
 }
 
 void OnlineMonitor::mark_crashed(ProcessId p) {
@@ -208,6 +237,33 @@ Confidence OnlineMonitor::current_confidence() const {
   // process may have been lost). See DESIGN.md §3.7.
   return degraded_ && gaps_.has_gap() ? Confidence::PendingGap
                                       : Confidence::Definite;
+}
+
+std::vector<OnlineMonitor::HealthMetric> OnlineMonitor::health_metrics()
+    const {
+  return {
+      {"syncon_monitor_open_actions", "open actions", open_.size()},
+      {"syncon_monitor_completed_summaries", "completed summaries",
+       retained()},
+      {"syncon_monitor_reports_seen", "reports observed", reports_seen_},
+      {"syncon_monitor_duplicate_reports", "duplicate reports suppressed",
+       duplicate_reports_},
+      {"syncon_monitor_known_lost_reports", "known-lost reports",
+       missing_reports().size()},
+      {"syncon_monitor_definite_fires", "definite watch firings",
+       definite_fires_},
+      {"syncon_monitor_pending_fires", "pending-gap watch firings",
+       pending_fires_},
+      {"syncon_monitor_crashed_processes", "crashed processes",
+       crashed_processes().size()},
+  };
+}
+
+void OnlineMonitor::publish_metrics() const {
+  auto& registry = obs::MetricRegistry::global();
+  for (const HealthMetric& m : health_metrics()) {
+    registry.gauge(m.metric).set(static_cast<std::int64_t>(m.value));
+  }
 }
 
 void OnlineMonitor::rearm_after_recovery(const std::string* label) {

@@ -168,6 +168,25 @@ class OnlineMonitor {
   std::uint64_t definite_fires() const { return definite_fires_; }
   std::uint64_t pending_fires() const { return pending_fires_; }
 
+  // --- health / telemetry ---------------------------------------------------
+
+  /// One row of the monitor's health report: the registry metric name, the
+  /// prose label write_online_report prints, and the value.
+  struct HealthMetric {
+    std::string metric;
+    std::string label;
+    std::uint64_t value = 0;
+  };
+
+  /// The monitor's health numbers, one list for every consumer: the text
+  /// report (monitor/report.cpp) renders the labels, publish_metrics()
+  /// mirrors the metric names into the registry — so the table and the
+  /// Prometheus/JSON exporters can never disagree (DESIGN.md §3.8).
+  std::vector<HealthMetric> health_metrics() const;
+
+  /// Publishes health_metrics() into MetricRegistry::global() as gauges.
+  void publish_metrics() const;
+
  private:
   struct RelationWatch {
     RelationId relation;
@@ -188,6 +207,10 @@ class OnlineMonitor {
 
   void fire_ready_watches();
   Confidence current_confidence() const;
+  /// Tracks has_gap() transitions after each report/checkpoint, feeding the
+  /// gap-open-duration histogram (measured in observed reports — the
+  /// monitor's deterministic clock).
+  void note_gap_state();
   /// Re-arms watches so they re-fire with repaired state: all watches
   /// naming `label` (after a late report repaired it), and — when every gap
   /// has closed — all watches whose last firing was PendingGap.
@@ -210,6 +233,10 @@ class OnlineMonitor {
   std::uint64_t definite_fires_ = 0;
   std::uint64_t pending_fires_ = 0;
   bool firing_ = false;
+  // Gap-open accounting in report counts (see note_gap_state).
+  std::uint64_t reports_seen_ = 0;
+  std::uint64_t gap_opened_at_report_ = 0;
+  bool gap_open_ = false;
 };
 
 }  // namespace syncon

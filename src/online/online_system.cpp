@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "support/contracts.hpp"
 
 namespace syncon {
@@ -10,6 +12,28 @@ namespace {
 
 std::string describe(const EventId& e) {
   return std::to_string(e.process) + ":" + std::to_string(e.index);
+}
+
+obs::Counter& deliveries_counter() {
+  static obs::Counter& c =
+      obs::MetricRegistry::global().counter("syncon_online_deliveries_total");
+  return c;
+}
+
+obs::Counter& duplicates_counter() {
+  static obs::Counter& c = obs::MetricRegistry::global().counter(
+      "syncon_online_duplicates_suppressed_total");
+  return c;
+}
+
+// Wire latency of one delivery in µs of application time (receive `when`
+// minus the source event's send time), when both sides are stamped.
+void record_delivery_latency(std::int64_t sent_at, std::int64_t when) {
+  if (sent_at < 0 || when < 0) return;  // kNoTime on either side
+  static obs::Histogram& latency = obs::MetricRegistry::global().histogram(
+      "syncon_online_delivery_latency_us",
+      obs::HistogramSpec::exponential(1.0, 1048576.0));
+  latency.record(static_cast<double>(when - sent_at));
 }
 
 }  // namespace
@@ -105,6 +129,7 @@ WireMessage OnlineSystem::send(ProcessId p, std::int64_t when) {
 
 EventId OnlineSystem::deliver(ProcessId p, const WireMessage& message,
                               std::int64_t when) {
+  SYNCON_SPAN("online/deliver");
   SYNCON_REQUIRE(p < clocks_.size(),
                  "process id " + std::to_string(p) + " out of range (" +
                      std::to_string(clocks_.size()) + " processes)");
@@ -112,7 +137,14 @@ EventId OnlineSystem::deliver(ProcessId p, const WireMessage& message,
   const auto it = delivered_[p].find(message.source);
   if (it != delivered_[p].end()) {
     ++duplicates_suppressed_;
+    if (obs::enabled()) duplicates_counter().add();
     return it->second;
+  }
+  if (obs::enabled()) {
+    deliveries_counter().add();
+    if (message.source.index <= log_[message.source.process].size()) {
+      record_delivery_latency(time_of(message.source), when);
+    }
   }
   const WireMessage msgs[] = {message};
   return advance(p, msgs, when);
@@ -134,6 +166,7 @@ EventId OnlineSystem::deliver_all(ProcessId p,
     check_deliverable(p, m);
     if (delivered_[p].count(m.source)) {
       ++duplicates_suppressed_;
+      if (obs::enabled()) duplicates_counter().add();
       continue;
     }
     bool in_batch = false;
@@ -145,7 +178,14 @@ EventId OnlineSystem::deliver_all(ProcessId p,
     }
     if (in_batch) {
       ++duplicates_suppressed_;
+      if (obs::enabled()) duplicates_counter().add();
       continue;
+    }
+    if (obs::enabled()) {
+      deliveries_counter().add();
+      if (m.source.index <= log_[m.source.process].size()) {
+        record_delivery_latency(time_of(m.source), when);
+      }
     }
     fresh.push_back(m);
   }
@@ -206,6 +246,7 @@ RetransmitRequest OnlineSystem::resync_request(ProcessId p) const {
 
 std::vector<WireMessage> OnlineSystem::serve(
     const RetransmitRequest& request) const {
+  SYNCON_SPAN("online/resync_serve");
   std::vector<WireMessage> out;
   out.reserve(request.events.size());
   for (const EventId& e : request.events) {
@@ -213,6 +254,15 @@ std::vector<WireMessage> OnlineSystem::serve(
         e.index <= log_[e.process].size()) {
       out.push_back(wire_of(e));
     }
+  }
+  if (obs::enabled()) {
+    auto& registry = obs::MetricRegistry::global();
+    static obs::Counter& serves =
+        registry.counter("syncon_online_resync_serves_total");
+    static obs::Counter& served =
+        registry.counter("syncon_online_resync_messages_total");
+    serves.add(1);
+    served.add(out.size());
   }
   return out;
 }

@@ -1,5 +1,8 @@
 #include "relations/batch.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace syncon {
 
 std::size_t BatchEvaluator::Result::holding_total() const {
@@ -39,6 +42,7 @@ BatchEvaluator::Result BatchEvaluator::all_pairs(bool pruned) const {
 BatchEvaluator::Result BatchEvaluator::evaluate_pairs(
     std::vector<std::pair<EventHandle, EventHandle>> pairs,
     bool pruned) const {
+  SYNCON_SPAN("batch/sweep");
   Result result;
   result.pairs.resize(pairs.size());
 
@@ -70,6 +74,25 @@ BatchEvaluator::Result BatchEvaluator::evaluate_pairs(
   // Merge in shard order: deterministic, and exactly the serial total.
   for (const QueryCost& c : shard_costs) result.cost += c;
   result.threads_used = shards;
+
+  if (obs::enabled()) {
+    // Per-pair distribution is recorded here, after the join, in pair-index
+    // order on shard 0 — the samples (and so every exported total) are
+    // bit-identical whether the sweep ran serial or parallel.
+    auto& registry = obs::MetricRegistry::global();
+    static obs::Counter& sweeps =
+        registry.counter("syncon_batch_sweeps_total");
+    static obs::Counter& pairs_done =
+        registry.counter("syncon_batch_pairs_total");
+    static obs::Histogram& per_pair = registry.histogram(
+        "syncon_batch_pair_comparisons",
+        obs::HistogramSpec::exponential(1.0, 4096.0));
+    sweeps.add(1);
+    pairs_done.add(result.pairs.size());
+    for (const PairRelations& p : result.pairs) {
+      per_pair.record(static_cast<double>(p.relations.cost.integer_comparisons));
+    }
+  }
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <array>
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "relations/hierarchy.hpp"
 #include "support/contracts.hpp"
 
@@ -15,12 +17,41 @@ std::uint64_t next_evaluator_id() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Every query cost flows through deposit(), so this one site feeds the
+// registry's whole relation-query family. Called only when obs::enabled().
+void record_query_metrics(const QueryCost& cost) {
+  auto& registry = obs::MetricRegistry::global();
+  static obs::Counter& queries =
+      registry.counter("syncon_relation_queries_total");
+  static obs::Counter& comparisons =
+      registry.counter("syncon_relation_integer_comparisons_total");
+  static obs::Counter& causality =
+      registry.counter("syncon_relation_causality_checks_total");
+  static obs::Histogram& per_query = registry.histogram(
+      "syncon_relation_comparisons_per_query",
+      obs::HistogramSpec::exponential(1.0, 4096.0));
+  const std::size_t shard = obs::current_thread_slot();
+  queries.add(1, shard);
+  comparisons.add(cost.integer_comparisons, shard);
+  causality.add(cost.causality_checks, shard);
+  per_query.record(static_cast<double>(cost.integer_comparisons), shard);
+}
+
+// µs latency of one all_holding / all_holding_pruned evaluation.
+void record_evaluate_latency(std::uint64_t us) {
+  static obs::Histogram& latency = obs::MetricRegistry::global().histogram(
+      "syncon_relation_evaluate_us",
+      obs::HistogramSpec::exponential(1.0, 65536.0));
+  latency.record(static_cast<double>(us), obs::current_thread_slot());
+}
+
 }  // namespace
 
 RelationEvaluator::RelationEvaluator(const Timestamps& ts)
     : ts_(&ts), id_(next_evaluator_id()) {}
 
 EventHandle RelationEvaluator::add_event(NonatomicEvent event) {
+  SYNCON_SPAN("relation/register");
   SYNCON_REQUIRE(&event.execution() == &ts_->execution(),
                  "event belongs to a different execution");
   NonatomicEvent begin_proxy = event.proxy_per_node(ProxyKind::Begin);
@@ -81,6 +112,7 @@ const EventCuts& RelationEvaluator::proxy_cuts(EventHandle h,
 }
 
 void RelationEvaluator::deposit(const QueryCost& cost, QueryCost* sink) const {
+  if (obs::enabled()) record_query_metrics(cost);
   if (sink != nullptr) {
     *sink += cost;
     return;
@@ -176,17 +208,22 @@ bool RelationEvaluator::holds_naive(const RelationId& r, EventHandle x,
 
 RelationEvaluator::AllRelationsResult RelationEvaluator::all_holding(
     EventHandle x, EventHandle y, QueryCost* cost) const {
+  SYNCON_SPAN("relation/evaluate");
+  const std::uint64_t t0 = obs::enabled() ? obs::now_us() : 0;
   AllRelationsResult result;
   for (const RelationId& id : all_relation_ids()) {
     ++result.evaluated;
     if (holds_impl(id, x, y, result.cost)) result.holding.push_back(id);
   }
   deposit(result.cost, cost);
+  if (obs::enabled()) record_evaluate_latency(obs::now_us() - t0);
   return result;
 }
 
 RelationEvaluator::AllRelationsResult RelationEvaluator::all_holding_pruned(
     EventHandle x, EventHandle y, QueryCost* cost) const {
+  SYNCON_SPAN("relation/evaluate");
+  const std::uint64_t t0 = obs::enabled() ? obs::now_us() : 0;
   const auto ids = all_relation_ids();
   std::array<std::optional<bool>, 32> decided;
 
@@ -209,6 +246,7 @@ RelationEvaluator::AllRelationsResult RelationEvaluator::all_holding_pruned(
     if (*decided[i]) result.holding.push_back(ids[i]);
   }
   deposit(result.cost, cost);
+  if (obs::enabled()) record_evaluate_latency(obs::now_us() - t0);
   return result;
 }
 

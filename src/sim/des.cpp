@@ -6,9 +6,36 @@
 #include <set>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "support/contracts.hpp"
 
 namespace syncon {
+
+namespace {
+
+// Simulated-event throughput, incremented wherever Impl bumps `executed`.
+obs::Counter& des_events_counter() {
+  static obs::Counter& c =
+      obs::MetricRegistry::global().counter("syncon_des_events_total");
+  return c;
+}
+
+}  // namespace
+
+void publish_des_fault_metrics(const DesFaultStats& stats) {
+  auto& registry = obs::MetricRegistry::global();
+  registry.gauge("syncon_des_lost_messages")
+      .set(static_cast<std::int64_t>(stats.lost));
+  registry.gauge("syncon_des_duplicates_scheduled")
+      .set(static_cast<std::int64_t>(stats.duplicates_scheduled));
+  registry.gauge("syncon_des_duplicates_suppressed")
+      .set(static_cast<std::int64_t>(stats.duplicates_suppressed));
+  registry.gauge("syncon_des_reordered_messages")
+      .set(static_cast<std::int64_t>(stats.reordered));
+  registry.gauge("syncon_des_crash_discarded")
+      .set(static_cast<std::int64_t>(stats.crash_discarded));
+}
 
 struct DesEngine::Impl {
   enum class Kind { Start, Delivery, Timer };
@@ -108,6 +135,7 @@ struct DesEngine::Impl {
         current_receive = builder.receive(p, token);
         record_time(p, t);
         ++executed;
+        if (obs::enabled()) des_events_counter().add();
         processes[p]->on_message(ctx, act.message);
         current_receive = EventId{};
         break;
@@ -145,6 +173,7 @@ DesEngine::DesEngine(std::vector<std::unique_ptr<DesProcess>> processes,
 DesEngine::~DesEngine() = default;
 
 void DesEngine::run(TimePoint until) {
+  SYNCON_SPAN("des/run");
   SYNCON_REQUIRE(!impl_->finished, "engine already finished");
   while (!impl_->queue.empty() && impl_->queue.top().time <= until) {
     const Impl::Activation act = impl_->queue.top();
@@ -157,6 +186,13 @@ std::size_t DesEngine::events_executed() const { return impl_->executed; }
 
 const DesFaultStats& DesEngine::fault_stats() const {
   return impl_->fault_stats;
+}
+
+void DesEngine::publish_metrics() const {
+  publish_des_fault_metrics(impl_->fault_stats);
+  obs::MetricRegistry::global()
+      .gauge("syncon_des_events_executed")
+      .set(static_cast<std::int64_t>(impl_->executed));
 }
 
 DesEngine::Result DesEngine::finish() {
@@ -181,6 +217,7 @@ EventId DesContext::execute(Duration processing) {
   const EventId e = impl.builder.local(process_);
   impl.record_time(process_, t);
   ++impl.executed;
+  if (obs::enabled()) des_events_counter().add();
   return e;
 }
 
@@ -205,6 +242,7 @@ EventId DesContext::multicast(std::span<const ProcessId> to,
   const MessageToken token = impl.builder.send(process_, &send_event);
   impl.record_time(process_, t);
   ++impl.executed;
+  if (obs::enabled()) des_events_counter().add();
   impl.tokens.push_back(token);
   const std::uint64_t token_id = impl.tokens.size() - 1;
   for (const ProcessId dest : to) {

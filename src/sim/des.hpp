@@ -85,6 +85,11 @@ struct DesFaultStats {
   std::uint64_t crash_discarded = 0;        ///< activations to crashed procs
 };
 
+/// Mirrors the fault accounting into MetricRegistry::global() as
+/// syncon_des_* gauges, so exporters report exactly the numbers
+/// fault_stats() returns (DESIGN.md §3.8).
+void publish_des_fault_metrics(const DesFaultStats& stats);
+
 /// API handed to process callbacks.
 class DesContext {
  public:
@@ -147,6 +152,10 @@ class DesEngine {
 
   /// Transport-fault accounting for the run so far.
   const DesFaultStats& fault_stats() const;
+
+  /// publish_des_fault_metrics(fault_stats()) plus the engine's event count
+  /// (syncon_des_events_executed gauge).
+  void publish_metrics() const;
 
  private:
   friend class DesContext;

@@ -1,7 +1,9 @@
 #include "sim/faulty_channel.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "support/contracts.hpp"
 
 namespace syncon {
@@ -213,6 +215,30 @@ ChannelStats FaultyNetwork::stats() const {
   ChannelStats total = crash_losses_;
   for (const auto& [key, l] : links_) total += l.stats();
   return total;
+}
+
+void FaultyNetwork::publish_metrics() const {
+  auto& registry = obs::MetricRegistry::global();
+  const auto set = [&registry](const std::string& name, std::uint64_t v) {
+    registry.gauge(name).set(static_cast<std::int64_t>(v));
+  };
+  for (const auto& [key, l] : links_) {
+    const std::string labels = "{from=\"" + std::to_string(key.first) +
+                               "\",to=\"" + std::to_string(key.second) +
+                               "\"}";
+    const ChannelStats& s = l.stats();
+    set("syncon_link_offered" + labels, s.offered);
+    set("syncon_link_dropped" + labels, s.dropped);
+    set("syncon_link_duplicated" + labels, s.duplicated);
+    set("syncon_link_reordered" + labels, s.reordered);
+    set("syncon_link_delivered" + labels, s.delivered);
+  }
+  const ChannelStats total = stats();
+  set("syncon_network_offered", total.offered);
+  set("syncon_network_dropped", total.dropped);
+  set("syncon_network_duplicated", total.duplicated);
+  set("syncon_network_reordered", total.reordered);
+  set("syncon_network_delivered", total.delivered);
 }
 
 }  // namespace syncon

@@ -152,6 +152,12 @@ class FaultyNetwork {
   /// Aggregate stats across all links.
   ChannelStats stats() const;
 
+  /// Mirrors the per-link fault counters into MetricRegistry::global() as
+  /// labeled gauges (syncon_link_dropped{from="0",to="1"}, ...) plus the
+  /// aggregate syncon_network_* family — exporters then show exactly what
+  /// stats() reports.
+  void publish_metrics() const;
+
  private:
   FaultyChannel& link(ProcessId from, ProcessId to);
   std::vector<Arrival> filter_crashed(ProcessId to, std::vector<Arrival> in);

@@ -47,10 +47,16 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 void SampleSet::ensure_sorted() const {
-  if (!dirty_ && sorted_.size() == values_.size()) return;
+  if (!dirty_) return;
   sorted_ = values_;
   std::sort(sorted_.begin(), sorted_.end());
   dirty_ = false;
+}
+
+void SampleSet::merge(const SampleSet& other) {
+  if (other.values_.empty()) return;
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  dirty_ = true;
 }
 
 double SampleSet::mean() const {

@@ -34,10 +34,16 @@ class RunningStats {
 };
 
 /// Retaining accumulator with exact quantiles; used where percentile
-/// reporting matters (e.g. distribution of comparison counts).
+/// reporting matters (e.g. distribution of comparison counts). Quantile
+/// queries sort once and memoize; add()/merge() invalidate the memo.
 class SampleSet {
  public:
-  void add(double x) { values_.push_back(x); }
+  void add(double x) {
+    values_.push_back(x);
+    dirty_ = true;
+  }
+  /// Appends all of `other`'s samples.
+  void merge(const SampleSet& other);
   std::size_t count() const { return values_.size(); }
   double mean() const;
   double min() const;

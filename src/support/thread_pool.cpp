@@ -2,11 +2,31 @@
 
 #include <algorithm>
 #include <exception>
+#include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "support/contracts.hpp"
 
 namespace syncon {
+
+namespace {
+
+// Time a submitted task spent queued before a worker picked it up. Called
+// only when obs::enabled() was set at submit time.
+void record_task_wait(std::uint64_t wait_us) {
+  auto& registry = obs::MetricRegistry::global();
+  static obs::Counter& tasks = registry.counter("syncon_pool_tasks_total");
+  static obs::Histogram& wait = registry.histogram(
+      "syncon_pool_task_wait_us",
+      obs::HistogramSpec::exponential(1.0, 65536.0));
+  const std::size_t shard = obs::current_thread_slot();
+  tasks.add(1, shard);
+  wait.record(static_cast<double>(wait_us), shard);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t thread_count) {
   if (thread_count == 0) {
@@ -29,6 +49,15 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   SYNCON_REQUIRE(task != nullptr, "submit needs a task");
+  if (obs::enabled()) {
+    // Wrap to measure queue wait; the extra allocation happens only with
+    // telemetry on.
+    const std::uint64_t enqueued = obs::now_us();
+    task = [enqueued, inner = std::move(task)] {
+      record_task_wait(obs::now_us() - enqueued);
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     SYNCON_REQUIRE(!stopping_, "submit on a stopping pool");
@@ -71,10 +100,23 @@ void ThreadPool::parallel_for(
   auto join = std::make_shared<Join>();
   join->remaining = shards - 1;
 
-  auto run_shard = [count, shards, &body](std::size_t shard) {
+  // With telemetry on, time each shard so the join can report imbalance.
+  // Distinct indices: no synchronization needed beyond the join itself.
+  auto durations =
+      obs::enabled()
+          ? std::make_shared<std::vector<std::uint64_t>>(shards, 0)
+          : nullptr;
+
+  auto run_shard = [count, shards, &body, durations](std::size_t shard) {
     const std::size_t begin = shard * count / shards;
     const std::size_t end = (shard + 1) * count / shards;
-    body(shard, begin, end);
+    if (durations != nullptr) {
+      const std::uint64_t t0 = obs::now_us();
+      body(shard, begin, end);
+      (*durations)[shard] = obs::now_us() - t0;
+    } else {
+      body(shard, begin, end);
+    }
   };
 
   for (std::size_t s = 1; s < shards; ++s) {
@@ -101,6 +143,27 @@ void ThreadPool::parallel_for(
   std::unique_lock<std::mutex> lock(join->mutex);
   join->done.wait(lock, [&] { return join->remaining == 0; });
   if (join->error) std::rethrow_exception(join->error);
+
+  if (durations != nullptr) {
+    // Recorded at the join, in shard order, on the caller's thread:
+    // deterministic sample order regardless of worker scheduling.
+    auto& registry = obs::MetricRegistry::global();
+    static obs::Counter& calls =
+        registry.counter("syncon_pool_parallel_for_total");
+    static obs::Histogram& shard_us = registry.histogram(
+        "syncon_pool_shard_us",
+        obs::HistogramSpec::exponential(1.0, 65536.0));
+    static obs::Histogram& imbalance = registry.histogram(
+        "syncon_pool_shard_imbalance_us",
+        obs::HistogramSpec::exponential(1.0, 65536.0));
+    calls.add(1);
+    const auto [lo, hi] =
+        std::minmax_element(durations->begin(), durations->end());
+    for (const std::uint64_t d : *durations) {
+      shard_us.record(static_cast<double>(d));
+    }
+    imbalance.record(static_cast<double>(*hi - *lo));
+  }
 }
 
 ThreadPool& ThreadPool::shared() {

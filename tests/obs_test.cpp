@@ -1,0 +1,563 @@
+// Telemetry subsystem tests (DESIGN.md §3.8): histogram bucket semantics,
+// registry behavior, exporter round-trips (Prometheus text vs JSON snapshot
+// of the same registry), Chrome trace-event well-formedness, the
+// disabled-mode zero-overhead contract, and the single-source health
+// metrics of OnlineMonitor / DES fault stats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/timestamps.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "online/online_monitor.hpp"
+#include "online/online_system.hpp"
+#include "relations/evaluator.hpp"
+#include "sim/des.hpp"
+#include "sim/faulty_channel.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// Counting allocator hooks for the disabled-mode zero-allocation test. The
+// whole binary runs through these; individual tests look at deltas.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace syncon {
+namespace {
+
+// Minimal recursive-descent JSON checker — enough to assert the exporters
+// emit well-formed documents (objects/arrays/strings/numbers/literals).
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : s_(text) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(false);
+    obs::MetricRegistry::global().reset();
+    obs::TraceRecorder::global().clear();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::MetricRegistry::global().reset();
+    obs::TraceRecorder::global().clear();
+  }
+};
+
+TEST_F(ObsTest, EnabledFlagDefaultsOffAndToggles) {
+  EXPECT_FALSE(obs::enabled());
+  obs::set_enabled(true);
+  EXPECT_TRUE(obs::enabled());
+  obs::set_enabled(false);
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST_F(ObsTest, CounterMergesShardsAndResets) {
+  obs::Counter c;
+  for (std::size_t shard = 0; shard < 40; ++shard) c.add(shard + 1, shard);
+  EXPECT_EQ(c.total(), 40u * 41u / 2);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST_F(ObsTest, HistogramSpecFactories) {
+  EXPECT_EQ(obs::HistogramSpec::exponential(1.0, 8.0).bounds,
+            (std::vector<double>{1, 2, 4, 8}));
+  EXPECT_EQ(obs::HistogramSpec::exponential(1.0, 5.0).bounds,
+            (std::vector<double>{1, 2, 4, 8}));  // first bound >= hi ends it
+  EXPECT_EQ(obs::HistogramSpec::linear(10.0, 10.0, 3).bounds,
+            (std::vector<double>{10, 20, 30}));
+  EXPECT_THROW(obs::HistogramSpec::exponential(0.0, 8.0), ContractViolation);
+  EXPECT_THROW(obs::HistogramSpec::linear(0.0, 0.0, 3), ContractViolation);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesUseLeSemantics) {
+  obs::Histogram h(obs::HistogramSpec::linear(10.0, 10.0, 3));  // 10,20,30
+  h.record(10.0);   // exactly on a bound -> that bucket (le semantics)
+  h.record(10.5);   // above 10 -> next bucket
+  h.record(20.0);
+  h.record(30.0);
+  h.record(30.01);  // past the last bound -> +Inf overflow bucket
+  const obs::HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 10.0 + 10.5 + 20.0 + 30.0 + 30.01);
+  EXPECT_DOUBLE_EQ(snap.min, 10.0);
+  EXPECT_DOUBLE_EQ(snap.max, 30.01);
+}
+
+TEST_F(ObsTest, HistogramQuantilesInterpolateAndClamp) {
+  obs::Histogram single(obs::HistogramSpec::exponential(1.0, 64.0));
+  for (int i = 0; i < 10; ++i) single.record(5.0);
+  const obs::HistogramSnapshot one = single.snapshot();
+  // All samples equal: every quantile clamps to the observed [min, max].
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 5.0);
+
+  obs::Histogram spread(obs::HistogramSpec::linear(10.0, 10.0, 10));
+  for (int v = 1; v <= 100; ++v) spread.record(v);
+  const obs::HistogramSnapshot s = spread.snapshot();
+  // Quantiles are monotone and bounded by the observed range.
+  double last = s.quantile(0.0);
+  for (const double q : {0.25, 0.5, 0.75, 0.95, 1.0}) {
+    const double v = s.quantile(q);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  EXPECT_GE(s.quantile(0.0), 1.0);
+  EXPECT_LE(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 10.0);  // bucket interpolation
+
+  obs::Histogram empty(obs::HistogramSpec::linear(1.0, 1.0, 2));
+  EXPECT_THROW(empty.snapshot().quantile(0.5), ContractViolation);
+  EXPECT_THROW(s.quantile(1.5), ContractViolation);
+}
+
+TEST_F(ObsTest, RegistryFindsOrCreatesAndKeepsReferencesStable) {
+  auto& registry = obs::MetricRegistry::global();
+  obs::Counter& a = registry.counter("syncon_test_stable");
+  obs::Counter& b = registry.counter("syncon_test_stable");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  registry.reset();
+  EXPECT_EQ(a.total(), 0u);  // zeroed, not invalidated
+  a.add(2);
+  EXPECT_EQ(registry.counter("syncon_test_stable").total(), 2u);
+
+  const obs::HistogramSpec spec = obs::HistogramSpec::linear(1.0, 1.0, 4);
+  registry.histogram("syncon_test_hist", spec);
+  EXPECT_THROW(
+      registry.histogram("syncon_test_hist",
+                         obs::HistogramSpec::linear(1.0, 2.0, 4)),
+      ContractViolation);
+  EXPECT_THROW(registry.counter(""), ContractViolation);
+}
+
+TEST_F(ObsTest, SnapshotIsNameSortedAndQueryable) {
+  auto& registry = obs::MetricRegistry::global();
+  registry.counter("syncon_test_zz").add(7);
+  registry.counter("syncon_test_aa").add(1);
+  registry.gauge("syncon_test_mm").set(-4);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  for (std::size_t i = 1; i < snap.entries.size(); ++i) {
+    EXPECT_LT(snap.entries[i - 1].name, snap.entries[i].name);
+  }
+  EXPECT_EQ(snap.counter_value("syncon_test_zz"), 7u);
+  const auto* gauge = snap.find("syncon_test_mm");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->gauge_value, -4);
+  EXPECT_EQ(snap.find("syncon_test_absent"), nullptr);
+  EXPECT_THROW(snap.counter_value("syncon_test_absent"), ContractViolation);
+}
+
+TEST_F(ObsTest, SanitizeMetricNameMapsToPrometheusCharset) {
+  EXPECT_EQ(obs::sanitize_metric_name("relation/evaluate.us"),
+            "relation_evaluate_us");
+  EXPECT_EQ(obs::sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(obs::sanitize_metric_name("syncon_link_dropped{from=\"0\",to=\"1\"}"),
+            "syncon_link_dropped{from=\"0\",to=\"1\"}");
+}
+
+TEST_F(ObsTest, PrometheusAndJsonExportTheSameValues) {
+  auto& registry = obs::MetricRegistry::global();
+  registry.counter("syncon_test_counter").add(5);
+  registry.gauge("syncon_test_gauge").set(-3);
+  registry.gauge("syncon_link_dropped{from=\"0\",to=\"1\"}").set(2);
+  obs::Histogram& h = registry.histogram(
+      "syncon_test_latency_us", obs::HistogramSpec::linear(10.0, 10.0, 2));
+  h.record(10.0);
+  h.record(15.0);
+  h.record(99.0);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+
+  const std::string prom = obs::prometheus_to_string(snap);
+  EXPECT_NE(prom.find("# TYPE syncon_test_counter counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("syncon_test_counter 5"), std::string::npos);
+  EXPECT_NE(prom.find("syncon_test_gauge -3"), std::string::npos);
+  // Labeled gauge: the TYPE line names the base family only.
+  EXPECT_NE(prom.find("# TYPE syncon_link_dropped gauge"), std::string::npos);
+  EXPECT_NE(prom.find("syncon_link_dropped{from=\"0\",to=\"1\"} 2"),
+            std::string::npos);
+  // Histogram: cumulative buckets + implicit +Inf + _sum/_count.
+  EXPECT_NE(prom.find("syncon_test_latency_us_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("syncon_test_latency_us_bucket{le=\"20\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("syncon_test_latency_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("syncon_test_latency_us_sum 124"), std::string::npos);
+  EXPECT_NE(prom.find("syncon_test_latency_us_count 3"), std::string::npos);
+
+  const std::string json = obs::json_to_string(snap, "obs_test");
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // The JSON snapshot renders the same registry values.
+  EXPECT_NE(json.find("\"syncon_test_counter\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"syncon_test_gauge\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\"run\": \"obs_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 124"), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceRecorderRingKeepsNewestEvents) {
+  obs::TraceRecorder recorder(4);
+  for (std::uint64_t i = 0; i < 6; ++i) recorder.record("span", i * 10, 5);
+  EXPECT_EQ(recorder.recorded_total(), 6u);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);  // oldest two overwritten
+  EXPECT_EQ(events.front().start_us, 20u);
+  EXPECT_EQ(events.back().start_us, 50u);
+  recorder.clear();
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_EQ(recorder.recorded_total(), 0u);
+}
+
+TEST_F(ObsTest, SpanGuardRecordsOnlyWhenEnabled) {
+  { SYNCON_SPAN("test/disabled"); }
+  EXPECT_EQ(obs::TraceRecorder::global().recorded_total(), 0u);
+  obs::set_enabled(true);
+  { SYNCON_SPAN("test/enabled"); }
+  obs::set_enabled(false);
+  const auto events = obs::TraceRecorder::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test/enabled");
+  const auto stats = obs::aggregate_spans(obs::TraceRecorder::global());
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "test/enabled");
+  EXPECT_EQ(stats[0].count, 1u);
+}
+
+TEST_F(ObsTest, DisabledSpansAllocateNothingAndRecordNothing) {
+  const std::uint64_t records_before =
+      obs::TraceRecorder::global().recorded_total();
+  // Warm up any lazy state before measuring.
+  { SYNCON_SPAN("test/warmup"); }
+  const std::uint64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    SYNCON_SPAN("test/hot");
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), allocs_before);
+  EXPECT_EQ(obs::TraceRecorder::global().recorded_total(), records_before);
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsWellFormedJson) {
+  obs::TraceRecorder recorder(16);
+  recorder.record("relation/evaluate", 100, 40);
+  recorder.record("batch/sweep", 90, 300);
+  std::ostringstream oss;
+  obs::write_chrome_trace(oss, recorder);
+  const std::string trace = oss.str();
+  EXPECT_TRUE(JsonChecker(trace).valid()) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\": \"relation/evaluate\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ts\": 100"), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\": 40"), std::string::npos);
+}
+
+// --- single-source health metrics (OnlineMonitor / DES / FaultyNetwork) ---
+
+TEST_F(ObsTest, MonitorHealthReportAndRegistryAgree) {
+  OnlineSystem system(2);
+  OnlineMonitor monitor(2);
+  monitor.begin("a");
+  const WireMessage m1 = system.send(0);
+  const WireMessage m2 = system.send(0);
+  // Deliver only the second report: its clock vouches for the first.
+  monitor.ingest("a", m2);
+  monitor.ingest("a", m2);  // duplicate
+  EXPECT_TRUE(monitor.degraded());
+  EXPECT_EQ(monitor.missing_reports().size(), 1u);
+
+  monitor.publish_metrics();
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::global().snapshot();
+  const auto health = monitor.health_metrics();
+  ASSERT_FALSE(health.empty());
+  for (const OnlineMonitor::HealthMetric& hm : health) {
+    const auto* e = snap.find(hm.metric);
+    ASSERT_NE(e, nullptr) << hm.metric;
+    EXPECT_EQ(e->gauge_value, static_cast<std::int64_t>(hm.value))
+        << hm.metric;
+  }
+  // The list is in turn what the getters report.
+  const auto value_of = [&](std::string_view name) {
+    for (const auto& hm : health) {
+      if (hm.metric == name) return hm.value;
+    }
+    ADD_FAILURE() << "no health metric " << name;
+    return std::uint64_t{0};
+  };
+  EXPECT_EQ(value_of("syncon_monitor_duplicate_reports"),
+            monitor.duplicate_reports());
+  EXPECT_EQ(value_of("syncon_monitor_known_lost_reports"),
+            monitor.missing_reports().size());
+  EXPECT_EQ(value_of("syncon_monitor_definite_fires"),
+            monitor.definite_fires());
+  EXPECT_EQ(value_of("syncon_monitor_pending_fires"),
+            monitor.pending_fires());
+  (void)m1;
+}
+
+TEST_F(ObsTest, DesFaultStatsPublishAsGauges) {
+  class Chatter : public DesProcess {
+   public:
+    void on_start(DesContext& ctx) override {
+      for (int i = 0; i < 40; ++i) ctx.send(1, 1, i, 10);
+    }
+  };
+  std::vector<std::unique_ptr<DesProcess>> procs;
+  procs.push_back(std::make_unique<Chatter>());
+  procs.push_back(std::make_unique<DesProcess>());
+  DesConfig cfg;
+  cfg.loss_probability = 0.3;
+  cfg.duplicate_probability = 0.3;
+  cfg.seed = 11;
+  DesEngine engine(std::move(procs), cfg);
+  engine.run(1'000'000);
+  engine.publish_metrics();
+  const DesFaultStats& stats = engine.fault_stats();
+  EXPECT_GT(stats.lost + stats.duplicates_scheduled, 0u);
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::global().snapshot();
+  const auto gauge = [&](std::string_view name) {
+    const auto* e = snap.find(name);
+    EXPECT_NE(e, nullptr) << name;
+    return e == nullptr ? std::int64_t{-1} : e->gauge_value;
+  };
+  EXPECT_EQ(gauge("syncon_des_lost_messages"),
+            static_cast<std::int64_t>(stats.lost));
+  EXPECT_EQ(gauge("syncon_des_duplicates_scheduled"),
+            static_cast<std::int64_t>(stats.duplicates_scheduled));
+  EXPECT_EQ(gauge("syncon_des_duplicates_suppressed"),
+            static_cast<std::int64_t>(stats.duplicates_suppressed));
+  EXPECT_EQ(gauge("syncon_des_reordered_messages"),
+            static_cast<std::int64_t>(stats.reordered));
+  EXPECT_EQ(gauge("syncon_des_crash_discarded"),
+            static_cast<std::int64_t>(stats.crash_discarded));
+  EXPECT_EQ(gauge("syncon_des_events_executed"),
+            static_cast<std::int64_t>(engine.events_executed()));
+}
+
+TEST_F(ObsTest, FaultyNetworkPublishesPerLinkGauges) {
+  FaultPlan plan;
+  plan.link.drop_probability = 0.5;
+  plan.seed = 5;
+  FaultyNetwork net(2, plan);
+  OnlineSystem system(2);
+  for (int i = 0; i < 30; ++i) {
+    net.push(0, 1, system.send(0), static_cast<TimePoint>(i + 1));
+  }
+  (void)net.pop_ready(1, 1'000'000);
+  net.publish_metrics();
+  const ChannelStats total = net.stats();
+  EXPECT_GT(total.dropped, 0u);
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::global().snapshot();
+  const auto* dropped = snap.find("syncon_link_dropped{from=\"0\",to=\"1\"}");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->gauge_value, static_cast<std::int64_t>(total.dropped));
+  const auto* agg = snap.find("syncon_network_delivered");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->gauge_value, static_cast<std::int64_t>(total.delivered));
+  // And the Prometheus exposition renders the labeled family legally.
+  const std::string prom = obs::prometheus_to_string(snap);
+  EXPECT_NE(prom.find("# TYPE syncon_link_dropped gauge"), std::string::npos);
+  EXPECT_NE(prom.find("syncon_link_dropped{from=\"0\",to=\"1\"} " +
+                      std::to_string(total.dropped)),
+            std::string::npos);
+}
+
+// --- end-to-end: DES -> stamping -> evaluation -> delivery -> resync ------
+
+class PipelinePinger : public DesProcess {
+ public:
+  void on_start(DesContext& ctx) override {
+    const EventId e = ctx.send(1, 1, 0, 100);
+    ctx.mark("ping", e);
+  }
+  void on_message(DesContext& ctx, const DesMessage& m) override {
+    ctx.mark("pong-received", ctx.current_receive());
+    if (m.value < 3) {
+      const EventId e = ctx.send(1, 1, m.value + 1, 100);
+      ctx.mark("ping", e);
+    }
+  }
+};
+
+class PipelinePonger : public DesProcess {
+ public:
+  void on_message(DesContext& ctx, const DesMessage& m) override {
+    ctx.mark("pong", ctx.send(0, 2, m.value, 100));
+  }
+};
+
+TEST_F(ObsTest, PipelineTraceCoversAllPhases) {
+  obs::set_enabled(true);
+
+  // 1. Simulate (des/run).
+  std::vector<std::unique_ptr<DesProcess>> procs;
+  procs.push_back(std::make_unique<PipelinePinger>());
+  procs.push_back(std::make_unique<PipelinePonger>());
+  DesEngine engine(std::move(procs), DesConfig{});
+  engine.run(10'000'000);
+  auto result = engine.finish();
+
+  // 2. Stamp (model/stamp) and evaluate relations (relation/evaluate).
+  const Timestamps ts(*result.execution);
+  RelationEvaluator eval(ts);
+  ASSERT_GE(result.intervals.size(), 2u);
+  const EventHandle hx = eval.add_event(std::move(result.intervals[0]));
+  const EventHandle hy = eval.add_event(std::move(result.intervals[1]));
+  (void)eval.all_holding(hx, hy);
+
+  // 3. Online delivery (online/deliver) with a loss, then recovery
+  //    (online/resync_serve + monitor/ingest).
+  OnlineSystem system(2);
+  OnlineMonitor monitor(2);
+  monitor.begin("a");
+  const WireMessage m1 = system.send(0);
+  const WireMessage m2 = system.send(0);
+  (void)system.deliver(1, m2);
+  monitor.ingest("a", m2);  // m1's report was lost: gap opens
+  EXPECT_TRUE(monitor.missing_reports().size() == 1);
+  const auto replies = system.serve(monitor.resync_request());
+  ASSERT_EQ(replies.size(), 1u);
+  monitor.ingest("a", replies[0]);  // gap closes
+  EXPECT_TRUE(monitor.missing_reports().empty());
+  obs::set_enabled(false);
+
+  std::ostringstream oss;
+  obs::write_chrome_trace(oss, obs::TraceRecorder::global());
+  const std::string trace = oss.str();
+  EXPECT_TRUE(JsonChecker(trace).valid());
+  for (const char* span : {"des/run", "model/stamp", "relation/evaluate",
+                           "online/deliver", "online/resync_serve",
+                           "monitor/ingest"}) {
+    EXPECT_NE(trace.find("\"name\": \"" + std::string(span) + "\""),
+              std::string::npos)
+        << "missing span " << span;
+  }
+  // The recovered gap fed the gap-open-duration histogram.
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::global().snapshot();
+  const auto* gap = snap.find("syncon_monitor_gap_open_reports");
+  ASSERT_NE(gap, nullptr);
+  EXPECT_GE(gap->histogram->count, 1u);
+  (void)m1;
+}
+
+}  // namespace
+}  // namespace syncon

@@ -161,6 +161,63 @@ TEST(SampleSetTest, QuantilesInterpolate) {
 TEST(SampleSetTest, EmptyQuantileThrows) {
   SampleSet s;
   EXPECT_THROW(s.quantile(0.5), ContractViolation);
+  EXPECT_THROW(s.min(), ContractViolation);
+  EXPECT_THROW(s.max(), ContractViolation);
+  EXPECT_THROW(s.mean(), ContractViolation);
+}
+
+TEST(SampleSetTest, SingleElementQuantiles) {
+  SampleSet s;
+  s.add(42.0);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), 42.0);
+  }
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(SampleSetTest, AddAfterQuantileInvalidatesMemo) {
+  SampleSet s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);  // sorts and memoizes
+  s.add(0.0);                          // must invalidate the memo
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+TEST(SampleSetTest, MergeDisjointRangesPreservesMinMax) {
+  SampleSet lo, hi;
+  for (int i = 1; i <= 4; ++i) lo.add(i);        // 1..4
+  for (int i = 100; i <= 103; ++i) hi.add(i);    // 100..103
+  EXPECT_DOUBLE_EQ(lo.median(), 2.5);            // memoized before merge
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), 8u);
+  EXPECT_DOUBLE_EQ(lo.min(), 1.0);
+  EXPECT_DOUBLE_EQ(lo.max(), 103.0);
+  EXPECT_DOUBLE_EQ(lo.median(), 52.0);  // (4 + 100) / 2
+
+  SampleSet empty;
+  lo.merge(empty);  // merging an empty set is a no-op
+  EXPECT_EQ(lo.count(), 8u);
+  empty.merge(lo);
+  EXPECT_EQ(empty.count(), 8u);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 103.0);
+}
+
+TEST(RunningStatsTest, MergeIntoEmptyAndFromEmpty) {
+  RunningStats a, b, empty;
+  for (const double v : {1.0, 2.0, 3.0}) b.add(v);
+  a.merge(b);  // empty.merge(nonempty) copies
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+  a.merge(empty);  // nonempty.merge(empty) is a no-op
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
 }
 
 TEST(IntHistogramTest, TracksBoundsAndViolations) {
