@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Smoke-runs the differential conformance fuzzer with a fixed seed and a
+# small wall-clock budget: builds the default preset (tools included), then
+# lets syncon_check sweep every registered cross-layer property. A clean
+# tree exits 0; any conformance failure prints a minimized replayable repro
+# and exits 1. Fixed seed ⇒ the same cases on every CI run; the time budget
+# only caps HOW MANY cases run, never what any case contains.
+#
+# Usage: scripts/ci_check_smoke.sh [seed] [minutes]   (default: 424242, 0.5)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+seed="${1:-424242}"
+minutes="${2:-0.5}"
+build_dir=build
+
+echo "=== [check-smoke] configure ==="
+cmake -B "$build_dir" -S . -DSYNCON_BUILD_TOOLS=ON >/dev/null
+
+echo "=== [check-smoke] build syncon_check ==="
+cmake --build "$build_dir" -j "$(nproc)" --target syncon_check_cli >/dev/null
+
+echo "=== [check-smoke] fuzz (seed $seed, $minutes min budget) ==="
+"$build_dir/tools/syncon_check" --seed "$seed" --minutes "$minutes" --cases 0
+
+echo "=== [check-smoke] done ==="

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Line/branch coverage of the tier-1 suite: builds the `coverage` preset
+# (--coverage -O0 -g into build-coverage/), runs ctest there, then summarizes
+# with gcovr when it is installed. Without gcovr the script still leaves the
+# raw .gcda/.gcno data in the build tree and points at it — no extra
+# dependency is ever required to run.
+#
+# Usage: scripts/ci_coverage.sh [gcovr-args...]
+#   e.g. scripts/ci_coverage.sh --html-details coverage.html
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== [coverage] configure ==="
+cmake --preset coverage >/dev/null
+
+echo "=== [coverage] build ==="
+cmake --build --preset coverage -j "$(nproc)" >/dev/null
+
+echo "=== [coverage] test ==="
+ctest --preset coverage -j "$(nproc)"
+
+if command -v gcovr >/dev/null 2>&1; then
+  echo "=== [coverage] gcovr summary (src/ only) ==="
+  gcovr --root . --filter 'src/' build-coverage "$@"
+else
+  echo "=== [coverage] gcovr not installed ==="
+  echo "Raw gcov data is in build-coverage/ (.gcda/.gcno); install gcovr or"
+  echo "run gcov manually to inspect it."
+fi

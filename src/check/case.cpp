@@ -1,0 +1,197 @@
+#include "check/case.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "monitor/trace_io.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon::check {
+
+namespace {
+
+constexpr const char* kIntervalHeader = "syncon-intervals 1";
+constexpr const char* kPropertyTag = "# property:";
+constexpr const char* kCaseSeedTag = "# case-seed:";
+
+bool valid_ref(const CheckCase& c, const EventId& e) {
+  return e.process < c.process_count() && e.index >= 1 &&
+         e.index <= c.events_per_process[e.process];
+}
+
+}  // namespace
+
+std::size_t CheckCase::total_events() const {
+  std::size_t total = 0;
+  for (const EventIndex n : events_per_process) total += n;
+  return total;
+}
+
+bool CheckCase::structurally_valid() const {
+  if (events_per_process.empty()) return false;
+  if (x_members.empty() || y_members.empty()) return false;
+  for (const Message& m : messages) {
+    if (!valid_ref(*this, m.source) || !valid_ref(*this, m.target)) {
+      return false;
+    }
+    if (m.source.process == m.target.process) return false;
+  }
+  for (const EventId& e : x_members) {
+    if (!valid_ref(*this, e)) return false;
+  }
+  for (const EventId& e : y_members) {
+    if (!valid_ref(*this, e)) return false;
+  }
+  return true;
+}
+
+std::optional<MaterializedCase> materialize(const CheckCase& c) {
+  if (!c.structurally_valid()) return std::nullopt;
+  const std::size_t procs = c.process_count();
+
+  // Message sources per receive event.
+  std::map<EventId, std::vector<EventId>> sources;
+  for (const Message& m : c.messages) sources[m.target].push_back(m.source);
+
+  // Kahn-style construction: repeatedly append the next event of some
+  // process once every message source it consumes has been built. Editing a
+  // valid case only ever removes edges, so an order always exists for
+  // shrinker candidates; untrusted repro input may genuinely be cyclic.
+  ExecutionBuilder builder(procs);
+  std::vector<EventIndex> next(procs, 1);
+  std::size_t built = 0;
+  const std::size_t total = c.total_events();
+  bool progress = true;
+  while (built < total && progress) {
+    progress = false;
+    for (ProcessId p = 0; p < procs; ++p) {
+      while (next[p] <= c.events_per_process[p]) {
+        const EventId e{p, next[p]};
+        const auto it = sources.find(e);
+        bool ready = true;
+        if (it != sources.end()) {
+          for (const EventId& s : it->second) {
+            if (s.index >= next[s.process] ||
+                (s.process == p && s.index >= e.index)) {
+              ready = false;
+              break;
+            }
+          }
+        }
+        if (!ready) break;
+        if (it == sources.end()) {
+          builder.local(p);
+        } else {
+          builder.receive_from(p, it->second);
+        }
+        ++next[p];
+        ++built;
+        progress = true;
+      }
+    }
+  }
+  if (built < total) return std::nullopt;  // cyclic message structure
+
+  auto exec = std::make_shared<const Execution>(builder.build());
+  NonatomicEvent x(*exec, c.x_members, "X");
+  NonatomicEvent y(*exec, c.y_members, "Y");
+  return MaterializedCase{std::move(exec), std::move(x), std::move(y)};
+}
+
+CheckCase case_from_execution(const Execution& exec,
+                              const std::vector<EventId>& x_members,
+                              const std::vector<EventId>& y_members) {
+  CheckCase c;
+  c.events_per_process.reserve(exec.process_count());
+  for (ProcessId p = 0; p < exec.process_count(); ++p) {
+    c.events_per_process.push_back(exec.real_count(p));
+  }
+  c.messages = exec.messages();
+  c.x_members = x_members;
+  c.y_members = y_members;
+  return c;
+}
+
+std::uint64_t fingerprint(const CheckCase& c) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(c.process_count());
+  for (const EventIndex n : c.events_per_process) mix(n);
+  mix(c.messages.size());
+  for (const Message& m : c.messages) {
+    mix((std::uint64_t{m.source.process} << 32) | m.source.index);
+    mix((std::uint64_t{m.target.process} << 32) | m.target.index);
+  }
+  for (const auto* members : {&c.x_members, &c.y_members}) {
+    mix(members->size());
+    for (const EventId& e : *members) {
+      mix((std::uint64_t{e.process} << 32) | e.index);
+    }
+  }
+  return h;
+}
+
+void write_repro(std::ostream& os, const CheckCase& c, const ReproMeta& meta) {
+  const std::optional<MaterializedCase> m = materialize(c);
+  SYNCON_REQUIRE(m.has_value(), "write_repro: case does not materialize");
+  os << "# syncon_check repro — replay with: syncon_check --repro <this file>\n";
+  if (!meta.property.empty()) os << kPropertyTag << " " << meta.property << "\n";
+  os << kCaseSeedTag << " " << meta.case_seed << "\n";
+  write_trace(os, *m->exec);
+  write_intervals(os, {m->x, m->y});
+}
+
+std::string repro_to_string(const CheckCase& c, const ReproMeta& meta) {
+  std::ostringstream oss;
+  write_repro(oss, c, meta);
+  return oss.str();
+}
+
+Repro load_repro(std::istream& is) {
+  // Split the stream at the interval header: read_trace consumes its whole
+  // input, so the two sections are parsed separately.
+  std::string line;
+  std::string trace_text;
+  std::string interval_text;
+  Repro out;
+  bool in_intervals = false;
+  while (std::getline(is, line)) {
+    if (line.rfind(kPropertyTag, 0) == 0) {
+      std::string value = line.substr(std::string(kPropertyTag).size());
+      const auto start = value.find_first_not_of(' ');
+      out.meta.property = start == std::string::npos ? "" : value.substr(start);
+      continue;
+    }
+    if (line.rfind(kCaseSeedTag, 0) == 0) {
+      try {
+        out.meta.case_seed =
+            std::stoull(line.substr(std::string(kCaseSeedTag).size()));
+      } catch (const std::exception&) {
+        throw TraceFormatError(0, "malformed case-seed line", line);
+      }
+      continue;
+    }
+    if (line == kIntervalHeader) in_intervals = true;
+    (in_intervals ? interval_text : trace_text) += line + "\n";
+  }
+
+  std::istringstream trace_in(trace_text);
+  const Execution exec = read_trace(trace_in);
+  std::istringstream intervals_in(interval_text);
+  const std::vector<NonatomicEvent> intervals =
+      read_intervals(intervals_in, exec);
+  if (intervals.size() != 2) {
+    throw TraceFormatError(0, "repro must declare exactly two intervals");
+  }
+  out.c = case_from_execution(exec, intervals[0].events(),
+                              intervals[1].events());
+  return out;
+}
+
+}  // namespace syncon::check

@@ -1,0 +1,96 @@
+// The conformance subsystem's unit of work: a CheckCase is a structured,
+// *shrinkable* description of one differential-testing input — an execution
+// shape (per-process chain lengths + message edges) plus the two nonatomic
+// events X and Y under test.
+//
+// Unlike an Execution (immutable, builder-validated), a CheckCase is plain
+// mutable data the delta-debugging shrinker can edit along structured axes
+// (drop a process, drop a message, truncate a chain, remove an X/Y member)
+// and re-materialize. materialize() rebuilds a real Execution through
+// ExecutionBuilder, so every candidate the shrinker proposes passes the same
+// acyclicity validation the rest of the library relies on.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/execution.hpp"
+#include "nonatomic/interval.hpp"
+
+namespace syncon::check {
+
+struct CheckCase {
+  /// Real events per process; events_per_process.size() is |P|.
+  std::vector<EventIndex> events_per_process;
+  /// Message edges (source event -> receive event). A receive event may
+  /// appear as the target of several messages (gather/barrier commits).
+  std::vector<Message> messages;
+  /// Members of the nonatomic events under test (must stay non-empty).
+  std::vector<EventId> x_members;
+  std::vector<EventId> y_members;
+
+  std::size_t process_count() const { return events_per_process.size(); }
+  std::size_t total_events() const;
+
+  /// Cheap structural screening: member/message references in range, no
+  /// self-process messages, X and Y non-empty. Acyclicity is not checked
+  /// here — materialize() decides it.
+  bool structurally_valid() const;
+
+  friend bool operator==(const CheckCase&, const CheckCase&) = default;
+};
+
+/// A CheckCase turned back into library objects. The Execution is held by
+/// shared_ptr because the NonatomicEvents reference it by pointer.
+struct MaterializedCase {
+  std::shared_ptr<const Execution> exec;
+  NonatomicEvent x;
+  NonatomicEvent y;
+};
+
+/// Rebuilds the execution and the X/Y intervals. nullopt when the case is
+/// structurally invalid or its message edges admit no topological order
+/// (never the result of shrinking a valid case — edits only remove edges —
+/// but load_repro input is untrusted).
+std::optional<MaterializedCase> materialize(const CheckCase& c);
+
+/// Extracts the shrinkable form of an existing execution + interval pair.
+CheckCase case_from_execution(const Execution& exec,
+                              const std::vector<EventId>& x_members,
+                              const std::vector<EventId>& y_members);
+
+/// Stable 64-bit digest of the case contents (FNV-1a). Properties that need
+/// auxiliary randomness (fault schedules, condition ASTs, permutations)
+/// seed it from the fingerprint, so a property stays a pure function of the
+/// case — which is what makes shrinking sound.
+std::uint64_t fingerprint(const CheckCase& c);
+
+// ---------------------------------------------------------------------------
+// Self-contained repros: '#'-comment metadata, then the standard trace_io
+// trace section, then the interval section with labels X and Y. Replayable
+// by `syncon_check --repro FILE` and by load_repro in tests.
+// ---------------------------------------------------------------------------
+
+struct ReproMeta {
+  std::string property;
+  std::uint64_t case_seed = 0;
+};
+
+/// Writes the case as a self-contained repro. Requires materialize(c).
+void write_repro(std::ostream& os, const CheckCase& c, const ReproMeta& meta);
+std::string repro_to_string(const CheckCase& c, const ReproMeta& meta);
+
+struct Repro {
+  CheckCase c;
+  ReproMeta meta;
+};
+
+/// Parses a repro produced by write_repro. Throws TraceFormatError on
+/// malformed input.
+Repro load_repro(std::istream& is);
+
+}  // namespace syncon::check

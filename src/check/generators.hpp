@@ -1,0 +1,54 @@
+// Seeded generator combinators for the conformance subsystem: everything a
+// differential-testing campaign needs to sample — executions (via the
+// sim/workload topologies), nonatomic event pairs, synchronization-condition
+// ASTs, and fault schedules — as pure functions of a 64-bit seed, so every
+// failing case is replayable from the seed alone.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "check/case.hpp"
+#include "relations/evaluator.hpp"
+#include "sim/faulty_channel.hpp"
+#include "sim/workload.hpp"
+#include "support/rng.hpp"
+
+namespace syncon::check {
+
+/// Size envelope of generated cases. Defaults give "randomized large
+/// universes" (up to ~500 events) while staying fast enough for thousands
+/// of cases per minute.
+struct GenLimits {
+  WorkloadBounds workload;
+  /// Interval sampling: X and Y each span up to this many processes…
+  std::size_t max_interval_nodes = 6;
+  /// …with up to this many contiguous events per spanned process.
+  std::size_t max_events_per_node = 5;
+};
+
+/// Generates one case deterministically from its seed.
+CheckCase generate_case(std::uint64_t case_seed, const GenLimits& limits = {});
+
+/// A randomly generated synchronization condition: its concrete syntax plus
+/// an independent oracle evaluation (direct recursion over the generating
+/// AST, bypassing the parser) — the differential pair for the predicate
+/// round-trip property.
+struct ConditionCase {
+  std::string text;
+  std::function<bool(const RelationEvaluator&, EventHandle, EventHandle)>
+      oracle;
+};
+
+/// Samples a condition AST of at most `max_depth` operator levels.
+ConditionCase generate_condition(Xoshiro256StarStar& rng, int max_depth);
+
+/// Samples a lossy-but-recoverable link fault configuration: drop, duplicate
+/// and reorder rates in [0.05, 0.35] with a small delay window — heavy
+/// enough to exercise every degraded-mode path, light enough that recovery
+/// terminates quickly.
+LinkFaultConfig generate_link_faults(Xoshiro256StarStar& rng);
+
+}  // namespace syncon::check

@@ -1,0 +1,54 @@
+// Named cross-layer conformance properties — the differential claims the
+// whole repository rests on, each one a deterministic pure function of a
+// CheckCase (auxiliary randomness is seeded from the case fingerprint, so
+// shrinking re-runs always agree):
+//
+//   fast_vs_naive       Theorem 20 conditions vs the |N_X|·|N_Y| proxy
+//                       quantification (and, on small universes, the BFS
+//                       closure oracle) for all 32 relations + cost bounds.
+//   strict_vs_naive     the strict (≺) dispatch vs naive strict semantics.
+//   timestamp_ll_forms  Theorem 19's cut-timestamp ≪ test vs the four
+//                       definitional forms of Defn 7.1–7.4, plus the sound
+//                       probe-side checks.
+//   batch_parallel_identity   serial vs thread-pool BatchEvaluator sweeps:
+//                       bit-identical holding sets and exact cost totals.
+//   monitor_faulty_vs_clean   OnlineMonitor fed through a seeded lossy
+//                       channel + recovery vs a clean feed: identical
+//                       verdicts, all Definite.
+//   metamorphic_redundant_message   adding a causally redundant message
+//                       never changes any verdict.
+//   metamorphic_relabel relabeling processes permutes but preserves
+//                       verdicts.
+//   predicate_roundtrip random sync-condition ASTs render → parse →
+//                       evaluate identically to direct AST evaluation.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "check/case.hpp"
+
+namespace syncon::check {
+
+struct PropertyResult {
+  bool passed = true;
+  /// On failure: which relation/cut/verdict diverged, for the repro header.
+  std::string message;
+};
+
+using PropertyFn = PropertyResult (*)(const CheckCase&);
+
+struct PropertyInfo {
+  std::string_view name;
+  std::string_view description;
+  PropertyFn fn;
+};
+
+/// All registered properties, in documentation order.
+std::span<const PropertyInfo> all_properties();
+
+/// Lookup by name; nullptr when unknown.
+const PropertyInfo* find_property(std::string_view name);
+
+}  // namespace syncon::check

@@ -43,6 +43,11 @@ bool all_y_tests_pass(const VectorClock& up, const NonatomicEvent& y,
 
 }  // namespace
 
+FastDebugHooks& fast_debug_hooks() {
+  static FastDebugHooks hooks;
+  return hooks;
+}
+
 bool evaluate_fast(Relation r, const EventCuts& x, const EventCuts& y,
                    ComparisonCounter& counter) {
   SYNCON_REQUIRE(&x.timestamps() == &y.timestamps(),
@@ -62,8 +67,12 @@ bool evaluate_fast(Relation r, const EventCuts& x, const EventCuts& y,
       return all_y_tests_pass(x.union_future(), ey, counter);
 
     case Relation::R2:
-      // ∀x: ¬≪(∪⇓Y, x↑) — |N_X| comparisons.
-      return all_x_tests_pass(y.union_past(), ex, counter);
+      // ∀x: ¬≪(∪⇓Y, x↑) — |N_X| comparisons. The debug hook swaps in the
+      // wrong down-cut (∩⇓Y — R1's condition) for the conformance
+      // subsystem's planted-bug tests.
+      return all_x_tests_pass(fast_debug_hooks().wrong_r2 ? y.intersect_past()
+                                                          : y.union_past(),
+                              ex, counter);
 
     case Relation::R2p:
       // ¬≪(∪⇓Y, ∪⇑X) probed at N_Y — |N_Y| comparisons (the ∪⇑X surface

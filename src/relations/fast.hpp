@@ -35,4 +35,15 @@ std::uint64_t theorem20_bound(Relation r, std::size_t n_x, std::size_t n_y);
 std::uint64_t theorem20_paper_bound(Relation r, std::size_t n_x,
                                     std::size_t n_y);
 
+/// Test-only fault injection for the conformance subsystem (src/check): the
+/// shrinker's own test suite plants a deliberately wrong condition here and
+/// asserts the differential fuzzer finds it and minimizes the failing trace.
+/// Off by default; never enable outside tests.
+struct FastDebugHooks {
+  /// Evaluate R2 with ∩⇓Y in place of ∪⇓Y (R1's down-cut — a strictly
+  /// stronger condition, so the fast path under-reports R2).
+  bool wrong_r2 = false;
+};
+FastDebugHooks& fast_debug_hooks();
+
 }  // namespace syncon

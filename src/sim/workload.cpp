@@ -1,6 +1,7 @@
 #include "sim/workload.hpp"
 
 #include <deque>
+#include <iterator>
 #include <vector>
 
 #include "support/contracts.hpp"
@@ -123,6 +124,35 @@ Execution generate_execution(const WorkloadConfig& cfg) {
                  "messages need at least two processes");
   if (cfg.topology == Topology::Phases) return generate_phases(cfg);
   return generate_point_to_point(cfg);
+}
+
+WorkloadConfig random_workload_config(Xoshiro256StarStar& rng,
+                                      const WorkloadBounds& bounds) {
+  SYNCON_REQUIRE(bounds.min_processes >= 2 &&
+                     bounds.min_processes <= bounds.max_processes,
+                 "WorkloadBounds: need 2 <= min_processes <= max_processes");
+  SYNCON_REQUIRE(
+      bounds.min_events_per_process >= 1 &&
+          bounds.min_events_per_process <= bounds.max_events_per_process,
+      "WorkloadBounds: need 1 <= min_events <= max_events");
+  constexpr Topology kTopologies[] = {Topology::Random, Topology::Ring,
+                                      Topology::ClientServer,
+                                      Topology::Broadcast, Topology::Phases};
+  WorkloadConfig cfg;
+  cfg.topology = kTopologies[rng.below(std::size(kTopologies))];
+  cfg.process_count =
+      rng.uniform(bounds.min_processes, bounds.max_processes);
+  cfg.events_per_process = rng.uniform(bounds.min_events_per_process,
+                                       bounds.max_events_per_process);
+  cfg.send_probability =
+      bounds.min_send_probability +
+      (bounds.max_send_probability - bounds.min_send_probability) *
+          rng.uniform01();
+  cfg.receive_probability = 0.4 + 0.5 * rng.uniform01();
+  cfg.phase_count = 1 + rng.below(std::max<std::size_t>(
+                            bounds.max_phase_count, 1));
+  cfg.seed = rng.next();
+  return cfg;
 }
 
 }  // namespace syncon

@@ -43,4 +43,22 @@ struct WorkloadConfig {
 /// Generates a deterministic execution from the config.
 Execution generate_execution(const WorkloadConfig& config);
 
+/// Size/shape envelope for sampling random workload configs (the
+/// conformance fuzzer's execution generator; see src/check).
+struct WorkloadBounds {
+  std::size_t min_processes = 2;
+  std::size_t max_processes = 12;
+  std::size_t min_events_per_process = 3;
+  std::size_t max_events_per_process = 48;
+  double min_send_probability = 0.05;
+  double max_send_probability = 0.6;
+  std::size_t max_phase_count = 6;
+};
+
+/// Samples a WorkloadConfig uniformly within `bounds` (topology uniform over
+/// all five). The config's own seed is drawn from `rng`, so the resulting
+/// execution is a pure function of the caller's rng state.
+WorkloadConfig random_workload_config(Xoshiro256StarStar& rng,
+                                      const WorkloadBounds& bounds = {});
+
 }  // namespace syncon

@@ -86,9 +86,23 @@ std::int64_t CliParser::get_int(const std::string& name) const {
 }
 
 std::uint64_t CliParser::get_uint(const std::string& name) const {
-  const std::int64_t v = get_int(name);
-  SYNCON_REQUIRE(v >= 0, "option --" + name + " must be non-negative");
-  return static_cast<std::uint64_t>(v);
+  // Parsed as unsigned directly (not via get_int): values above 2^63-1 are
+  // legitimate here — e.g. replaying a 64-bit case seed.
+  const std::string value = get(name);
+  SYNCON_REQUIRE(value.empty() || value[0] != '-',
+                 "option --" + name + " must be non-negative");
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t parsed = std::stoull(value, &consumed);
+    SYNCON_REQUIRE(consumed == value.size(),
+                   "option --" + name + " has trailing junk: " + value);
+    return parsed;
+  } catch (const ContractViolation&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ContractViolation("option --" + name + " is not an integer: " +
+                            value);
+  }
 }
 
 double CliParser::get_double(const std::string& name) const {

@@ -9,6 +9,7 @@
 //   sim        — workload and scenario generators
 //   monitor    — offline monitoring: traces, conditions, mutex checking
 //   online     — runtime monitoring with piggybacked clocks
+//   check      — property-based conformance: generators, shrinker, fuzzer
 #pragma once
 
 #include "support/cli.hpp"          // IWYU pragma: export
@@ -64,3 +65,9 @@
 
 #include "timing/physical_time.hpp"       // IWYU pragma: export
 #include "timing/timing_constraints.hpp"  // IWYU pragma: export
+
+#include "check/case.hpp"        // IWYU pragma: export
+#include "check/driver.hpp"      // IWYU pragma: export
+#include "check/generators.hpp"  // IWYU pragma: export
+#include "check/properties.hpp"  // IWYU pragma: export
+#include "check/shrink.hpp"      // IWYU pragma: export

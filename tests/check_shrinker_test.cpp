@@ -1,0 +1,136 @@
+// End-to-end proof that the conformance subsystem catches real bugs: a
+// deliberately wrong R2 fast path (planted behind a test-only hook) is
+// found by the differential fuzzer, minimized by the delta-debugging
+// shrinker to a tiny replayable repro, and the repro flips verdict with the
+// hook — fails while the bug is planted, passes once it is removed.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/driver.hpp"
+#include "check/generators.hpp"
+#include "check/shrink.hpp"
+#include "helpers.hpp"
+#include "relations/fast.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon::check {
+namespace {
+
+// Plants the wrong-R2 bug for the enclosing scope and always unplants it,
+// even when an assertion fails mid-test.
+struct PlantedBug {
+  PlantedBug() { fast_debug_hooks().wrong_r2 = true; }
+  ~PlantedBug() { fast_debug_hooks().wrong_r2 = false; }
+};
+
+DriverOptions planted_bug_campaign() {
+  DriverOptions options;
+  options.seed = 424242;
+  options.max_cases = 20;
+  options.properties = {"fast_vs_naive"};
+  options.stop_after_failures = 1;
+  return options;
+}
+
+TEST(CheckShrinkerTest, PlantedBugIsFoundAndMinimized) {
+  const PlantedBug plant;
+  const DriverReport report = run_conformance(planted_bug_campaign());
+  ASSERT_EQ(report.failures.size(), 1u);
+  const FailureReport& f = report.failures.front();
+  EXPECT_EQ(f.property, "fast_vs_naive");
+  EXPECT_EQ(f.case_seed, case_seed_for(424242, f.case_index));
+  // The acceptance bound from the issue: the minimized counterexample is
+  // tiny (the bug's true minimal shape is 2 processes / 3 events).
+  EXPECT_LE(f.minimized.process_count(), 3u);
+  EXPECT_LE(f.minimized.total_events(), 6u);
+  EXPECT_TRUE(f.minimized.structurally_valid());
+  EXPECT_TRUE(materialize(f.minimized).has_value());
+  EXPECT_GT(f.shrink_stats.evaluations, 0u);
+  EXPECT_FALSE(f.repro.empty());
+}
+
+TEST(CheckShrinkerTest, MinimizationIsDeterministic) {
+  const PlantedBug plant;
+  const DriverReport a = run_conformance(planted_bug_campaign());
+  const DriverReport b = run_conformance(planted_bug_campaign());
+  ASSERT_EQ(a.failures.size(), 1u);
+  ASSERT_EQ(b.failures.size(), 1u);
+  EXPECT_EQ(a.failures.front().case_seed, b.failures.front().case_seed);
+  EXPECT_EQ(a.failures.front().minimized, b.failures.front().minimized);
+  EXPECT_EQ(a.failures.front().repro, b.failures.front().repro);
+  EXPECT_EQ(a.failures.front().shrink_stats.evaluations,
+            b.failures.front().shrink_stats.evaluations);
+}
+
+TEST(CheckShrinkerTest, ReproFailsWithBugAndPassesWithout) {
+  Repro repro;
+  {
+    const PlantedBug plant;
+    const DriverReport report = run_conformance(planted_bug_campaign());
+    ASSERT_EQ(report.failures.size(), 1u);
+    std::istringstream is(report.failures.front().repro);
+    repro = load_repro(is);
+    EXPECT_EQ(repro.meta.property, "fast_vs_naive");
+    EXPECT_EQ(repro.c, report.failures.front().minimized);
+
+    const PropertyInfo* prop = find_property("fast_vs_naive");
+    ASSERT_NE(prop, nullptr);
+    EXPECT_FALSE(run_property_on_case(*prop, repro.c).passed)
+        << "minimized repro must still expose the planted bug";
+  }
+  // Hook off: the same repro passes — the failure was the bug, not the case.
+  const PropertyInfo* prop = find_property("fast_vs_naive");
+  ASSERT_NE(prop, nullptr);
+  const PropertyResult healthy = run_property_on_case(*prop, repro.c);
+  EXPECT_TRUE(healthy.passed) << healthy.message;
+}
+
+TEST(CheckShrinkerTest, ShrinkRejectsPassingInput) {
+  const CheckCase c = generate_case(3);
+  const CaseProperty always_passes = [](const CheckCase&) {
+    return PropertyResult{};
+  };
+  EXPECT_THROW(shrink_case(c, always_passes), ContractViolation);
+}
+
+TEST(CheckShrinkerTest, ShrinksSyntheticPredicateToItsBoundary) {
+  // "Fails whenever there are ≥ 4 events" has a known minimum: exactly 4.
+  const CheckCase start = generate_case(17);
+  ASSERT_GE(start.total_events(), 4u);
+  const CaseProperty property = [](const CheckCase& c) {
+    PropertyResult r;
+    if (c.total_events() >= 4) {
+      r.passed = false;
+      r.message = "too many events";
+    }
+    return r;
+  };
+  ShrinkStats stats;
+  const CheckCase minimized = shrink_case(start, property, &stats);
+  EXPECT_EQ(minimized.total_events(), 4u);
+  EXPECT_TRUE(minimized.structurally_valid());
+  EXPECT_TRUE(materialize(minimized).has_value());
+  EXPECT_GT(stats.accepted, 0u);
+  EXPECT_GT(stats.rounds, 0u);
+}
+
+TEST(CheckShrinkerTest, EvaluationCapIsHonored) {
+  const CheckCase start = generate_case(17);
+  const CaseProperty always_fails = [](const CheckCase&) {
+    PropertyResult r;
+    r.passed = false;
+    r.message = "unconditional";
+    return r;
+  };
+  ShrinkOptions options;
+  options.max_evaluations = 25;
+  ShrinkStats stats;
+  const CheckCase minimized = shrink_case(start, always_fails, &stats, options);
+  EXPECT_LE(stats.evaluations, 25u);
+  EXPECT_TRUE(minimized.structurally_valid());
+  EXPECT_LE(minimized.total_events(), start.total_events());
+}
+
+}  // namespace
+}  // namespace syncon::check

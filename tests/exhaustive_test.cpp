@@ -11,6 +11,7 @@
 #include "nonatomic/cut_timestamps.hpp"
 #include "relations/fast.hpp"
 #include "relations/naive.hpp"
+#include "support/contracts.hpp"
 
 namespace syncon {
 namespace {
@@ -29,10 +30,15 @@ std::vector<NonatomicEvent> all_subsets(const Execution& exec) {
   const std::vector<EventId> events = all_real_events(exec);
   std::vector<NonatomicEvent> out;
   const std::size_t n = events.size();
-  for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+  // 1u << n is UB for n >= 32 and silently wraps well before the loop below
+  // becomes intractable; keep the shift in std::size_t and refuse universes
+  // that could not be enumerated anyway.
+  SYNCON_REQUIRE(n < 20,
+                 "all_subsets: universe too large for exhaustive enumeration");
+  for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
     std::vector<EventId> members;
     for (std::size_t b = 0; b < n; ++b) {
-      if (mask & (1u << b)) members.push_back(events[b]);
+      if (mask & (std::size_t{1} << b)) members.push_back(events[b]);
     }
     out.emplace_back(exec, std::move(members));
   }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "helpers.hpp"
 #include "monitor/report.hpp"
 #include "monitor/trace_io.hpp"
 #include "online/gap_tracker.hpp"
@@ -240,7 +241,10 @@ struct Fire {
 };
 
 TEST(FaultToleranceTest, DegradedMonitorConvergesToFaultFreeVerdicts) {
-  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+  const auto max_seed =
+      static_cast<std::uint64_t>(syncon::testing::test_iters(8));
+  for (std::uint64_t seed = 1; seed <= max_seed; ++seed) {
+    SYNCON_SEED_TRACE(seed);
     // The application, fault-free: A spans p0/p1, B spans p2.
     OnlineSystem sys(3);
     std::vector<EventId> a_events, b_events;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -17,7 +18,24 @@
 #include "sim/workload.hpp"
 #include "support/rng.hpp"
 
+// Prints the responsible seed alongside any assertion that fails in the
+// enclosing scope, so a failing randomized test is replayable immediately.
+#define SYNCON_SEED_TRACE(seed) \
+  SCOPED_TRACE(::testing::Message() << "seed=" << (seed))
+
 namespace syncon::testing {
+
+// Iteration count of a randomized test: the default is the test's historical
+// value; the SYNCON_TEST_ITERS environment variable overrides every such
+// count at once (e.g. SYNCON_TEST_ITERS=5000 for a soak run, =10 for a
+// quick sanitizer pass).
+inline int test_iters(int default_iters) {
+  if (const char* env = std::getenv("SYNCON_TEST_ITERS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return default_iters;
+}
 
 // Two processes, one message:
 //   p0: a1 -> a2(send) -> a3

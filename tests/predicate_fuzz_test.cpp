@@ -107,13 +107,15 @@ TEST(PredicateFuzzTest, RandomConditionsParseAndEvaluateConsistently) {
   const Timestamps ts(exec);
   RelationEvaluator eval(ts);
   Xoshiro256StarStar rng(8);
+  SYNCON_SEED_TRACE(8);
   IntervalSpec spec;
   spec.node_count = 3;
   spec.max_events_per_node = 3;
   const auto hx = eval.add_event(random_interval(exec, rng, spec, "X"));
   const auto hy = eval.add_event(random_interval(exec, rng, spec, "Y"));
 
-  for (int i = 0; i < 500; ++i) {
+  const int iters = testing::test_iters(500);
+  for (int i = 0; i < iters; ++i) {
     const auto oracle = random_condition(rng, 4);
     const std::string text = oracle->render(rng);
     SyncCondition parsed = SyncCondition::parse(text);
@@ -129,9 +131,11 @@ TEST(PredicateFuzzTest, RandomConditionsParseAndEvaluateConsistently) {
 
 TEST(PredicateFuzzTest, MutatedInputsNeverCrash) {
   Xoshiro256StarStar rng(99);
+  SYNCON_SEED_TRACE(99);
   const std::string alphabet = "R1234'()&|!LU, x";
   int parsed_ok = 0;
-  for (int i = 0; i < 3000; ++i) {
+  const int iters = testing::test_iters(3000);
+  for (int i = 0; i < iters; ++i) {
     std::string text;
     const std::uint64_t len = rng.below(24);
     for (std::uint64_t k = 0; k < len; ++k) {

@@ -52,6 +52,7 @@ Execution star_execution(std::size_t leaves, std::size_t rounds) {
 
 void cross_check_all_tiers(const Execution& exec, std::uint64_t seed,
                            int trials) {
+  SYNCON_SEED_TRACE(seed);
   const Timestamps ts(exec);
   const OnlineSystem sys = replay(exec);
   Xoshiro256StarStar rng(seed);
@@ -81,12 +82,12 @@ void cross_check_all_tiers(const Execution& exec, std::uint64_t seed,
 
 TEST(StressTest, LongChainsDeepCausality) {
   const Execution exec = chain_execution(8, 120);
-  cross_check_all_tiers(exec, 97, 150);
+  cross_check_all_tiers(exec, 97, testing::test_iters(150));
 }
 
 TEST(StressTest, WideStarsShallowCausality) {
   const Execution exec = star_execution(12, 8);
-  cross_check_all_tiers(exec, 98, 150);
+  cross_check_all_tiers(exec, 98, testing::test_iters(150));
 }
 
 TEST(StressTest, LargeRandomWorkload) {
@@ -96,7 +97,7 @@ TEST(StressTest, LargeRandomWorkload) {
   cfg.send_probability = 0.4;
   cfg.seed = 4096;
   const Execution exec = generate_execution(cfg);
-  cross_check_all_tiers(exec, 99, 200);
+  cross_check_all_tiers(exec, 99, testing::test_iters(200));
 }
 
 TEST(StressTest, DensePhasesWorkload) {
@@ -107,7 +108,7 @@ TEST(StressTest, DensePhasesWorkload) {
   cfg.phase_count = 8;
   cfg.seed = 512;
   const Execution exec = generate_execution(cfg);
-  cross_check_all_tiers(exec, 100, 150);
+  cross_check_all_tiers(exec, 100, testing::test_iters(150));
 }
 
 TEST(StressTest, HeavyOverlapPairs) {
@@ -121,10 +122,12 @@ TEST(StressTest, HeavyOverlapPairs) {
   const Timestamps ts(exec);
   RelationEvaluator eval(ts);
   Xoshiro256StarStar rng(1);
+  SYNCON_SEED_TRACE(1);
   IntervalSpec spec;
   spec.node_count = 6;
   spec.max_events_per_node = 6;
-  for (int t = 0; t < 60; ++t) {
+  const int trials = testing::test_iters(60);
+  for (int t = 0; t < trials; ++t) {
     NonatomicEvent base = random_interval(exec, rng, spec, "B");
     // Y = base plus a few extra events; X = base.
     std::vector<EventId> extended = base.events();

@@ -314,6 +314,16 @@ TEST(CliParserTest, RejectsNegativeForUnsigned) {
   EXPECT_THROW(cli.get_uint("count"), ContractViolation);
 }
 
+TEST(CliParserTest, UnsignedCoversTheFullSeedRange) {
+  // 64-bit case seeds routinely exceed int64 max; get_uint must not funnel
+  // through signed parsing.
+  CliParser cli("prog", "test");
+  cli.add_option("seed", "1", "campaign seed");
+  const char* argv[] = {"prog", "--seed=13498596972625284250"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_uint("seed"), 13498596972625284250ull);
+}
+
 TEST(CliParserTest, CollectsPositional) {
   CliParser cli("prog", "test");
   const char* argv[] = {"prog", "a.trace", "b.trace"};
