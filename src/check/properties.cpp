@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "check/generators.hpp"
+#include "cuts/watermark.hpp"
 #include "model/reachability.hpp"
 #include "monitor/predicate.hpp"
 #include "online/online_monitor.hpp"
@@ -363,6 +364,124 @@ PropertyResult monitor_faulty_vs_clean(const CheckCase& c) {
 }
 
 // ---------------------------------------------------------------------------
+// monitor_compaction_identity
+// ---------------------------------------------------------------------------
+
+PropertyResult monitor_compaction_identity(const CheckCase& c) {
+  std::optional<MaterializedCase> m = materialize(c);
+  if (!m) return fail("case failed to materialize");
+  const Execution& exec = *m->exec;
+
+  std::vector<EventId> y_only;
+  for (const EventId& e : m->y.events()) {
+    if (!m->x.contains(e)) y_only.push_back(e);
+  }
+  if (y_only.empty()) return pass();  // see monitor_faulty_vs_clean
+  const std::set<EventId> x_set(m->x.events().begin(), m->x.events().end());
+  const std::set<EventId> y_set(y_only.begin(), y_only.end());
+
+  const auto feed = [&](OnlineMonitor& mon, const WireMessage& report) {
+    if (x_set.count(report.source)) {
+      mon.ingest("X", report);
+    } else if (y_set.count(report.source)) {
+      mon.ingest("Y", report);
+    } else {
+      mon.observe(report);
+    }
+  };
+  const auto verdicts_of = [&](OnlineMonitor& mon) {
+    std::vector<Firing> fired;
+    for (const RelationId& id : all_relation_ids()) {
+      mon.watch(id, "X", "Y",
+                [&fired](const std::string&, const std::string&, bool holds,
+                         Confidence conf) { fired.push_back({holds, conf}); });
+    }
+    return fired;
+  };
+
+  // Reference: clean feed into an uncompacted system's monitor.
+  const OnlineSystem clean_sys = replay(exec);
+  OnlineMonitor clean(exec.process_count());
+  clean.begin("X");
+  clean.begin("Y");
+  for (const EventId& e : exec.topological_order()) {
+    feed(clean, clean_sys.wire_of(e));
+  }
+  clean.complete("X");
+  clean.complete("Y");
+  const std::vector<Firing> clean_fires = verdicts_of(clean);
+
+  // Subject: lossy feed, with the authoritative log compacted at the
+  // monitor's watermark pin between delivery chunks. Chunked resync
+  // (bounded request size) closes each chunk's gaps before compacting, so
+  // every request is served from the live log.
+  OnlineSystem sys = replay(exec);
+  Xoshiro256StarStar frng(fingerprint(c) ^ 0xda3e39cb94b95bdbULL);
+  const LinkFaultConfig link = generate_link_faults(frng);
+  FaultyChannel channel(link, fingerprint(c) ^ 1);
+  TimePoint t = 0;
+  for (const EventId& e : exec.topological_order()) {
+    channel.push(sys.wire_of(e), t += 5);
+  }
+  OnlineMonitor faulty(exec.process_count());
+  faulty.begin("X");
+  faulty.begin("Y");
+  TimePoint cursor = 0;
+  while (true) {
+    cursor += 64;
+    for (const Arrival& a : channel.pop_ready(cursor)) feed(faulty, a.message);
+    faulty.checkpoint(sys.snapshot());
+    int rounds = 0;
+    while (faulty.missing_report_count() > 0) {
+      if (++rounds > 512) return fail("chunked resync failed to converge");
+      for (const WireMessage& w : sys.serve(faulty.resync_request(8))) {
+        feed(faulty, w);
+      }
+    }
+    const VectorClock pins[] = {faulty.watermark_pin()};
+    sys.compact(low_watermark(pins));
+    if (channel.in_transit() == 0) break;
+  }
+  faulty.complete("X");
+  faulty.complete("Y");
+  const std::vector<Firing> faulty_fires = verdicts_of(faulty);
+
+  if (clean_fires.size() != 32 || faulty_fires.size() != 32) {
+    return fail("expected 32 immediate firings, got " +
+                std::to_string(clean_fires.size()) + " clean / " +
+                std::to_string(faulty_fires.size()) + " compacted");
+  }
+  const auto ids = all_relation_ids();
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (faulty_fires[i].conf != Confidence::Definite) {
+      return fail(to_string(ids[i]) + ": compacted verdict not Definite");
+    }
+    if (!(faulty_fires[i] == clean_fires[i])) {
+      return fail(to_string(ids[i]) +
+                  ": compacted-vs-uncompacted verdicts differ");
+    }
+  }
+
+  // When anything was reclaimed, a late-joining monitor must still converge:
+  // its resync crosses the watermark and is answered from the checkpoint.
+  if (sys.reclaimed_events() > 0) {
+    OnlineMonitor late(exec.process_count());
+    late.checkpoint(sys.snapshot());
+    int rounds = 0;
+    while (late.missing_report_count() > 0) {
+      if (++rounds > 512) {
+        return fail("late joiner failed to converge across the watermark");
+      }
+      for (const WireMessage& w : sys.serve(late.resync_request(8))) {
+        late.observe(w);
+      }
+      late.adopt_checkpoint(sys.checkpoint());
+    }
+  }
+  return pass();
+}
+
+// ---------------------------------------------------------------------------
 // metamorphic_redundant_message
 // ---------------------------------------------------------------------------
 
@@ -480,7 +599,7 @@ PropertyResult predicate_roundtrip(const CheckCase& c) {
   return pass();
 }
 
-constexpr std::array<PropertyInfo, 8> kProperties{{
+constexpr std::array<PropertyInfo, 9> kProperties{{
     {"fast_vs_naive",
      "Theorem 20 fast conditions vs naive proxy quantification (and the BFS "
      "oracle on small universes) for all 32 relations, with cost bounds",
@@ -501,6 +620,11 @@ constexpr std::array<PropertyInfo, 8> kProperties{{
      "online monitor behind a seeded lossy channel + recovery vs a clean "
      "feed: identical Definite verdicts",
      &monitor_faulty_vs_clean},
+    {"monitor_compaction_identity",
+     "online monitor over a lossy feed with the log compacted at the "
+     "watermark pin vs a clean uncompacted run: identical Definite "
+     "verdicts, late joiner converges via the checkpoint",
+     &monitor_compaction_identity},
     {"metamorphic_redundant_message",
      "adding a causally redundant message changes no verdict",
      &metamorphic_redundant_message},

@@ -15,6 +15,11 @@
 //   monitor_faulty_vs_clean   OnlineMonitor fed through a seeded lossy
 //                       channel + recovery vs a clean feed: identical
 //                       verdicts, all Definite.
+//   monitor_compaction_identity   the same differential with the
+//                       authoritative log compacted at the monitor's
+//                       watermark pin between delivery chunks, plus a
+//                       late joiner resynced across the watermark from
+//                       the retention checkpoint.
 //   metamorphic_redundant_message   adding a causally redundant message
 //                       never changes any verdict.
 //   metamorphic_relabel relabeling processes permutes but preserves

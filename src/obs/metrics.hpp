@@ -67,6 +67,14 @@ class Gauge {
 
   void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
   void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raises the gauge to v if it is below (CAS max) — high-water marks like
+  /// peak live-log size, safe against concurrent setters.
+  void set_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
   std::int64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }

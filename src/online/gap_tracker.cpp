@@ -55,18 +55,57 @@ void GapTracker::claim(ProcessId q, EventIndex up_to) {
   peers_[q].claimed = std::max(peers_[q].claimed, up_to);
 }
 
-std::vector<EventId> GapTracker::missing() const {
+std::vector<EventId> GapTracker::missing(std::size_t limit) const {
   std::vector<EventId> out;
-  for (ProcessId q = 0; q < peers_.size(); ++q) {
+  for (ProcessId q = 0; q < peers_.size() && out.size() < limit; ++q) {
     const Peer& peer = peers_[q];
     auto it = peer.ahead.begin();
     for (EventIndex i = peer.contiguous + 1; i <= peer.claimed; ++i) {
       while (it != peer.ahead.end() && *it < i) ++it;
       if (it != peer.ahead.end() && *it == i) continue;
       out.push_back(EventId{q, i});
+      if (out.size() == limit) break;
     }
   }
   return out;
+}
+
+std::size_t GapTracker::missing_count() const {
+  std::size_t holes = 0;
+  for (const Peer& peer : peers_) {
+    if (peer.claimed <= peer.contiguous) continue;
+    // Every ahead entry is > contiguous by invariant; the ones <= claimed
+    // are witnessed indices punched out of the claimed range.
+    std::size_t witnessed_in_range = 0;
+    for (auto it = peer.ahead.begin();
+         it != peer.ahead.end() && *it <= peer.claimed; ++it) {
+      ++witnessed_in_range;
+    }
+    holes += (peer.claimed - peer.contiguous) - witnessed_in_range;
+  }
+  return holes;
+}
+
+EventIndex GapTracker::contiguous_prefix(ProcessId q) const {
+  SYNCON_REQUIRE(q < peers_.size(), "unknown process");
+  return peers_[q].contiguous;
+}
+
+void GapTracker::forgive(ProcessId q, EventIndex up_to) {
+  SYNCON_REQUIRE(q < peers_.size(), "forgive for unknown process");
+  Peer& peer = peers_[q];
+  if (up_to <= peer.contiguous) return;
+  peer.contiguous = up_to;
+  // Drop witnessed-ahead entries swallowed by the new prefix, then absorb
+  // any that became contiguous — exactly the witness() absorption step.
+  auto it = peer.ahead.begin();
+  while (it != peer.ahead.end() && *it <= peer.contiguous) {
+    it = peer.ahead.erase(it);
+  }
+  while (it != peer.ahead.end() && *it == peer.contiguous + 1) {
+    ++peer.contiguous;
+    it = peer.ahead.erase(it);
+  }
 }
 
 bool GapTracker::has_gap() const {

@@ -12,6 +12,7 @@
 // arrivals are absorbed, and missing() enumerates the exact holes.
 #pragma once
 
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -47,16 +48,40 @@ class GapTracker {
 
   /// Claimed-but-never-witnessed events, sorted: the known-lost
   /// predecessors. Empty iff the local history explains every clock seen.
-  std::vector<EventId> missing() const;
+  /// `limit` bounds the enumeration — after a long outage the full hole set
+  /// can run to millions of events, and a resync wants to request (and
+  /// allocate) them in chunks, not all at once.
+  std::vector<EventId> missing(
+      std::size_t limit = std::numeric_limits<std::size_t>::max()) const;
+  /// Exact |missing()| without materializing it (cheap: O(|P| + reordered
+  /// arrivals), not O(holes)).
+  std::size_t missing_count() const;
   bool has_gap() const;
   /// True iff some event of q is claimed but not witnessed.
   bool gap_on(ProcessId q) const;
 
+  /// Length of the witnessed contiguous prefix of q: every event
+  /// (q, 1 .. contiguous_prefix(q)) has been witnessed. This is q's
+  /// component of the consumer's retention bound (cuts/watermark.hpp):
+  /// nothing at or below the prefix can ever appear in missing().
+  EventIndex contiguous_prefix(ProcessId q) const;
+
+  /// Adopts a retention checkpoint: treats events (q, 1 .. up_to) as
+  /// witnessed even if their reports never arrived — their log entries were
+  /// reclaimed, so the holes below the checkpoint cut can never be served
+  /// and must stop counting as gaps. Witnessed(e) answers true for forgiven
+  /// events; witnessed_count() only counts reports that really arrived.
+  void forgive(ProcessId q, EventIndex up_to);
+
   /// Distinct events witnessed so far.
   std::size_t witnessed_count() const { return witnessed_total_; }
 
-  /// Retransmit request covering missing().
-  RetransmitRequest resync_request() const { return {missing()}; }
+  /// Retransmit request covering missing(limit) — chunk the recovery of a
+  /// large gap by calling this repeatedly as replies are folded in.
+  RetransmitRequest resync_request(
+      std::size_t limit = std::numeric_limits<std::size_t>::max()) const {
+    return {missing(limit)};
+  }
 
  private:
   struct Peer {

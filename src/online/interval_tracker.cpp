@@ -109,6 +109,14 @@ std::vector<ProcessId> IntervalTracker::nodes() const {
   return out;
 }
 
+std::vector<std::pair<ProcessId, EventIndex>> IntervalTracker::least_indices()
+    const {
+  std::vector<std::pair<ProcessId, EventIndex>> out;
+  out.reserve(per_node_.size());
+  for (const NodeAgg& agg : per_node_) out.emplace_back(agg.process, agg.least);
+  return out;
+}
+
 IntervalSummary IntervalTracker::summary() const {
   SYNCON_REQUIRE(!per_node_.empty(), "summary of an empty interval");
   IntervalSummary s;

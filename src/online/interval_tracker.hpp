@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/types.hpp"
@@ -82,6 +83,10 @@ class IntervalTracker {
   std::size_t event_count() const { return event_count_; }
   /// Processes with at least one folded component event, sorted.
   std::vector<ProcessId> nodes() const;
+  /// (process, least folded index) per node, sorted by process id — the
+  /// open-interval references that pin a retention watermark
+  /// (OnlineMonitor::watermark_pin, DESIGN.md §3.10).
+  std::vector<std::pair<ProcessId, EventIndex>> least_indices() const;
 
   /// Finalizes the aggregates. The tracker may keep accumulating afterwards;
   /// summary() just snapshots the current state.

@@ -148,6 +148,41 @@ void OnlineMonitor::checkpoint(const VectorClock& snapshot) {
   note_gap_state();
 }
 
+VectorClock OnlineMonitor::watermark_pin() const {
+  VectorClock pin(process_count_, 0);
+  for (ProcessId p = 0; p < process_count_; ++p) {
+    pin[p] = gaps_.contiguous_prefix(p) + 1;
+  }
+  // Open (unevaluated) actions keep their component events servable: the
+  // pin holds at the least referenced index until the action completes and
+  // its watches have consumed the summary.
+  for (const auto& [label, tracker] : open_) {
+    for (const auto& [q, least] : tracker.least_indices()) {
+      pin[q] = std::min<ClockValue>(pin[q], least);
+    }
+  }
+  return pin;
+}
+
+void OnlineMonitor::adopt_checkpoint(const RetentionCheckpoint& checkpoint) {
+  SYNCON_REQUIRE(checkpoint.cut.size() == process_count_,
+                 "checkpoint cut has " +
+                     std::to_string(checkpoint.cut.size()) +
+                     " components, monitor covers " +
+                     std::to_string(process_count_) + " processes");
+  degraded_ = true;
+  for (ProcessId p = 0; p < process_count_; ++p) {
+    // The surface clock vouches for the frontier a late joiner can never
+    // see reports for; anything it claims beyond the cut is a real gap the
+    // normal resync path recovers.
+    gaps_.claim(checkpoint.surface_clocks[p]);
+    if (checkpoint.cut[p] > 0) gaps_.forgive(p, checkpoint.cut[p] - 1);
+  }
+  note_gap_state();
+  if (!gaps_.has_gap()) rearm_after_recovery(nullptr);
+  fire_ready_watches();
+}
+
 void OnlineMonitor::note_gap_state() {
   const bool open_now = gaps_.has_gap();
   if (open_now && !gap_open_) {
@@ -249,7 +284,7 @@ std::vector<OnlineMonitor::HealthMetric> OnlineMonitor::health_metrics()
       {"syncon_monitor_duplicate_reports", "duplicate reports suppressed",
        duplicate_reports_},
       {"syncon_monitor_known_lost_reports", "known-lost reports",
-       missing_reports().size()},
+       missing_report_count()},
       {"syncon_monitor_definite_fires", "definite watch firings",
        definite_fires_},
       {"syncon_monitor_pending_fires", "pending-gap watch firings",

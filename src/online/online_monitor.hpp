@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -118,15 +119,48 @@ class OnlineMonitor {
   void checkpoint(const VectorClock& snapshot);
 
   /// Known-lost reports: claimed by some clock seen here, never ingested.
-  std::vector<EventId> missing_reports() const { return gaps_.missing(); }
-  /// Retransmit request covering missing_reports() (serve it from the
-  /// authoritative log with OnlineSystem::serve, then ingest the replies).
-  RetransmitRequest resync_request() const { return gaps_.resync_request(); }
+  /// `limit` bounds the enumeration so a long outage can be recovered in
+  /// chunks instead of materializing millions of EventIds at once.
+  std::vector<EventId> missing_reports(
+      std::size_t limit = std::numeric_limits<std::size_t>::max()) const {
+    return gaps_.missing(limit);
+  }
+  /// Exact number of known-lost reports, without materializing them.
+  std::size_t missing_report_count() const { return gaps_.missing_count(); }
+  /// Retransmit request covering missing_reports(limit) (serve it from the
+  /// authoritative log with OnlineSystem::serve, then ingest/observe the
+  /// replies; repeat while has-gap until recovery completes).
+  RetransmitRequest resync_request(
+      std::size_t limit = std::numeric_limits<std::size_t>::max()) const {
+    return gaps_.resync_request(limit);
+  }
   /// True once any report has been observed/ingested (the monitor then
   /// treats outstanding gaps as verdict-tainting).
   bool degraded() const { return degraded_; }
   /// Duplicate reports suppressed so far.
   std::uint64_t duplicate_reports() const { return duplicate_reports_; }
+
+  // --- retention (DESIGN.md §3.10) ------------------------------------------
+
+  /// This monitor's retention pin, in the watermark's counts form: component
+  /// p is the smallest index the authoritative log must keep live for p —
+  /// min(witnessed contiguous prefix + 1, least event index referenced by
+  /// any open action). While a gap is open the pin sits at the gap (every
+  /// missing report lies above the contiguous prefix, so resync can always
+  /// be served); while an action is open its events stay servable until the
+  /// watches that need them have evaluated. Feed the componentwise min of
+  /// every consumer's pin (cuts::low_watermark) to OnlineSystem::compact.
+  VectorClock watermark_pin() const;
+
+  /// Adopts the authoritative system's retention checkpoint: reports below
+  /// the checkpoint cut can never be served again (their log entries were
+  /// reclaimed), so the gaps they caused are closed via GapTracker::forgive,
+  /// and the cut's surface clocks are claimed so a late-joining monitor
+  /// learns the frontier it can never see reports for. Pending watches
+  /// re-fire Definite if this closes the last gap — the deployment
+  /// guarantees (by compacting only below every consumer's pin) that the
+  /// forgiven reports were either already witnessed here or irrelevant.
+  void adopt_checkpoint(const RetentionCheckpoint& checkpoint);
 
   // --- crash watchdog -------------------------------------------------------
 

@@ -1,5 +1,6 @@
 #include "online/online_system.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -40,6 +41,7 @@ void record_delivery_latency(std::int64_t sent_at, std::int64_t when) {
 
 OnlineSystem::OnlineSystem(std::size_t process_count) {
   SYNCON_REQUIRE(process_count > 0, "need at least one process");
+  checkpoint_ = RetentionCheckpoint::bottom(process_count);
   clocks_.reserve(process_count);
   for (std::size_t p = 0; p < process_count; ++p) {
     // Clock of ⊥_p: one own event (the dummy), nothing else known.
@@ -48,6 +50,8 @@ OnlineSystem::OnlineSystem(std::size_t process_count) {
     clocks_.push_back(std::move(c));
   }
   log_.resize(process_count);
+  base_.assign(process_count, 0);
+  last_timed_.assign(process_count, kNoTime);
   delivered_.resize(process_count);
   gaps_.assign(process_count, GapTracker(process_count));
 }
@@ -77,30 +81,55 @@ void OnlineSystem::check_deliverable(ProcessId p, const WireMessage& m) const {
           " > " + std::to_string(clocks_[p][p]) + ")");
 }
 
+const OnlineSystem::LoggedEvent& OnlineSystem::live_entry(EventId e) const {
+  SYNCON_REQUIRE(e.process < log_.size() && e.index >= 1, "unknown event");
+  SYNCON_REQUIRE(e.index > base_[e.process],
+                 "event " + describe(e) +
+                     " was reclaimed by compaction (the retention checkpoint "
+                     "covers it; ask wire_of for its surface report)");
+  const std::size_t k = e.index - base_[e.process] - 1;
+  SYNCON_REQUIRE(k < log_[e.process].size(), "unknown event");
+  return log_[e.process][k];
+}
+
 EventId OnlineSystem::advance(ProcessId p,
                               std::span<const WireMessage> messages,
                               std::int64_t when) {
   SYNCON_REQUIRE(p < clocks_.size(),
                  "process id " + std::to_string(p) + " out of range (" +
                      std::to_string(clocks_.size()) + " processes)");
-  SYNCON_REQUIRE(when == kNoTime || log_[p].empty() ||
-                     log_[p].back().time == kNoTime ||
-                     when > log_[p].back().time,
+  // The monotonicity floor is the last *timed* event: an untimed event in
+  // between must not reset it and let time run backwards.
+  SYNCON_REQUIRE(when == kNoTime || last_timed_[p] == kNoTime ||
+                     when > last_timed_[p],
                  "per-process physical times must be strictly increasing");
   VectorClock& clock = clocks_[p];
   LoggedEvent logged;
   logged.time = when;
   for (const WireMessage& m : messages) {
     check_deliverable(p, m);
+    // Loss accounting doubles as in-batch dedup: witness() is idempotent
+    // and answers false for a source this receiver already consumed — the
+    // same wire message twice in one gather batch is one delivery, not two
+    // entries in the receive's source list.
+    if (!gaps_[p].witness(m.source)) {
+      ++duplicates_suppressed_;
+      if (obs::enabled()) duplicates_counter().add();
+      continue;
+    }
     clock.merge_max(m.clock);
     logged.sources.push_back(m.source);
-    // Loss accounting: the source itself was witnessed; everything its
-    // clock vouches for (other than p's own events) must eventually be
-    // witnessed too, or it was lost.
-    gaps_[p].witness(m.source);
+    // Everything the source's clock vouches for (other than p's own events)
+    // must eventually be witnessed too, or it was lost.
     for (ProcessId q = 0; q < clock.size(); ++q) {
       if (q == p || m.clock[q] == 0) continue;
       gaps_[p].claim(q, m.clock[q] - 1);
+    }
+    if (obs::enabled()) {
+      deliveries_counter().add();
+      if (is_live(m.source)) {
+        record_delivery_latency(time_of(m.source), when);
+      }
     }
   }
   // The paper's axiom ⊥_i ≺ e lifts every component to at least 1.
@@ -108,9 +137,11 @@ EventId OnlineSystem::advance(ProcessId p,
     if (clock[i] == 0) clock[i] = 1;
   }
   clock[p] = clock[p] + 1;
-  const EventId e{p, static_cast<EventIndex>(log_[p].size() + 1)};
+  const EventId e{
+      p, static_cast<EventIndex>(base_[p] + log_[p].size() + 1)};
   logged.clock = clock;
   log_[p].push_back(std::move(logged));
+  if (when != kNoTime) last_timed_[p] = when;
   ++total_;
   for (const WireMessage& m : messages) {
     delivered_[p].emplace(m.source, e);
@@ -140,11 +171,13 @@ EventId OnlineSystem::deliver(ProcessId p, const WireMessage& message,
     if (obs::enabled()) duplicates_counter().add();
     return it->second;
   }
-  if (obs::enabled()) {
-    deliveries_counter().add();
-    if (message.source.index <= log_[message.source.process].size()) {
-      record_delivery_latency(time_of(message.source), when);
-    }
+  // The dedup record may have been reclaimed by compaction, but the gap
+  // tracker remembers every source this receiver consumed (witnessed ⟺
+  // consumed at this level): still suppress, answer with the sentinel.
+  if (gaps_[p].witnessed(message.source)) {
+    ++duplicates_suppressed_;
+    if (obs::enabled()) duplicates_counter().add();
+    return EventId{p, 0};
   }
   const WireMessage msgs[] = {message};
   return advance(p, msgs, when);
@@ -157,51 +190,32 @@ EventId OnlineSystem::deliver_all(ProcessId p,
                  "process id " + std::to_string(p) + " out of range (" +
                      std::to_string(clocks_.size()) + " processes)");
   SYNCON_REQUIRE(!messages.empty(), "deliver_all needs at least one message");
-  // Suppress duplicates: against earlier deliveries and within the batch
-  // (the same gather point may legitimately see one wire message twice on a
-  // faulty transport).
+  // Suppress messages already consumed by an earlier receive; duplicates
+  // *within* the batch survive to advance(), whose witness() call collapses
+  // them into a single source entry.
   std::vector<WireMessage> fresh;
   fresh.reserve(messages.size());
   for (const WireMessage& m : messages) {
     check_deliverable(p, m);
-    if (delivered_[p].count(m.source)) {
+    if (delivered_[p].count(m.source) || gaps_[p].witnessed(m.source)) {
       ++duplicates_suppressed_;
       if (obs::enabled()) duplicates_counter().add();
       continue;
-    }
-    bool in_batch = false;
-    for (const WireMessage& f : fresh) {
-      if (f.source == m.source) {
-        in_batch = true;
-        break;
-      }
-    }
-    if (in_batch) {
-      ++duplicates_suppressed_;
-      if (obs::enabled()) duplicates_counter().add();
-      continue;
-    }
-    if (obs::enabled()) {
-      deliveries_counter().add();
-      if (m.source.index <= log_[m.source.process].size()) {
-        record_delivery_latency(time_of(m.source), when);
-      }
     }
     fresh.push_back(m);
   }
   if (fresh.empty()) {
     // Every message was a duplicate: idempotent no-op, answered with the
-    // receive that first consumed the batch's first source.
-    return delivered_[p].at(messages.front().source);
+    // receive that first consumed the batch's first source ({p, 0} when
+    // that record was reclaimed by compaction).
+    const auto it = delivered_[p].find(messages.front().source);
+    return it != delivered_[p].end() ? it->second : EventId{p, 0};
   }
   return advance(p, fresh, when);
 }
 
 std::int64_t OnlineSystem::time_of(EventId e) const {
-  SYNCON_REQUIRE(e.process < log_.size() && e.index >= 1 &&
-                     e.index <= log_[e.process].size(),
-                 "unknown event");
-  return log_[e.process][e.index - 1].time;
+  return live_entry(e).time;
 }
 
 const VectorClock& OnlineSystem::current_clock(ProcessId p) const {
@@ -210,29 +224,36 @@ const VectorClock& OnlineSystem::current_clock(ProcessId p) const {
 }
 
 const VectorClock& OnlineSystem::clock_of(EventId e) const {
-  SYNCON_REQUIRE(e.process < log_.size() && e.index >= 1 &&
-                     e.index <= log_[e.process].size(),
-                 "unknown event");
-  return log_[e.process][e.index - 1].clock;
+  return live_entry(e).clock;
 }
 
 EventIndex OnlineSystem::executed(ProcessId p) const {
   SYNCON_REQUIRE(p < log_.size(), "process id out of range");
-  return static_cast<EventIndex>(log_[p].size());
+  return static_cast<EventIndex>(base_[p] + log_[p].size());
 }
 
 WireMessage OnlineSystem::wire_of(EventId e) const {
-  return WireMessage{e, clock_of(e)};  // clock_of validates e
+  SYNCON_REQUIRE(e.process < log_.size() && e.index >= 1 &&
+                     e.index <= executed(e.process),
+                 "unknown event");
+  if (e.index <= base_[e.process]) {
+    // Reclaimed: answer with the checkpoint's surface event on e's process.
+    // Its clock vouches for e and everything else inside the cut.
+    return WireMessage{EventId{e.process, base_[e.process]},
+                       checkpoint_.surface_clocks[e.process]};
+  }
+  return WireMessage{e, clock_of(e)};
 }
 
 bool OnlineSystem::already_delivered(ProcessId p, EventId source) const {
   SYNCON_REQUIRE(p < delivered_.size(), "process id out of range");
-  return delivered_[p].count(source) != 0;
+  return delivered_[p].count(source) != 0 || gaps_[p].witnessed(source);
 }
 
-std::vector<EventId> OnlineSystem::missing_at(ProcessId p) const {
+std::vector<EventId> OnlineSystem::missing_at(ProcessId p,
+                                              std::size_t limit) const {
   SYNCON_REQUIRE(p < gaps_.size(), "process id out of range");
-  return gaps_[p].missing();
+  return gaps_[p].missing(limit);
 }
 
 bool OnlineSystem::has_gap(ProcessId p) const {
@@ -240,8 +261,9 @@ bool OnlineSystem::has_gap(ProcessId p) const {
   return gaps_[p].has_gap();
 }
 
-RetransmitRequest OnlineSystem::resync_request(ProcessId p) const {
-  return RetransmitRequest{missing_at(p)};
+RetransmitRequest OnlineSystem::resync_request(ProcessId p,
+                                               std::size_t limit) const {
+  return RetransmitRequest{missing_at(p, limit)};
 }
 
 std::vector<WireMessage> OnlineSystem::serve(
@@ -249,11 +271,23 @@ std::vector<WireMessage> OnlineSystem::serve(
   SYNCON_SPAN("online/resync_serve");
   std::vector<WireMessage> out;
   out.reserve(request.events.size());
+  // At most one checkpoint-surface reply per process, no matter how many
+  // reclaimed events the request names on it — one surface report covers
+  // them all.
+  std::vector<bool> surfaced(process_count(), false);
   for (const EventId& e : request.events) {
-    if (e.process < log_.size() && e.index >= 1 &&
-        e.index <= log_[e.process].size()) {
-      out.push_back(wire_of(e));
+    if (e.process >= log_.size() || e.index < 1 ||
+        e.index > executed(e.process)) {
+      continue;  // never executed here — this log cannot serve it
     }
+    if (e.index <= base_[e.process]) {
+      if (!surfaced[e.process]) {
+        surfaced[e.process] = true;
+        out.push_back(wire_of(e));
+      }
+      continue;
+    }
+    out.push_back(wire_of(e));
   }
   if (obs::enabled()) {
     auto& registry = obs::MetricRegistry::global();
@@ -270,12 +304,111 @@ std::vector<WireMessage> OnlineSystem::serve(
 VectorClock OnlineSystem::snapshot() const {
   VectorClock snap(process_count(), 0);
   for (ProcessId q = 0; q < process_count(); ++q) {
-    snap[q] = static_cast<EventIndex>(log_[q].size() + 1);
+    snap[q] = static_cast<EventIndex>(base_[q] + log_[q].size() + 1);
   }
   return snap;
 }
 
+std::size_t OnlineSystem::compact(const VectorClock& watermark) {
+  SYNCON_SPAN("online/compact");
+  SYNCON_REQUIRE(watermark.size() == process_count(),
+                 "watermark has " + std::to_string(watermark.size()) +
+                     " components, system has " +
+                     std::to_string(process_count()) + " processes");
+  std::size_t reclaimed = 0;
+  for (ProcessId p = 0; p < process_count(); ++p) {
+    // Counts form: component value c covers events (p, 1..c-1). Clamp to
+    // [current checkpoint, executed + 1] — monotone, never past the log.
+    ClockValue target = std::min<ClockValue>(
+        watermark[p], static_cast<ClockValue>(executed(p)) + 1);
+    if (target <= checkpoint_.cut[p]) continue;
+    const EventIndex new_base = target - 1;
+    const std::size_t drop = new_base - base_[p];
+    // The cut's surface event on p is the last one reclaimed: remember its
+    // clock and time so wire_of/serve can answer for everything below it.
+    const LoggedEvent& surface = log_[p][drop - 1];
+    checkpoint_.surface_clocks[p] = surface.clock;
+    checkpoint_.surface_times[p] = surface.time;
+    checkpoint_.cut[p] = target;
+    log_[p].erase(log_[p].begin(),
+                  log_[p].begin() + static_cast<std::ptrdiff_t>(drop));
+    base_[p] = new_base;
+    reclaimed += drop;
+  }
+  if (reclaimed == 0) return 0;
+  checkpoint_.reclaimed_total += reclaimed;
+  ++checkpoint_.sequence;
+  // Dedup records for sources inside the cut are reclaimed with the log;
+  // deliver() falls back to the gap tracker's witnessed() for them.
+  for (auto& per_receiver : delivered_) {
+    for (auto it = per_receiver.begin(); it != per_receiver.end();) {
+      it = cut_covers(checkpoint_.cut, it->first) ? per_receiver.erase(it)
+                                                  : std::next(it);
+    }
+  }
+  if (obs::enabled()) {
+    auto& registry = obs::MetricRegistry::global();
+    static obs::Counter& reclaimed_total =
+        registry.counter("syncon_online_reclaimed_events_total");
+    static obs::Counter& compactions =
+        registry.counter("syncon_online_compactions_total");
+    static obs::Gauge& live =
+        registry.gauge("syncon_online_live_log_events");
+    static obs::Gauge& peak =
+        registry.gauge("syncon_online_live_log_peak_events");
+    static obs::Gauge& lag =
+        registry.gauge("syncon_online_watermark_lag_events");
+    reclaimed_total.add(reclaimed);
+    compactions.add(1);
+    const std::size_t live_now = live_log_events();
+    live.set(static_cast<std::int64_t>(live_now));
+    peak.set_max(static_cast<std::int64_t>(live_now));
+    lag.set(static_cast<std::int64_t>(
+        watermark_lag(checkpoint_.cut, snapshot())));
+  }
+  return reclaimed;
+}
+
+VectorClock OnlineSystem::retention_watermark() const {
+  VectorClock w(process_count(), 0);
+  for (ProcessId p = 0; p < process_count(); ++p) {
+    if (process_count() == 1) {
+      // No other consumer exists; everything executed is reclaimable.
+      w[p] = static_cast<ClockValue>(executed(p)) + 1;
+      continue;
+    }
+    EventIndex floor = std::numeric_limits<EventIndex>::max();
+    for (ProcessId q = 0; q < process_count(); ++q) {
+      if (q == p) continue;
+      floor = std::min(floor, gaps_[q].contiguous_prefix(p));
+    }
+    w[p] = floor + 1;  // counts form: covers (p, 1..floor)
+  }
+  return w;
+}
+
+std::size_t OnlineSystem::live_log_events() const {
+  std::size_t n = 0;
+  for (const auto& per_process : log_) n += per_process.size();
+  return n;
+}
+
+EventIndex OnlineSystem::reclaimed_before(ProcessId p) const {
+  SYNCON_REQUIRE(p < base_.size(), "process id out of range");
+  return base_[p];
+}
+
+bool OnlineSystem::is_live(EventId e) const {
+  SYNCON_REQUIRE(e.process < log_.size(), "process id out of range");
+  return e.index > base_[e.process] &&
+         e.index - base_[e.process] <= log_[e.process].size();
+}
+
 Execution OnlineSystem::to_execution() const {
+  SYNCON_REQUIRE(reclaimed_events() == 0,
+                 "a compacted system cannot materialize its full execution (" +
+                     std::to_string(checkpoint_.reclaimed_total) +
+                     " events were reclaimed)");
   ExecutionBuilder builder(process_count());
   // Emit events in a topological order: release the next event of each
   // process once all its message sources are already emitted.

@@ -17,13 +17,25 @@
 // lost predecessor, and the resync path (resync_request → serve → deliver)
 // recovers it from the sender's log, converging a faulty run back to the
 // fault-free one.
+//
+// Retention (DESIGN.md §3.10): a long-running system cannot keep every
+// LoggedEvent forever. compact() reclaims the log prefix inside a
+// low-watermark cut (cuts/watermark.hpp) supplied by the deployment — the
+// componentwise min of every consumer's witnessed contiguous prefix
+// (retention_watermark() for in-system receivers, OnlineMonitor::
+// watermark_pin() for report consumers) — and records a RetentionCheckpoint
+// so retransmit requests that cross the watermark are answered with the
+// cut's surface report instead of aborting.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <limits>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "cuts/watermark.hpp"
 #include "model/execution.hpp"
 #include "model/types.hpp"
 #include "model/vector_clock.hpp"
@@ -57,7 +69,11 @@ class OnlineSystem {
   /// Executes a receive event on p, merging the piggybacked clock.
   /// Idempotent: delivering a message whose source was already consumed by
   /// p executes nothing and returns the original receive event's id (the
-  /// suppression is counted in duplicates_suppressed()).
+  /// suppression is counted in duplicates_suppressed()). When the original
+  /// receive's dedup record was reclaimed by compaction, the suppression
+  /// still happens (the receiver's GapTracker remembers every witnessed
+  /// source) and the dummy id {p, 0} is returned — "consumed before the
+  /// current checkpoint".
   EventId deliver(ProcessId p, const WireMessage& message,
                   std::int64_t when = kNoTime);
 
@@ -88,9 +104,14 @@ class OnlineSystem {
 
   // --- fault tolerance -------------------------------------------------------
 
-  /// Re-materializes the wire form of any executed event from the log — the
+  /// Re-materializes the wire form of any executed event — the
   /// retransmission primitive: a lost message (or a lost event report for a
-  /// remote monitor) can be served again at any time.
+  /// remote monitor) can be served again at any time. For an event whose
+  /// log entry was reclaimed by compact(), the answer comes from the
+  /// retention checkpoint instead: the returned report is the watermark
+  /// cut's *surface* event on e's process, whose clock vouches for e and
+  /// everything else inside the cut (the requester adopts the checkpoint —
+  /// OnlineMonitor::adopt_checkpoint — rather than replaying e itself).
   WireMessage wire_of(EventId e) const;
 
   /// True iff p already consumed a message with this source event.
@@ -106,15 +127,26 @@ class OnlineSystem {
   /// ship every event to p (monitor feeds, full replication); in sparse
   /// meshes transitively-learned events are reported too, by design — p
   /// genuinely never witnessed them.
-  std::vector<EventId> missing_at(ProcessId p) const;
+  /// `limit` bounds the enumeration: after a long outage the hole set can
+  /// run to millions of events, and recovery should request them in chunks
+  /// (repeat resync_request/serve/deliver until has_gap clears) instead of
+  /// materializing one EventId per hole up front.
+  std::vector<EventId> missing_at(
+      ProcessId p,
+      std::size_t limit = std::numeric_limits<std::size_t>::max()) const;
   bool has_gap(ProcessId p) const;
 
-  /// Retransmit request covering missing_at(p).
-  RetransmitRequest resync_request(ProcessId p) const;
+  /// Retransmit request covering missing_at(p, limit).
+  RetransmitRequest resync_request(
+      ProcessId p,
+      std::size_t limit = std::numeric_limits<std::size_t>::max()) const;
 
   /// Serves a retransmit request from this (authoritative) log: one wire
   /// message per requested event that has executed here. Requested events
   /// not executed here are skipped — a crashed process's log cannot serve.
+  /// Requests that cross the retention watermark are answered from the
+  /// checkpoint: at most one surface report per process covers every
+  /// reclaimed event requested on it (see wire_of).
   std::vector<WireMessage> serve(const RetransmitRequest& request) const;
 
   /// Authoritative global clock snapshot: component q = 1 + events executed
@@ -124,26 +156,74 @@ class OnlineSystem {
   VectorClock snapshot() const;
 
   /// Materializes the run so far as an offline Execution (for
-  /// cross-validation and archival).
+  /// cross-validation and archival). Requires the full log — a compacted
+  /// system cannot reconstruct reclaimed events.
   Execution to_execution() const;
+
+  // --- retention / compaction ------------------------------------------------
+
+  /// Reclaims every log entry inside the watermark cut (counts form, same
+  /// dummy-counting convention as snapshot(): component p of value c covers
+  /// events (p, 1..c-1)). The effective cut is clamped per component to
+  /// [current checkpoint, executed + 1], so compaction is monotone and never
+  /// outruns the log. Records the RetentionCheckpoint (cut + surface clocks
+  /// + surface times) before dropping entries, erases dedup records inside
+  /// the cut, and returns the number of log entries reclaimed.
+  ///
+  /// The caller owns watermark safety: compact only up to what every
+  /// consumer has durably witnessed — compose retention_watermark() for
+  /// in-system receivers with each OnlineMonitor::watermark_pin().
+  std::size_t compact(const VectorClock& watermark);
+
+  /// The in-system receivers' low-watermark cut: component p is
+  /// 1 + min over receivers q != p of gaps_[q].contiguous_prefix(p).
+  /// Exact only under full replication (every event's wire shipped to every
+  /// peer, e.g. monitor-feed topologies); in sparse meshes receivers never
+  /// witness events not sent to them, so this stalls — compose the
+  /// watermark from consumer-side pins instead.
+  VectorClock retention_watermark() const;
+
+  /// The checkpoint recorded by the latest compact() (bottom before any).
+  const RetentionCheckpoint& checkpoint() const { return checkpoint_; }
+
+  /// Log entries currently held in memory / reclaimed so far.
+  std::size_t live_log_events() const;
+  std::uint64_t reclaimed_events() const { return checkpoint_.reclaimed_total; }
+
+  /// Events (p, 1..reclaimed_before(p)) have been reclaimed; an EventId is
+  /// live iff its index is beyond this base.
+  EventIndex reclaimed_before(ProcessId p) const;
+  bool is_live(EventId e) const;
 
  private:
   EventId advance(ProcessId p, std::span<const WireMessage> messages,
                   std::int64_t when);
   void check_deliverable(ProcessId p, const WireMessage& m) const;
 
-  std::vector<VectorClock> clocks_;  // current clock per process
-  // Log: per process, per event (1-based index - 1): its clock + sources.
+  // Log entry: per event (1-based index - base - 1): its clock + sources.
   struct LoggedEvent {
     VectorClock clock;
     std::vector<EventId> sources;
     std::int64_t time = kNoTime;
   };
-  std::vector<std::vector<LoggedEvent>> log_;
+
+  const LoggedEvent& live_entry(EventId e) const;
+
+  std::vector<VectorClock> clocks_;  // current clock per process
+  // Live log: log_[p][k] is event (p, base_[p] + k + 1). compact() pops
+  // reclaimed entries from the front and advances base_.
+  std::vector<std::deque<LoggedEvent>> log_;
+  std::vector<EventIndex> base_;  // events (p, 1..base_[p]) reclaimed
+  // Last *timed* physical stamp per process — the monotonicity floor. An
+  // untimed event must not reset it (the time-floor bugfix).
+  std::vector<std::int64_t> last_timed_;
   // Per receiver: source event -> the receive that consumed it (dedup).
+  // compact() erases entries whose source fell inside the cut; deliver()
+  // then falls back to gaps_[p].witnessed(source).
   std::vector<std::unordered_map<EventId, EventId>> delivered_;
   // Per receiver: witnessed/claimed account of every peer's events.
   std::vector<GapTracker> gaps_;
+  RetentionCheckpoint checkpoint_;
   std::uint64_t duplicates_suppressed_ = 0;
   std::size_t total_ = 0;
 };

@@ -1,0 +1,271 @@
+#include "sim/soak.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "cuts/watermark.hpp"
+#include "online/online_monitor.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+
+namespace {
+
+/// One tracked action pair moving through its lifecycle. Pairs are
+/// processed strictly head-of-line (complete / forget in opening order) so
+/// the Definite-firing sequence is the same no matter how the report faults
+/// interleave — the property the identity assertions rely on.
+struct PendingPair {
+  std::uint64_t n = 0;
+  std::string a, b;
+  bool completed = false;
+  bool definite = false;  // set by the watch callback
+  std::vector<EventId> events;
+};
+
+}  // namespace
+
+SoakResult run_soak(const SoakConfig& config) {
+  const std::size_t n_proc = config.processes;
+  SYNCON_REQUIRE(n_proc >= 2, "the soak ring needs at least two processes");
+  SYNCON_REQUIRE(config.action_every > 0 && config.recover_every > 0,
+                 "soak cadences must be positive");
+
+  SoakResult result;
+  OnlineSystem sys(n_proc);
+  OnlineMonitor monitor(n_proc);  // feed-only: sees reports, not the system
+
+  FaultPlan app_plan;
+  app_plan.link = config.app_link;
+  app_plan.seed = config.seed;
+  FaultyNetwork app(n_proc, app_plan);
+
+  // One lossy report channel per process, each with its own RNG stream.
+  std::vector<FaultyChannel> reports;
+  reports.reserve(n_proc);
+  for (std::size_t p = 0; p < n_proc; ++p) {
+    reports.emplace_back(config.report_link,
+                         config.seed + 0x9e3779b9u * (p + 1));
+  }
+
+  std::int64_t stamp = 0;  // strictly increasing physical time, µs
+  TimePoint now = 0;
+  constexpr Duration kCycleStep = 8;
+
+  // Application-level reliability: sends not yet consumed by the ring
+  // successor, oldest first. Their indices pin the app side of the
+  // watermark (wire_of must stay servable until delivery).
+  struct OutstandingSend {
+    EventId source;
+    std::uint64_t last_shipped_cycle = 0;
+  };
+  std::vector<std::deque<OutstandingSend>> outstanding(n_proc);
+
+  // Event → action label, while the pair is alive.
+  std::unordered_map<EventId, std::string> label_of;
+  std::unordered_map<std::string, std::size_t> expected_events;
+  std::deque<PendingPair> pairs;
+  std::uint64_t next_pair = 0;
+
+  const auto emit_report = [&](EventId e) {
+    reports[e.process].push(WireMessage{e, sys.clock_of(e)}, now);
+  };
+
+  const auto route_report = [&](const WireMessage& r) {
+    const auto it = label_of.find(r.source);
+    if (it != label_of.end() &&
+        (monitor.is_open(it->second) || monitor.is_complete(it->second))) {
+      monitor.ingest(it->second, r);
+    } else {
+      monitor.observe(r);
+    }
+  };
+
+  const auto recover = [&]() {
+    monitor.checkpoint(sys.snapshot());
+    while (true) {
+      const RetransmitRequest req =
+          monitor.resync_request(config.resync_chunk);
+      if (req.empty()) break;
+      ++result.resync_rounds;
+      for (const WireMessage& reply : sys.serve(req)) route_report(reply);
+    }
+  };
+
+  // Head-of-line pair processing: complete the front pairs whose reports
+  // have all been folded, register their watch, and forget the front pairs
+  // whose watch has fired Definite.
+  const auto advance_pairs = [&]() {
+    for (PendingPair& pair : pairs) {
+      if (pair.completed) continue;
+      const bool ready =
+          monitor.is_open(pair.a) && monitor.is_open(pair.b) &&
+          monitor.recorded_events(pair.a) == expected_events[pair.a] &&
+          monitor.recorded_events(pair.b) == expected_events[pair.b];
+      if (!ready) break;  // strictly in opening order — see PendingPair
+      monitor.complete(pair.a);
+      monitor.complete(pair.b);
+      pair.completed = true;
+      bool* definite = &pair.definite;
+      std::vector<std::string>* log = &result.definite_verdicts;
+      monitor.watch({Relation::R3, ProxyKind::Begin, ProxyKind::End}, pair.a,
+                    pair.b,
+                    [definite, log](const std::string& x, const std::string& y,
+                                    bool holds, Confidence conf) {
+                      if (conf != Confidence::Definite) return;
+                      *definite = true;
+                      log->push_back(x + "|" + y + "|" +
+                                     (holds ? "holds" : "fails"));
+                    });
+    }
+    while (!pairs.empty() && pairs.front().definite) {
+      const PendingPair& pair = pairs.front();
+      monitor.forget(pair.a);
+      monitor.forget(pair.b);
+      expected_events.erase(pair.a);
+      expected_events.erase(pair.b);
+      for (const EventId& e : pair.events) label_of.erase(e);
+      pairs.pop_front();
+    }
+  };
+
+  for (std::uint64_t cycle = 0; cycle < config.cycles; ++cycle) {
+    now += kCycleStep;
+
+    // Open a new tracked pair: two locals per action, spread over the ring.
+    if (cycle % config.action_every == 0) {
+      PendingPair pair;
+      pair.n = next_pair++;
+      pair.a = "A#" + std::to_string(pair.n);
+      pair.b = "B#" + std::to_string(pair.n);
+      monitor.begin(pair.a);
+      monitor.begin(pair.b);
+      const ProcessId pa = static_cast<ProcessId>(pair.n % n_proc);
+      const ProcessId offsets[2][2] = {{0, 1}, {2, 3}};
+      const std::string* labels[2] = {&pair.a, &pair.b};
+      for (int which = 0; which < 2; ++which) {
+        for (const ProcessId off : offsets[which]) {
+          const ProcessId p = (pa + off) % static_cast<ProcessId>(n_proc);
+          const EventId e = sys.local(p, ++stamp);
+          label_of.emplace(e, *labels[which]);
+          pair.events.push_back(e);
+          ++expected_events[*labels[which]];
+          emit_report(e);
+        }
+      }
+      pairs.push_back(std::move(pair));
+    }
+
+    // Ring traffic: every process sends once to its successor.
+    for (ProcessId p = 0; p < n_proc; ++p) {
+      const ProcessId succ = (p + 1) % static_cast<ProcessId>(n_proc);
+      const WireMessage w = sys.send(p, ++stamp);
+      app.push(p, succ, w, now);
+      outstanding[p].push_back({w.source, cycle});
+      emit_report(w.source);
+    }
+
+    // Pump the application network; fresh receives generate reports too.
+    for (ProcessId p = 0; p < n_proc; ++p) {
+      for (const Arrival& a : app.pop_ready(p, now)) {
+        if (sys.already_delivered(p, a.message.source)) {
+          sys.deliver(p, a.message, OnlineSystem::kNoTime);  // counted dup
+          continue;
+        }
+        const EventId e = sys.deliver(p, a.message, ++stamp);
+        emit_report(e);
+      }
+    }
+
+    // Harness-level reliability: drop consumed sends off the outstanding
+    // queues, re-ship the ones the faults have eaten.
+    for (ProcessId p = 0; p < n_proc; ++p) {
+      const ProcessId succ = (p + 1) % static_cast<ProcessId>(n_proc);
+      auto& queue = outstanding[p];
+      while (!queue.empty() &&
+             sys.already_delivered(succ, queue.front().source)) {
+        queue.pop_front();
+      }
+      for (OutstandingSend& send : queue) {
+        if (cycle - send.last_shipped_cycle >= config.retransmit_after &&
+            !sys.already_delivered(succ, send.source)) {
+          app.push(p, succ, sys.wire_of(send.source), now);
+          send.last_shipped_cycle = cycle;
+        }
+      }
+    }
+
+    // Pump the report feed into the monitor.
+    for (ProcessId p = 0; p < n_proc; ++p) {
+      for (const Arrival& a : reports[p].pop_ready(now)) {
+        route_report(a.message);
+      }
+    }
+    advance_pairs();
+
+    if (cycle > 0 && cycle % config.recover_every == 0) {
+      recover();
+      advance_pairs();
+    }
+
+    if (config.compact_every > 0 && cycle > 0 &&
+        cycle % config.compact_every == 0) {
+      result.live_log_peak =
+          std::max(result.live_log_peak, sys.live_log_events());
+      VectorClock app_pin(n_proc, 0);
+      for (ProcessId p = 0; p < n_proc; ++p) {
+        app_pin[p] = outstanding[p].empty()
+                         ? static_cast<ClockValue>(sys.executed(p)) + 1
+                         : outstanding[p].front().source.index;
+      }
+      const VectorClock pins[] = {monitor.watermark_pin(), app_pin};
+      const std::size_t reclaimed = sys.compact(low_watermark(pins));
+      if (reclaimed > 0) ++result.compactions;
+      result.live_log_samples.push_back(sys.live_log_events());
+    }
+  }
+
+  // Drain: one final recovery pass settles every in-flight pair.
+  for (ProcessId p = 0; p < n_proc; ++p) {
+    for (const Arrival& a : reports[p].drain()) route_report(a.message);
+  }
+  recover();
+  advance_pairs();
+
+  result.executed_events = sys.total_executed();
+  result.reclaimed_events = sys.reclaimed_events();
+  result.live_log_final = sys.live_log_events();
+  result.live_log_peak = std::max(result.live_log_peak, result.live_log_final);
+  result.definite_fires = monitor.definite_fires();
+  result.pending_fires = monitor.pending_fires();
+  result.duplicate_reports = monitor.duplicate_reports();
+  result.app_stats = app.stats();
+  for (const FaultyChannel& ch : reports) result.report_stats += ch.stats();
+
+  if (config.late_joiner_probe) {
+    // A monitor born after compaction: the authoritative snapshot claims
+    // everything ever executed, so its resync crosses the watermark and is
+    // served from the checkpoint surface.
+    OnlineMonitor late(n_proc);
+    late.checkpoint(sys.snapshot());
+    std::uint64_t rounds = 0;
+    while (late.missing_report_count() > 0 && rounds < 100000) {
+      ++rounds;
+      const RetransmitRequest req = late.resync_request(config.resync_chunk);
+      for (const WireMessage& reply : sys.serve(req)) {
+        if (reply.source.index <= sys.reclaimed_before(reply.source.process)) {
+          ++result.surface_replies;
+        }
+        late.observe(reply);
+      }
+      late.adopt_checkpoint(sys.checkpoint());
+    }
+    result.late_joiner_converged = late.missing_report_count() == 0;
+  }
+
+  return result;
+}
+
+}  // namespace syncon

@@ -1,0 +1,85 @@
+// Long-running soak harness for the retention subsystem (DESIGN.md §3.10):
+// a ring of processes exchanging clock-stamped messages over a faulty
+// network, a feed-only OnlineMonitor consuming every event report over
+// per-process lossy channels, tracked action pairs opening / completing /
+// being forgotten continuously, and the authoritative log compacted at the
+// composed low watermark (monitor pin ∧ harness app pin) on a fixed cadence.
+//
+// The harness exists to demonstrate — and let tests/benchmarks assert —
+// the three retention guarantees:
+//   (a) verdict identity: the Definite-firing sequence of a faulty,
+//       compacted run is bit-identical to the clean, uncompacted run;
+//   (b) bounded memory: the live log plateaus instead of growing with the
+//       event count;
+//   (c) checkpoint serving: a late-joining monitor whose resync crosses the
+//       watermark converges via surface reports + adopt_checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/faulty_channel.hpp"
+
+namespace syncon {
+
+/// Knobs of one soak run. Everything is deterministic in (config, seed).
+struct SoakConfig {
+  std::size_t processes = 4;
+  /// Main-loop cycles; every cycle each process sends once around the ring.
+  std::uint64_t cycles = 2000;
+  /// Open one tracked action pair every this many cycles.
+  std::uint64_t action_every = 8;
+  /// Checkpoint + chunked-resync recovery cadence.
+  std::uint64_t recover_every = 32;
+  /// Compaction cadence (0 = never compact — the uncompacted baseline).
+  std::uint64_t compact_every = 64;
+  /// Per-round cap on resync request size (GapTracker::missing limit).
+  std::size_t resync_chunk = 256;
+  /// Cycles before an undelivered application send is re-shipped from
+  /// wire_of — the harness-level retransmission that keeps the ring
+  /// converging under drops.
+  std::uint64_t retransmit_after = 4;
+  /// Faults on the application ring links (drops here change the execution
+  /// itself — leave at zero for verdict-identity comparisons).
+  LinkFaultConfig app_link;
+  /// Faults on the event-report feed to the monitor.
+  LinkFaultConfig report_link;
+  std::uint64_t seed = 1;
+  /// After the run, spin up a fresh feed-only monitor and resync it across
+  /// the watermark (exercises checkpoint serving + adopt_checkpoint).
+  bool late_joiner_probe = false;
+};
+
+/// What one soak run produced.
+struct SoakResult {
+  /// Events executed by the system (sends + receives + action locals).
+  std::uint64_t executed_events = 0;
+  /// Retention counters at the end of the run.
+  std::uint64_t reclaimed_events = 0;
+  std::uint64_t compactions = 0;
+  std::size_t live_log_peak = 0;
+  std::size_t live_log_final = 0;
+  /// Live-log size sampled right after each compaction — the plateau the
+  /// soak test / bench asserts on.
+  std::vector<std::size_t> live_log_samples;
+  /// "x|y|holds" per Definite watch firing, in firing order — the
+  /// bit-identity payload: equal across clean/faulty/compacted runs.
+  std::vector<std::string> definite_verdicts;
+  std::uint64_t definite_fires = 0;
+  std::uint64_t pending_fires = 0;
+  std::uint64_t duplicate_reports = 0;
+  std::uint64_t resync_rounds = 0;
+  ChannelStats app_stats;
+  ChannelStats report_stats;
+  /// Late-joiner probe results (late_joiner_probe only).
+  bool late_joiner_converged = false;
+  /// Resync replies answered from the retention checkpoint's surface.
+  std::uint64_t surface_replies = 0;
+};
+
+/// Runs the soak scenario. Deterministic: same config → same result,
+/// bit for bit.
+SoakResult run_soak(const SoakConfig& config);
+
+}  // namespace syncon

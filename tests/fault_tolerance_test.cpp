@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cuts/watermark.hpp"
 #include "helpers.hpp"
 #include "monitor/report.hpp"
 #include "monitor/trace_io.hpp"
@@ -335,6 +336,125 @@ TEST(FaultToleranceTest, DegradedMonitorConvergesToFaultFreeVerdicts) {
     EXPECT_EQ(remote.summary("B")->greatest_index,
               direct.summary("B")->greatest_index);
   }
+}
+
+TEST(FaultToleranceTest, CompactionPreservesConvergedVerdicts) {
+  // Pair 1 (A/B), fed cleanly and retired; the log is then compacted at the
+  // monitor's pin. Pair 2 (C/D) runs after the compaction with a lost
+  // report, and recovery still converges to the direct observer's verdict —
+  // compaction is invisible to the monitoring contract.
+  OnlineSystem sys(3);
+  std::vector<EventId> a_events, b_events;
+  a_events.push_back(sys.local(0, 100));
+  const WireMessage m01 = sys.send(0, 200);
+  a_events.push_back(m01.source);
+  a_events.push_back(sys.deliver(1, m01, 300));
+  const WireMessage m12 = sys.send(1, 400);
+  a_events.push_back(m12.source);
+  b_events.push_back(sys.deliver(2, m12, 500));
+  b_events.push_back(sys.local(2, 600));
+
+  OnlineMonitor direct(sys);
+  std::vector<Fire> ref;
+  const auto watch_pair = [](OnlineMonitor& mon, const std::string& x,
+                             const std::string& y, std::vector<Fire>& out) {
+    mon.watch({Relation::R3, ProxyKind::Begin, ProxyKind::End}, x, y,
+              [&out](const std::string&, const std::string&, bool holds,
+                     Confidence conf) { out.push_back({holds, conf}); });
+  };
+  direct.begin("A");
+  direct.begin("B");
+  watch_pair(direct, "A", "B", ref);
+  for (const EventId& e : a_events) direct.record("A", e);
+  for (const EventId& e : b_events) direct.record("B", e);
+  direct.complete("A");
+  direct.complete("B");
+  ASSERT_EQ(ref.size(), 1u);
+
+  OnlineMonitor remote(3);
+  std::vector<Fire> fires;
+  remote.begin("A");
+  remote.begin("B");
+  watch_pair(remote, "A", "B", fires);
+  for (const EventId& e : a_events) {
+    remote.ingest("A", sys.wire_of(e), sys.time_of(e));
+  }
+  for (const EventId& e : b_events) {
+    remote.ingest("B", sys.wire_of(e), sys.time_of(e));
+  }
+  remote.complete("A");
+  remote.complete("B");
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0].holds, ref[0].holds);
+  EXPECT_EQ(fires[0].conf, Confidence::Definite);
+
+  // Retire the pair and compact everything below the monitor's pin.
+  remote.forget("A");
+  remote.forget("B");
+  const VectorClock pins[] = {remote.watermark_pin()};
+  const std::size_t reclaimed = sys.compact(low_watermark(pins));
+  EXPECT_EQ(reclaimed, 6u);
+  EXPECT_EQ(sys.live_log_events(), 0u);
+
+  // Pair 2 lives entirely above the watermark.
+  std::vector<EventId> c_events, d_events;
+  c_events.push_back(sys.local(0, 700));
+  const WireMessage m02 = sys.send(0, 800);
+  c_events.push_back(m02.source);
+  d_events.push_back(sys.deliver(2, m02, 900));
+  d_events.push_back(sys.local(2, 1000));
+
+  std::vector<Fire> ref2;
+  direct.begin("C");
+  direct.begin("D");
+  watch_pair(direct, "C", "D", ref2);
+  for (const EventId& e : c_events) direct.record("C", e);
+  for (const EventId& e : d_events) direct.record("D", e);
+  direct.complete("C");
+  direct.complete("D");
+  ASSERT_EQ(ref2.size(), 1u);
+
+  // The remote monitor loses C's first report; completing under the gap
+  // fires PendingGap, and resync (served from the live suffix of the
+  // compacted log) upgrades it to the reference verdict.
+  std::vector<Fire> fires2;
+  remote.begin("C");
+  remote.begin("D");
+  watch_pair(remote, "C", "D", fires2);
+  std::map<EventId, std::string> label_of;
+  for (const EventId& e : c_events) label_of[e] = "C";
+  for (const EventId& e : d_events) label_of[e] = "D";
+  for (const EventId& e : c_events) {
+    if (e == c_events.front()) continue;  // dropped
+    remote.ingest("C", sys.wire_of(e), sys.time_of(e));
+  }
+  for (const EventId& e : d_events) {
+    remote.ingest("D", sys.wire_of(e), sys.time_of(e));
+  }
+  remote.complete("C");
+  remote.complete("D");
+  ASSERT_FALSE(fires2.empty());
+  EXPECT_EQ(fires2.back().conf, Confidence::PendingGap);
+
+  remote.checkpoint(sys.snapshot());
+  int rounds = 0;
+  while (remote.missing_report_count() > 0) {
+    ASSERT_LT(rounds++, 10) << "resync failed to converge";
+    for (const WireMessage& m : sys.serve(remote.resync_request())) {
+      const auto it = label_of.find(m.source);
+      if (it == label_of.end()) {
+        remote.observe(m);
+      } else {
+        remote.ingest(it->second, m, sys.time_of(m.source));
+      }
+    }
+  }
+  EXPECT_EQ(fires2.back().conf, Confidence::Definite);
+  EXPECT_EQ(fires2.back().holds, ref2.back().holds);
+  EXPECT_EQ(remote.summary("C")->intersect_past,
+            direct.summary("C")->intersect_past);
+  EXPECT_EQ(remote.summary("D")->union_past,
+            direct.summary("D")->union_past);
 }
 
 TEST(FaultToleranceTest, DuplicateReportsAreCountedNotRefolded) {

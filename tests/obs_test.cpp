@@ -265,6 +265,19 @@ TEST_F(ObsTest, SnapshotIsNameSortedAndQueryable) {
   EXPECT_THROW(snap.counter_value("syncon_test_absent"), ContractViolation);
 }
 
+TEST_F(ObsTest, GaugeSetMaxTracksHighWaterMark) {
+  obs::Gauge& peak = obs::MetricRegistry::global().gauge("syncon_test_peak");
+  peak.set(5);
+  peak.set_max(3);  // below the current value: no change
+  EXPECT_EQ(peak.value(), 5);
+  peak.set_max(9);
+  EXPECT_EQ(peak.value(), 9);
+  peak.set_max(9);  // equal: no change
+  EXPECT_EQ(peak.value(), 9);
+  peak.set_max(-2);
+  EXPECT_EQ(peak.value(), 9);
+}
+
 TEST_F(ObsTest, SanitizeMetricNameMapsToPrometheusCharset) {
   EXPECT_EQ(obs::sanitize_metric_name("relation/evaluate.us"),
             "relation_evaluate_us");

@@ -1,0 +1,397 @@
+// The retention subsystem (DESIGN.md §3.10): watermark-cut compaction keeps
+// the online log bounded while every observable answer — resync replies,
+// duplicate suppression, monitor verdicts — stays identical to the
+// uncompacted run. Plus the delivery-path fixes that ride along: the
+// time-monotonicity floor, in-batch duplicate suppression, and chunked
+// resync of large gaps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cuts/watermark.hpp"
+#include "helpers.hpp"
+#include "monitor/trace_io.hpp"
+#include "online/gap_tracker.hpp"
+#include "online/online_monitor.hpp"
+#include "online/online_system.hpp"
+#include "sim/soak.hpp"
+#include "support/contracts.hpp"
+
+namespace syncon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GapTracker: bounded enumeration and checkpoint adoption.
+// ---------------------------------------------------------------------------
+
+TEST(GapTrackerRetentionTest, MissingLimitChunksTheEnumeration) {
+  GapTracker g(2);
+  g.claim(0, 100);
+  EXPECT_EQ(g.missing_count(), 100u);
+  const std::vector<EventId> chunk = g.missing(10);
+  ASSERT_EQ(chunk.size(), 10u);
+  EXPECT_EQ(chunk.front(), (EventId{0, 1}));
+  EXPECT_EQ(chunk.back(), (EventId{0, 10}));
+  EXPECT_EQ(g.resync_request(10).events, chunk);
+  // Witnessed indices punch holes out of the count without materializing it.
+  EXPECT_TRUE(g.witness(EventId{0, 5}));
+  EXPECT_EQ(g.missing_count(), 99u);
+  EXPECT_EQ(g.missing().size(), 99u);
+  EXPECT_EQ(g.missing(4),
+            (std::vector<EventId>{
+                EventId{0, 1}, EventId{0, 2}, EventId{0, 3}, EventId{0, 4}}));
+}
+
+TEST(GapTrackerRetentionTest, ContiguousPrefixIgnoresAheadArrivals) {
+  GapTracker g(2);
+  EXPECT_EQ(g.contiguous_prefix(0), 0u);
+  g.witness(EventId{0, 1});
+  g.witness(EventId{0, 3});  // out of order: parked ahead
+  EXPECT_EQ(g.contiguous_prefix(0), 1u);
+  g.witness(EventId{0, 2});  // closes the hole, absorbs 3
+  EXPECT_EQ(g.contiguous_prefix(0), 3u);
+  EXPECT_EQ(g.contiguous_prefix(1), 0u);
+}
+
+TEST(GapTrackerRetentionTest, ForgiveAdoptsCheckpointPrefix) {
+  GapTracker g(2);
+  g.claim(0, 10);
+  g.witness(EventId{0, 4});
+  g.witness(EventId{0, 6});
+  EXPECT_EQ(g.witnessed_count(), 2u);
+  // A checkpoint covering (0, 1..5) closes the holes below it; the parked
+  // arrival at 6 becomes contiguous and is absorbed.
+  g.forgive(0, 5);
+  EXPECT_EQ(g.contiguous_prefix(0), 6u);
+  EXPECT_TRUE(g.witnessed(EventId{0, 3}));
+  EXPECT_EQ(g.missing(), (std::vector<EventId>{EventId{0, 7}, EventId{0, 8},
+                                               EventId{0, 9}, EventId{0, 10}}));
+  // Forgiven events are not real arrivals.
+  EXPECT_EQ(g.witnessed_count(), 2u);
+  // Forgiving below the prefix is a no-op.
+  g.forgive(0, 2);
+  EXPECT_EQ(g.contiguous_prefix(0), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Delivery-path fixes.
+// ---------------------------------------------------------------------------
+
+TEST(RetentionTest, UntimedEventsDoNotResetTheTimeFloor) {
+  OnlineSystem sys(1);
+  sys.local(0, 100);
+  sys.local(0);  // untimed — must not lower the floor
+  // The floor is still 100: equal or earlier stamps are rejected.
+  EXPECT_THROW(sys.local(0, 100), ContractViolation);
+  EXPECT_THROW(sys.local(0, 50), ContractViolation);
+  sys.local(0, 101);
+  EXPECT_EQ(sys.executed(0), 3u);  // the rejected events never executed
+}
+
+TEST(RetentionTest, DeliverAllSuppressesInBatchDuplicates) {
+  OnlineSystem sys(2);
+  const WireMessage m1 = sys.send(0, 10);
+  const WireMessage m2 = sys.send(0, 20);
+  const std::vector<WireMessage> batch{m1, m2, m1, m2, m1};
+  const EventId r = sys.deliver_all(1, batch, 30);
+  EXPECT_EQ(r, (EventId{1, 1}));
+  EXPECT_EQ(sys.duplicates_suppressed(), 3u);
+
+  // Bit-identical to the duplicate-free batch: same clocks, same causal
+  // structure (one receive with two sources, not five).
+  OnlineSystem ref(2);
+  const WireMessage n1 = ref.send(0, 10);
+  const WireMessage n2 = ref.send(0, 20);
+  const std::vector<WireMessage> clean{n1, n2};
+  ref.deliver_all(1, clean, 30);
+  EXPECT_EQ(sys.current_clock(1), ref.current_clock(1));
+  EXPECT_EQ(trace_to_string(sys.to_execution()),
+            trace_to_string(ref.to_execution()));
+
+  // A batch that is duplicates through and through is an idempotent no-op.
+  EXPECT_EQ(sys.deliver_all(1, batch), r);
+  EXPECT_EQ(sys.executed(1), 1u);
+}
+
+TEST(RetentionTest, ChunkedResyncConvergesOnLargeGap) {
+  constexpr std::size_t kSends = 40;
+  constexpr std::size_t kChunk = 7;
+  OnlineSystem sys(2);
+  OnlineSystem ref(2);
+  std::vector<WireMessage> wires;
+  for (std::size_t i = 0; i < kSends; ++i) {
+    wires.push_back(sys.send(0));
+    ref.deliver(1, ref.send(0));
+  }
+  // Only the last message lands: its clock exposes all 39 holes at once.
+  sys.deliver(1, wires.back());
+  EXPECT_TRUE(sys.has_gap(1));
+  EXPECT_EQ(sys.missing_at(1).size(), kSends - 1);
+  EXPECT_EQ(sys.missing_at(1, kChunk).size(), kChunk);
+
+  // Recover in bounded chunks instead of one 39-event request.
+  std::size_t rounds = 0;
+  while (sys.has_gap(1)) {
+    ASSERT_LT(rounds++, 10u) << "chunked resync failed to converge";
+    for (const WireMessage& m : sys.serve(sys.resync_request(1, kChunk))) {
+      sys.deliver(1, m);
+    }
+  }
+  EXPECT_EQ(rounds, (kSends - 1 + kChunk - 1) / kChunk);
+  EXPECT_EQ(sys.current_clock(1), ref.current_clock(1));
+}
+
+// ---------------------------------------------------------------------------
+// Compaction: the watermark cut, the checkpoint, and checkpoint serving.
+// ---------------------------------------------------------------------------
+
+TEST(RetentionTest, CompactReclaimsPrefixAndRecordsCheckpoint) {
+  OnlineSystem sys(2);
+  sys.local(0, 10);                         // 0:1
+  const WireMessage m = sys.send(0, 20);    // 0:2
+  const EventId r = sys.deliver(1, m, 30);  // 1:1
+  sys.local(1, 40);                         // 1:2
+  EXPECT_EQ(sys.live_log_events(), 4u);
+  EXPECT_EQ(sys.checkpoint().sequence, 0u);
+
+  // Cut {3,1}: reclaim p0's two events, keep p1 whole.
+  EXPECT_EQ(sys.compact(VectorClock({3, 1})), 2u);
+  EXPECT_EQ(sys.live_log_events(), 2u);
+  EXPECT_EQ(sys.reclaimed_events(), 2u);
+  EXPECT_EQ(sys.reclaimed_before(0), 2u);
+  EXPECT_EQ(sys.reclaimed_before(1), 0u);
+  EXPECT_FALSE(sys.is_live(EventId{0, 1}));
+  EXPECT_FALSE(sys.is_live(EventId{0, 2}));
+  EXPECT_TRUE(sys.is_live(EventId{1, 1}));
+
+  // The frontier is untouched: executed counts, snapshot and current clocks
+  // answer exactly as before the compaction.
+  EXPECT_EQ(sys.executed(0), 2u);
+  EXPECT_EQ(sys.executed(1), 2u);
+  EXPECT_EQ(sys.snapshot(), VectorClock({3, 3}));
+
+  // The checkpoint remembers the cut's surface event on p0 — the send —
+  // whose clock vouches for everything reclaimed.
+  const RetentionCheckpoint& cp = sys.checkpoint();
+  EXPECT_EQ(cp.cut, VectorClock({3, 1}));
+  EXPECT_EQ(cp.surface_clocks[0], m.clock);
+  EXPECT_EQ(cp.surface_times[0], 20);
+  EXPECT_EQ(cp.surface_times[1], OnlineSystem::kNoTime);
+  EXPECT_EQ(cp.sequence, 1u);
+
+  // Reclaimed entries are gone: direct lookups fail loudly…
+  EXPECT_THROW(sys.clock_of(EventId{0, 1}), ContractViolation);
+  EXPECT_THROW(sys.time_of(EventId{0, 2}), ContractViolation);
+  // …but the retransmission path answers from the checkpoint surface.
+  const WireMessage surface = sys.wire_of(EventId{0, 1});
+  EXPECT_EQ(surface.source, (EventId{0, 2}));
+  EXPECT_EQ(surface.clock, m.clock);
+
+  // serve() collapses every reclaimed event of a process into one surface
+  // reply; live events are still served verbatim.
+  const std::vector<WireMessage> replies =
+      sys.serve(RetransmitRequest{{EventId{0, 1}, EventId{0, 2}, r}});
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].source, (EventId{0, 2}));
+  EXPECT_EQ(replies[1].source, r);
+
+  // Idempotence survives the dedup records being reclaimed: a duplicate of
+  // an already-consumed source is still suppressed, answered with the
+  // "consumed before the checkpoint" sentinel.
+  EXPECT_TRUE(sys.already_delivered(1, m.source));
+  const std::uint64_t dups = sys.duplicates_suppressed();
+  EXPECT_EQ(sys.deliver(1, m), (EventId{1, 0}));
+  EXPECT_EQ(sys.duplicates_suppressed(), dups + 1);
+  EXPECT_EQ(sys.executed(1), 2u);
+
+  // A compacted log cannot materialize its full execution.
+  EXPECT_THROW(sys.to_execution(), ContractViolation);
+}
+
+TEST(RetentionTest, CompactIsMonotoneAndClampedToTheLog) {
+  OnlineSystem sys(2);
+  sys.local(0, 10);
+  const WireMessage m = sys.send(0, 20);
+  sys.deliver(1, m, 30);
+  sys.local(1, 40);
+  ASSERT_EQ(sys.compact(VectorClock({3, 1})), 2u);
+  // A lower watermark never un-compacts.
+  EXPECT_EQ(sys.compact(VectorClock({2, 1})), 0u);
+  EXPECT_EQ(sys.checkpoint().cut, VectorClock({3, 1}));
+  // A watermark past the frontier is clamped to executed + 1.
+  EXPECT_EQ(sys.compact(VectorClock({99, 99})), 2u);
+  EXPECT_EQ(sys.checkpoint().cut, VectorClock({3, 3}));
+  EXPECT_EQ(sys.live_log_events(), 0u);
+  EXPECT_EQ(sys.reclaimed_events(), 4u);
+  // The system keeps running on the empty live log; ids keep counting from
+  // the reclaimed base and times from the last timed floor.
+  EXPECT_EQ(sys.local(0, 50), (EventId{0, 3}));
+  EXPECT_EQ(sys.live_log_events(), 1u);
+  EXPECT_EQ(sys.executed(0), 3u);
+}
+
+TEST(RetentionTest, RetentionWatermarkTracksReceiverPrefixes) {
+  OnlineSystem sys(2);
+  const WireMessage m1 = sys.send(0);
+  const WireMessage m2 = sys.send(0);
+  // Nothing witnessed yet: nothing reclaimable.
+  EXPECT_EQ(sys.retention_watermark(), VectorClock({1, 1}));
+  sys.deliver(1, m1);
+  EXPECT_EQ(sys.retention_watermark(), VectorClock({2, 1}));
+  sys.deliver(1, m2);
+  // p1 witnessed all of p0; p0 never sees p1's receives, so p1's component
+  // stays pinned (the documented sparse-mesh stall).
+  EXPECT_EQ(sys.retention_watermark(), VectorClock({3, 1}));
+  EXPECT_EQ(sys.compact(sys.retention_watermark()), 2u);
+  EXPECT_EQ(sys.reclaimed_before(0), 2u);
+  EXPECT_EQ(sys.reclaimed_before(1), 0u);
+}
+
+TEST(RetentionTest, SingleProcessWatermarkCoversEverything) {
+  OnlineSystem sys(1);
+  sys.local(0);
+  sys.local(0);
+  EXPECT_EQ(sys.retention_watermark(), VectorClock({3}));
+  EXPECT_EQ(sys.compact(sys.retention_watermark()), 2u);
+  EXPECT_EQ(sys.live_log_events(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The monitor's side of the contract: the pin, and checkpoint adoption.
+// ---------------------------------------------------------------------------
+
+TEST(RetentionTest, WatermarkPinHoldsGapsAndOpenActions) {
+  OnlineSystem sys(2);
+  sys.local(0, 10);                       // 0:1
+  const WireMessage m = sys.send(0, 20);  // 0:2
+
+  OnlineMonitor mon(2);
+  mon.begin("A");
+  // Only 0:2's report arrives; its clock claims 0:1 — a gap.
+  mon.ingest("A", sys.wire_of(m.source), 20);
+  EXPECT_EQ(mon.missing_report_count(), 1u);
+  // The pin sits at the gap: 0:1 must stay servable.
+  VectorClock pin = mon.watermark_pin();
+  EXPECT_EQ(pin[0], 1u);
+
+  // Resync closes the gap; the open action now pins at its least recorded
+  // index (0:2), not at the witnessed prefix.
+  for (const WireMessage& reply : sys.serve(mon.resync_request())) {
+    mon.observe(reply);
+  }
+  EXPECT_EQ(mon.missing_report_count(), 0u);
+  pin = mon.watermark_pin();
+  EXPECT_EQ(pin[0], 2u);
+
+  // Completion releases the action's pin; only the prefix bound remains.
+  mon.complete("A");
+  pin = mon.watermark_pin();
+  EXPECT_EQ(pin[0], 3u);
+  EXPECT_EQ(pin[1], 1u);  // nothing of p1 ever witnessed
+
+  // The pin is a safe compaction bound: everything below it reclaims.
+  const VectorClock pins[] = {pin};
+  EXPECT_EQ(sys.compact(low_watermark(pins)), 2u);
+}
+
+TEST(RetentionTest, LateJoinerConvergesAcrossTheWatermark) {
+  constexpr std::size_t kSends = 6;
+  OnlineSystem sys(2);
+  for (std::size_t i = 0; i < kSends; ++i) {
+    sys.deliver(1, sys.send(0));
+  }
+  // Reclaim everything the in-system receiver witnessed: all of p0.
+  ASSERT_EQ(sys.compact(sys.retention_watermark()), kSends);
+
+  // A monitor born after the compaction: the authoritative snapshot claims
+  // every event ever executed, so its resync crosses the watermark.
+  OnlineMonitor late(2);
+  late.checkpoint(sys.snapshot());
+  EXPECT_EQ(late.missing_report_count(), 2 * kSends);
+
+  std::size_t surface_replies = 0;
+  std::size_t rounds = 0;
+  while (late.missing_report_count() > 0) {
+    ASSERT_LT(rounds++, 10u) << "late joiner failed to converge";
+    for (const WireMessage& reply : sys.serve(late.resync_request(4))) {
+      if (reply.source.index <= sys.reclaimed_before(reply.source.process)) {
+        ++surface_replies;
+      }
+      late.observe(reply);
+    }
+    // The surface reply cannot replay the reclaimed events themselves; the
+    // checkpoint closes those gaps for good.
+    late.adopt_checkpoint(sys.checkpoint());
+  }
+  EXPECT_GT(surface_replies, 0u);
+  EXPECT_EQ(late.missing_report_count(), 0u);
+  // Reclaimed reports count as covered, not as arrivals.
+  EXPECT_TRUE(late.degraded());
+}
+
+// ---------------------------------------------------------------------------
+// Soak: the three retention guarantees at once, on the shared harness.
+// SYNCON_TEST_ITERS dials the cycle count (e.g. =5000 for a long soak).
+// ---------------------------------------------------------------------------
+
+TEST(RetentionSoakTest, CompactedFaultyRunKeepsCleanVerdictsAndPlateaus) {
+  SoakConfig compacted_cfg;
+  compacted_cfg.processes = 4;
+  compacted_cfg.cycles = static_cast<std::uint64_t>(
+      std::max(240, syncon::testing::test_iters(600)));
+  compacted_cfg.action_every = 8;
+  compacted_cfg.recover_every = 24;
+  compacted_cfg.compact_every = 48;
+  compacted_cfg.resync_chunk = 64;
+  compacted_cfg.report_link.drop_probability = 0.08;
+  compacted_cfg.report_link.duplicate_probability = 0.04;
+  compacted_cfg.report_link.reorder_probability = 0.08;
+  compacted_cfg.report_link.min_delay = 1;
+  compacted_cfg.report_link.max_delay = 30;
+  compacted_cfg.seed = 2026;
+  compacted_cfg.late_joiner_probe = true;
+
+  // The reference: same application execution (the app links are fault-free
+  // in both configs), clean report feed, never compacted.
+  SoakConfig clean_cfg = compacted_cfg;
+  clean_cfg.report_link = LinkFaultConfig{};
+  clean_cfg.compact_every = 0;
+  clean_cfg.late_joiner_probe = false;
+
+  const SoakResult compacted = run_soak(compacted_cfg);
+  const SoakResult clean = run_soak(clean_cfg);
+
+  // The faults and the compactions really happened.
+  EXPECT_GT(compacted.report_stats.dropped, 0u);
+  EXPECT_GT(compacted.reclaimed_events, 0u);
+  EXPECT_GT(compacted.compactions, 1u);
+  EXPECT_EQ(clean.reclaimed_events, 0u);
+
+  // (a) Verdict identity: the Definite-firing sequence of the faulty,
+  // compacted run is bit-identical to the clean, uncompacted run.
+  ASSERT_FALSE(clean.definite_verdicts.empty());
+  EXPECT_EQ(compacted.definite_verdicts, clean.definite_verdicts);
+
+  // (b) Bounded memory: the live log plateaus — the steady-state half of
+  // the post-compaction samples stays within slack of the warm-up half,
+  // while the uncompacted log grows with the event count.
+  ASSERT_GE(compacted.live_log_samples.size(), 4u);
+  std::size_t first_max = 0, second_max = 0;
+  const std::size_t half = compacted.live_log_samples.size() / 2;
+  for (std::size_t i = 0; i < compacted.live_log_samples.size(); ++i) {
+    auto& side = i < half ? first_max : second_max;
+    side = std::max(side, compacted.live_log_samples[i]);
+  }
+  EXPECT_LE(second_max, first_max + first_max / 10 + 64);
+  EXPECT_LT(compacted.live_log_final, clean.live_log_final);
+
+  // (c) Checkpoint serving: the late joiner's resync crossed the watermark
+  // and converged via surface reports + adopt_checkpoint.
+  EXPECT_GT(compacted.surface_replies, 0u);
+  EXPECT_TRUE(compacted.late_joiner_converged);
+}
+
+}  // namespace
+}  // namespace syncon
