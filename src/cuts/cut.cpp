@@ -9,9 +9,9 @@ Cut::Cut(const Execution& exec, VectorClock counts)
   SYNCON_REQUIRE(counts_.size() == exec.process_count(),
                  "cut counts size must equal the process count");
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    SYNCON_REQUIRE(counts_[i] >= 1,
+    SYNCON_REQUIRE(counts_.at(i) >= 1,
                    "a cut contains at least ⊥_i of every process (Defn 5)");
-    SYNCON_REQUIRE(counts_[i] <= exec.total_count(static_cast<ProcessId>(i)),
+    SYNCON_REQUIRE(counts_.at(i) <= exec.total_count(static_cast<ProcessId>(i)),
                    "cut contains more events than the process has");
   }
 }
@@ -23,7 +23,7 @@ Cut Cut::bottom(const Execution& exec) {
 Cut Cut::full(const Execution& exec) {
   VectorClock counts(exec.process_count());
   for (std::size_t i = 0; i < counts.size(); ++i) {
-    counts[i] = exec.total_count(static_cast<ProcessId>(i));
+    counts.set(i, exec.total_count(static_cast<ProcessId>(i)));
   }
   return Cut(exec, std::move(counts));
 }

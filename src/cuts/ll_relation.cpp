@@ -86,17 +86,4 @@ bool not_ll_form4(const Cut& c, const Cut& c_prime) {
   return false;
 }
 
-bool theorem19_violated(const VectorClock& down_counts,
-                        const VectorClock& up_counts,
-                        std::span<const ProcessId> probe_nodes,
-                        ComparisonCounter& counter) {
-  SYNCON_REQUIRE(down_counts.size() == up_counts.size(),
-                 "cut timestamps of different sizes");
-  for (const ProcessId i : probe_nodes) {
-    ++counter.integer_comparisons;
-    if (down_counts[i] >= up_counts[i]) return true;
-  }
-  return false;
-}
-
 }  // namespace syncon

@@ -28,7 +28,7 @@ Cut past_cut_reference(const ReachabilityOracle& oracle, EventId e) {
         c = k + 1;
       }
     }
-    counts[p] = c;
+    counts.set(p, c);
   }
   return Cut(exec, std::move(counts));
 }
@@ -48,7 +48,7 @@ Cut future_cut_reference(const ReachabilityOracle& oracle, EventId e) {
     }
     SYNCON_ASSERT(earliest < exec.total_count(p),
                   "⊤_p must causally follow every real event");
-    counts[p] = earliest + 1;
+    counts.set(p, earliest + 1);
   }
   return Cut(exec, std::move(counts));
 }

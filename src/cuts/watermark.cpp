@@ -15,7 +15,7 @@ RetentionCheckpoint RetentionCheckpoint::bottom(std::size_t process_count) {
   cp.surface_clocks.reserve(process_count);
   for (std::size_t p = 0; p < process_count; ++p) {
     VectorClock c(process_count, 0);
-    c[p] = 1;  // T(⊥_p)
+    c.set(p, 1);  // T(⊥_p)
     cp.surface_clocks.push_back(std::move(c));
   }
   return cp;

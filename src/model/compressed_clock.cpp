@@ -1,0 +1,122 @@
+#include "model/compressed_clock.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "support/contracts.hpp"
+#include "support/varint.hpp"
+
+namespace syncon {
+
+CompressedClock::CompressedClock(std::size_t size, ClockValue fill)
+    : components_(size, fill) {}
+
+CompressedClock::CompressedClock(std::vector<ClockValue> components)
+    : components_(std::move(components)) {}
+
+ClockValue CompressedClock::at(std::size_t i) const {
+  SYNCON_REQUIRE(i < components_.size(), "clock component out of range");
+  return components_[i];
+}
+
+void CompressedClock::set(std::size_t i, ClockValue v) {
+  SYNCON_REQUIRE(i < components_.size(), "clock component out of range");
+  components_[i] = v;
+}
+
+void CompressedClock::tick(std::size_t i) {
+  SYNCON_REQUIRE(i < components_.size(), "clock component out of range");
+  ++components_[i];
+}
+
+void CompressedClock::merge_max(const CompressedClock& other) {
+  SYNCON_REQUIRE(size() == other.size(), "merging clocks of different size");
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    components_[i] = std::max(components_[i], other.components_[i]);
+  }
+}
+
+void CompressedClock::merge_min(const CompressedClock& other) {
+  SYNCON_REQUIRE(size() == other.size(), "merging clocks of different size");
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    components_[i] = std::min(components_[i], other.components_[i]);
+  }
+}
+
+bool CompressedClock::leq(const CompressedClock& other) const {
+  SYNCON_REQUIRE(size() == other.size(), "comparing clocks of different size");
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] > other.components_[i]) return false;
+  }
+  return true;
+}
+
+bool CompressedClock::lt(const CompressedClock& other) const {
+  return leq(other) && components_ != other.components_;
+}
+
+bool CompressedClock::incomparable(const CompressedClock& other) const {
+  return !leq(other) && !other.leq(*this);
+}
+
+CompressedClock CompressedClock::from_dense(const VectorClock& dense) {
+  std::vector<ClockValue> values(dense.values().begin(), dense.values().end());
+  return CompressedClock(std::move(values));
+}
+
+void CompressedClock::encode(std::vector<std::uint8_t>& out) const {
+  to_dense().encode(out);  // absolute wire layout is shared across backends
+}
+
+CompressedClock CompressedClock::decode(std::span<const std::uint8_t>& in) {
+  return from_dense(VectorClock::decode(in));
+}
+
+void CompressedClock::encode_relative(const CompressedClock& base,
+                                      std::vector<std::uint8_t>& out) const {
+  SYNCON_REQUIRE(size() == base.size(),
+                 "relative encoding requires a base of the same size");
+  std::uint64_t changed = 0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != base.components_[i]) ++changed;
+  }
+  encode_varint(changed, out);
+  std::uint64_t prev_index = 0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] == base.components_[i]) continue;
+    encode_varint(static_cast<std::uint64_t>(i) - prev_index, out);
+    encode_signed_varint(static_cast<std::int64_t>(components_[i]) -
+                             static_cast<std::int64_t>(base.components_[i]),
+                         out);
+    prev_index = static_cast<std::uint64_t>(i);
+  }
+}
+
+CompressedClock CompressedClock::decode_relative(
+    const CompressedClock& base, std::span<const std::uint8_t>& in) {
+  CompressedClock out = base;
+  const std::uint64_t changed = decode_varint(in);
+  SYNCON_REQUIRE(changed <= out.components_.size(),
+                 "relative clock encoding lists more changes than components");
+  std::uint64_t index = 0;
+  for (std::uint64_t k = 0; k < changed; ++k) {
+    index += decode_varint(in);
+    SYNCON_REQUIRE(index < out.components_.size(),
+                   "relative clock encoding indexes past the clock size");
+    const std::int64_t v =
+        static_cast<std::int64_t>(out.components_[index]) +
+        decode_signed_varint(in);
+    SYNCON_REQUIRE(v >= 0 && v <= static_cast<std::int64_t>(
+                                      std::numeric_limits<ClockValue>::max()),
+                   "decoded clock component out of range");
+    out.components_[index] = static_cast<ClockValue>(v);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const CompressedClock& cc) {
+  return os << cc.to_dense();
+}
+
+}  // namespace syncon

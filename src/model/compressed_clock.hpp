@@ -1,0 +1,85 @@
+// Compressed-timestamp backend of the clock concept (model/clock.hpp),
+// after the bounded/encoded vector timestamps of arXiv 1606.05962.
+//
+// In memory a CompressedClock is dense — the same ClockValue vector as
+// VectorClock, so every lattice operation is the plain componentwise scan
+// and stamping is bit-identical to the dense backend. What the backend
+// changes is the *wire identity* of a clock:
+//
+//   * encode(): self-delimiting absolute form — varint component count,
+//     then each component as a zigzag varint delta from its left neighbor.
+//     Stamped clocks have strongly correlated adjacent components, so the
+//     deltas stay in one or two bytes instead of four.
+//   * encode_relative(base) / decode_relative(base): sparse change-list
+//     against a reference clock both ends already share (the previous
+//     clock sent on the same FIFO link). Only components that differ from
+//     the base are shipped, as (varint index gap, zigzag value delta)
+//     pairs. Between consecutive events of one sender a vector clock
+//     changes in few components, so piggyback bytes stay bounded by the
+//     event's actual causal fan-in rather than |P|.
+//
+// The online wire path (src/online/wire_codec.hpp) chains relative
+// encodings per link and falls back to the absolute form on resync. The
+// decoder's output is dense values — that is the explicit densify boundary
+// ISSUE/DESIGN.md §3.11 call out: everything past the codec (watermark
+// minima, cut materialization) runs on VectorClock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "model/types.hpp"
+#include "model/vector_clock.hpp"
+
+namespace syncon {
+
+class CompressedClock {
+ public:
+  CompressedClock() = default;
+  /// All components initialized to `fill`.
+  explicit CompressedClock(std::size_t size, ClockValue fill = 0);
+  explicit CompressedClock(std::vector<ClockValue> components);
+
+  std::size_t size() const { return components_.size(); }
+  ClockValue at(std::size_t i) const;
+
+  void set(std::size_t i, ClockValue v);
+  void tick(std::size_t i);
+
+  void merge_max(const CompressedClock& other);
+  void merge_min(const CompressedClock& other);
+
+  bool leq(const CompressedClock& other) const;
+  bool lt(const CompressedClock& other) const;
+  bool incomparable(const CompressedClock& other) const;
+
+  VectorClock to_dense() const { return VectorClock(components_); }
+  static CompressedClock from_dense(const VectorClock& dense);
+
+  /// Absolute wire form (shared layout with VectorClock::encode, so the
+  /// two backends' bytes are interchangeable on the wire).
+  void encode(std::vector<std::uint8_t>& out) const;
+  static CompressedClock decode(std::span<const std::uint8_t>& in);
+
+  /// Sparse change-list against `base` (same size required): varint count
+  /// of changed components, then per change a varint index gap from the
+  /// previous changed index and a zigzag varint value delta from base.
+  void encode_relative(const CompressedClock& base,
+                       std::vector<std::uint8_t>& out) const;
+  /// Reconstructs the clock encode_relative produced from the same base.
+  static CompressedClock decode_relative(const CompressedClock& base,
+                                         std::span<const std::uint8_t>& in);
+
+  friend bool operator==(const CompressedClock&,
+                         const CompressedClock&) = default;
+
+ private:
+  std::vector<ClockValue> components_;
+};
+
+std::ostream& operator<<(std::ostream& os, const CompressedClock& cc);
+
+}  // namespace syncon

@@ -1,9 +1,11 @@
 #include "model/vector_clock.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <ostream>
 
 #include "support/contracts.hpp"
+#include "support/varint.hpp"
 
 namespace syncon {
 
@@ -13,9 +15,19 @@ VectorClock::VectorClock(std::size_t size, ClockValue fill)
 VectorClock::VectorClock(std::vector<ClockValue> components)
     : components_(std::move(components)) {}
 
-ClockValue VectorClock::operator[](std::size_t i) const {
+ClockValue VectorClock::at(std::size_t i) const {
   SYNCON_REQUIRE(i < components_.size(), "clock component out of range");
   return components_[i];
+}
+
+void VectorClock::set(std::size_t i, ClockValue v) {
+  SYNCON_REQUIRE(i < components_.size(), "clock component out of range");
+  components_[i] = v;
+}
+
+void VectorClock::tick(std::size_t i) {
+  SYNCON_REQUIRE(i < components_.size(), "clock component out of range");
+  ++components_[i];
 }
 
 ClockValue& VectorClock::operator[](std::size_t i) {
@@ -53,25 +65,38 @@ bool VectorClock::incomparable(const VectorClock& other) const {
   return !leq(other) && !other.leq(*this);
 }
 
+void VectorClock::encode(std::vector<std::uint8_t>& out) const {
+  encode_varint(components_.size(), out);
+  std::int64_t prev = 0;
+  for (const ClockValue v : components_) {
+    encode_signed_varint(static_cast<std::int64_t>(v) - prev, out);
+    prev = static_cast<std::int64_t>(v);
+  }
+}
+
+VectorClock VectorClock::decode(std::span<const std::uint8_t>& in) {
+  const std::uint64_t n = decode_varint(in);
+  std::vector<ClockValue> values;
+  values.reserve(n);
+  std::int64_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::int64_t v = prev + decode_signed_varint(in);
+    SYNCON_REQUIRE(v >= 0 && v <= static_cast<std::int64_t>(
+                                      std::numeric_limits<ClockValue>::max()),
+                   "decoded clock component out of range");
+    values.push_back(static_cast<ClockValue>(v));
+    prev = v;
+  }
+  return VectorClock(std::move(values));
+}
+
 std::ostream& operator<<(std::ostream& os, const VectorClock& vc) {
   os << '[';
   for (std::size_t i = 0; i < vc.size(); ++i) {
     if (i != 0) os << ' ';
-    os << vc[i];
+    os << vc.at(i);
   }
   return os << ']';
-}
-
-VectorClock component_max(const VectorClock& a, const VectorClock& b) {
-  VectorClock out = a;
-  out.merge_max(b);
-  return out;
-}
-
-VectorClock component_min(const VectorClock& a, const VectorClock& b) {
-  VectorClock out = a;
-  out.merge_min(b);
-  return out;
 }
 
 }  // namespace syncon

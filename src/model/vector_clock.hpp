@@ -3,10 +3,24 @@
 //
 // A VectorClock of size |P| is also the representation of a *cut timestamp*
 // (Defn 15): component i is the number of events of process i inside the cut.
+//
+// VectorClock is the *dense* backend of the clock concept (model/clock.hpp):
+// a plain std::vector of components, every operation O(|P|). It is the
+// default everywhere and the representation the other backends convert to at
+// the dense boundary (to_dense / from_dense).
+//
+// Component access is the narrow read API: size() / at() for single
+// components, values() for a read-only span over the dense storage, set()
+// and tick() for writes. The legacy accessors — components() returning the
+// raw vector and the mutable operator[] returning a raw reference — are
+// deprecated (they force a backend to store a dense std::vector) and
+// forward to the new API; they will be removed next release.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "model/types.hpp"
@@ -23,10 +37,24 @@ class VectorClock {
       : components_(components) {}
 
   std::size_t size() const { return components_.size(); }
-  ClockValue operator[](std::size_t i) const;
-  ClockValue& operator[](std::size_t i);
 
+  /// Component i (bounds-checked).
+  ClockValue at(std::size_t i) const;
+  /// Read-only view of the dense storage (dense backend only — not part of
+  /// the clock concept, which promises only size()/at()).
+  std::span<const ClockValue> values() const { return components_; }
+  /// Writes component i (bounds-checked).
+  void set(std::size_t i, ClockValue v);
+  /// Advances component i by one (the "local event on process i" step).
+  void tick(std::size_t i);
+
+  /// Read shorthand for at(i).
+  ClockValue operator[](std::size_t i) const { return at(i); }
+
+  [[deprecated("use at()/values() — backends need not store a dense vector")]]
   const std::vector<ClockValue>& components() const { return components_; }
+  [[deprecated("use set()/tick() instead of writing through a reference")]]
+  ClockValue& operator[](std::size_t i);
 
   /// this[i] = max(this[i], other[i]) for every i (Lemma 16, union of cuts).
   void merge_max(const VectorClock& other);
@@ -40,6 +68,18 @@ class VectorClock {
   /// Neither leq in either direction (events: concurrent).
   bool incomparable(const VectorClock& other) const;
 
+  /// Dense conversion boundary of the clock concept: identity here.
+  VectorClock to_dense() const { return *this; }
+  static VectorClock from_dense(const VectorClock& dense) { return dense; }
+
+  /// Appends a self-delimiting serialization: varint size, then each
+  /// component as a zigzag varint delta from its left neighbor (stamped
+  /// clocks have strongly correlated adjacent components, so deltas stay
+  /// short).
+  void encode(std::vector<std::uint8_t>& out) const;
+  /// Consumes one encoded clock from the front of `in`.
+  static VectorClock decode(std::span<const std::uint8_t>& in);
+
   friend bool operator==(const VectorClock&, const VectorClock&) = default;
 
  private:
@@ -47,10 +87,5 @@ class VectorClock {
 };
 
 std::ostream& operator<<(std::ostream& os, const VectorClock& vc);
-
-/// Componentwise max of two clocks (returns a new clock).
-VectorClock component_max(const VectorClock& a, const VectorClock& b);
-/// Componentwise min of two clocks (returns a new clock).
-VectorClock component_min(const VectorClock& a, const VectorClock& b);
 
 }  // namespace syncon

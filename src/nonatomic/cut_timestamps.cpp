@@ -1,5 +1,7 @@
 #include "nonatomic/cut_timestamps.hpp"
 
+#include "model/compressed_clock.hpp"
+#include "model/tree_clock.hpp"
 #include "support/contracts.hpp"
 
 namespace syncon {
@@ -12,42 +14,6 @@ const char* to_string(PosetCut which) {
     case PosetCut::UnionFuture: return "C4 (∪⇑X)";
   }
   return "?";
-}
-
-EventCuts::EventCuts(const Timestamps& ts, const NonatomicEvent& x)
-    : ts_(&ts), event_(&x) {
-  SYNCON_REQUIRE(&ts.execution() == &x.execution(),
-                 "timestamps belong to a different execution");
-  bool first = true;
-  for (const ProcessId p : x.node_set()) {
-    // Minima over ↓/↑ cuts are attained at the per-node least events and
-    // maxima at the per-node greatest events (§2.3), so only extremes are
-    // consulted.
-    const VectorClock least_past = ts.past_cut_counts(x.least_on(p));
-    const VectorClock greatest_past = ts.past_cut_counts(x.greatest_on(p));
-    const VectorClock least_future = ts.future_cut_counts(x.least_on(p));
-    const VectorClock greatest_future = ts.future_cut_counts(x.greatest_on(p));
-    if (first) {
-      c_[0] = least_past;
-      c_[1] = greatest_past;
-      c_[2] = least_future;
-      c_[3] = greatest_future;
-      first = false;
-    } else {
-      c_[0].merge_min(least_past);
-      c_[1].merge_max(greatest_past);
-      c_[2].merge_min(least_future);
-      c_[3].merge_max(greatest_future);
-    }
-  }
-}
-
-const VectorClock& EventCuts::counts(PosetCut which) const {
-  return c_[static_cast<std::size_t>(which)];
-}
-
-Cut EventCuts::cut(PosetCut which) const {
-  return Cut(ts_->execution(), counts(which));
 }
 
 VectorClock poset_cut_counts_reference(const Timestamps& ts,
@@ -74,5 +40,10 @@ VectorClock poset_cut_counts_reference(const Timestamps& ts,
   }
   return acc;
 }
+
+// One compiled instance per supported backend (see model/timestamps.cpp).
+template class BasicEventCuts<VectorClock>;
+template class BasicEventCuts<TreeClock>;
+template class BasicEventCuts<CompressedClock>;
 
 }  // namespace syncon

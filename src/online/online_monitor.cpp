@@ -151,14 +151,14 @@ void OnlineMonitor::checkpoint(const VectorClock& snapshot) {
 VectorClock OnlineMonitor::watermark_pin() const {
   VectorClock pin(process_count_, 0);
   for (ProcessId p = 0; p < process_count_; ++p) {
-    pin[p] = gaps_.contiguous_prefix(p) + 1;
+    pin.set(p, gaps_.contiguous_prefix(p) + 1);
   }
   // Open (unevaluated) actions keep their component events servable: the
   // pin holds at the least referenced index until the action completes and
   // its watches have consumed the summary.
   for (const auto& [label, tracker] : open_) {
     for (const auto& [q, least] : tracker.least_indices()) {
-      pin[q] = std::min<ClockValue>(pin[q], least);
+      pin.set(q, std::min<ClockValue>(pin.at(q), least));
     }
   }
   return pin;

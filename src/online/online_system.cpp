@@ -46,7 +46,7 @@ OnlineSystem::OnlineSystem(std::size_t process_count) {
   for (std::size_t p = 0; p < process_count; ++p) {
     // Clock of ⊥_p: one own event (the dummy), nothing else known.
     VectorClock c(process_count, 0);
-    c[p] = 1;
+    c.set(p, 1);
     clocks_.push_back(std::move(c));
   }
   log_.resize(process_count);
@@ -134,9 +134,9 @@ EventId OnlineSystem::advance(ProcessId p,
   }
   // The paper's axiom ⊥_i ≺ e lifts every component to at least 1.
   for (std::size_t i = 0; i < clock.size(); ++i) {
-    if (clock[i] == 0) clock[i] = 1;
+    if (clock.at(i) == 0) clock.set(i, 1);
   }
-  clock[p] = clock[p] + 1;
+  clock.tick(p);
   const EventId e{
       p, static_cast<EventIndex>(base_[p] + log_[p].size() + 1)};
   logged.clock = clock;
@@ -304,7 +304,7 @@ std::vector<WireMessage> OnlineSystem::serve(
 VectorClock OnlineSystem::snapshot() const {
   VectorClock snap(process_count(), 0);
   for (ProcessId q = 0; q < process_count(); ++q) {
-    snap[q] = static_cast<EventIndex>(base_[q] + log_[q].size() + 1);
+    snap.set(q, static_cast<EventIndex>(base_[q] + log_[q].size() + 1));
   }
   return snap;
 }
@@ -320,8 +320,8 @@ std::size_t OnlineSystem::compact(const VectorClock& watermark) {
     // Counts form: component value c covers events (p, 1..c-1). Clamp to
     // [current checkpoint, executed + 1] — monotone, never past the log.
     ClockValue target = std::min<ClockValue>(
-        watermark[p], static_cast<ClockValue>(executed(p)) + 1);
-    if (target <= checkpoint_.cut[p]) continue;
+        watermark.at(p), static_cast<ClockValue>(executed(p)) + 1);
+    if (target <= checkpoint_.cut.at(p)) continue;
     const EventIndex new_base = target - 1;
     const std::size_t drop = new_base - base_[p];
     // The cut's surface event on p is the last one reclaimed: remember its
@@ -329,7 +329,7 @@ std::size_t OnlineSystem::compact(const VectorClock& watermark) {
     const LoggedEvent& surface = log_[p][drop - 1];
     checkpoint_.surface_clocks[p] = surface.clock;
     checkpoint_.surface_times[p] = surface.time;
-    checkpoint_.cut[p] = target;
+    checkpoint_.cut.set(p, target);
     log_[p].erase(log_[p].begin(),
                   log_[p].begin() + static_cast<std::ptrdiff_t>(drop));
     base_[p] = new_base;
@@ -374,7 +374,7 @@ VectorClock OnlineSystem::retention_watermark() const {
   for (ProcessId p = 0; p < process_count(); ++p) {
     if (process_count() == 1) {
       // No other consumer exists; everything executed is reclaimable.
-      w[p] = static_cast<ClockValue>(executed(p)) + 1;
+      w.set(p, static_cast<ClockValue>(executed(p)) + 1);
       continue;
     }
     EventIndex floor = std::numeric_limits<EventIndex>::max();
@@ -382,7 +382,7 @@ VectorClock OnlineSystem::retention_watermark() const {
       if (q == p) continue;
       floor = std::min(floor, gaps_[q].contiguous_prefix(p));
     }
-    w[p] = floor + 1;  // counts form: covers (p, 1..floor)
+    w.set(p, floor + 1);  // counts form: covers (p, 1..floor)
   }
   return w;
 }

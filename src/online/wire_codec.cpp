@@ -1,0 +1,69 @@
+#include "online/wire_codec.hpp"
+
+#include "support/contracts.hpp"
+#include "support/varint.hpp"
+
+namespace syncon {
+
+namespace {
+constexpr std::uint8_t kFull = 0;
+constexpr std::uint8_t kDelta = 1;
+}  // namespace
+
+LinkEncoder::LinkEncoder(std::size_t process_count,
+                         std::uint32_t full_interval)
+    : last_(process_count, 0), full_interval_(full_interval) {
+  SYNCON_REQUIRE(full_interval >= 1, "full_interval must be at least 1");
+  since_full_ = full_interval;  // first frame is always absolute
+}
+
+std::size_t LinkEncoder::encode(const WireMessage& message,
+                                std::vector<std::uint8_t>& out) {
+  SYNCON_REQUIRE(message.clock.size() == last_.size(),
+                 "wire clock size does not match the link's process count");
+  const std::size_t start = out.size();
+  const CompressedClock clock = CompressedClock::from_dense(message.clock);
+  const bool full = since_full_ >= full_interval_;
+  out.push_back(full ? kFull : kDelta);
+  encode_varint(message.source.process, out);
+  encode_varint(message.source.index, out);
+  if (full) {
+    clock.encode(out);
+    since_full_ = 1;
+  } else {
+    clock.encode_relative(last_, out);
+    ++since_full_;
+  }
+  last_ = clock;
+  return out.size() - start;
+}
+
+LinkDecoder::LinkDecoder(std::size_t process_count)
+    : last_(process_count, 0) {}
+
+WireMessage LinkDecoder::decode(std::span<const std::uint8_t>& in) {
+  SYNCON_REQUIRE(!in.empty(), "decoding an empty wire frame");
+  const std::uint8_t tag = in.front();
+  in = in.subspan(1);
+  WireMessage message;
+  message.source.process =
+      static_cast<ProcessId>(decode_varint(in));
+  message.source.index = static_cast<EventIndex>(decode_varint(in));
+  if (tag == kFull) {
+    CompressedClock decoded = CompressedClock::decode(in);
+    SYNCON_REQUIRE(decoded.size() == last_.size(),
+                   "wire clock size does not match the link's process count");
+    last_ = std::move(decoded);
+    synced_ = true;
+  } else {
+    SYNCON_REQUIRE(tag == kDelta, "unknown wire frame tag");
+    SYNCON_REQUIRE(synced_,
+                   "delta frame before any full frame on this link — "
+                   "request a resync or wait for the next full frame");
+    last_ = CompressedClock::decode_relative(last_, in);
+  }
+  message.clock = last_.to_dense();  // the densify boundary
+  return message;
+}
+
+}  // namespace syncon

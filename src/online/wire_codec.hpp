@@ -1,0 +1,79 @@
+// Bounded-bytes serialization of the online protocol's wire messages
+// (arXiv 1606.05962's compressed vector timestamps, DESIGN.md §3.11).
+//
+// A WireMessage piggybacks a full |P|-component clock — the protocol's only
+// overhead, and the part that stops scaling when |P| grows. Between two
+// consecutive messages on the same FIFO link the sender's clock changes in
+// only a handful of components (its own, plus whatever causal fan-in it
+// absorbed since), so the codec ships each clock as a CompressedClock
+// change-list against the previous clock sent on that link:
+//
+//   frame := tag:u8 (kFull | kDelta)
+//            varint(source.process) varint(source.index)
+//            clock bytes — absolute (tag kFull) or relative to the link's
+//            previous clock (tag kDelta)
+//
+// Every `full_interval`-th frame (and the first) is absolute, so a receiver
+// that lost codec state — or joined mid-stream via snapshot/resync — locks
+// back on at the next full frame without a round trip; reset() forces one.
+// Chained deltas REQUIRE FIFO delivery of the encoded byte stream; for
+// lossy or reordering transports construct the codec with full_interval = 1
+// (every frame absolute — still varint/delta-compressed column-wise, just
+// not chained).
+//
+// Decoding is the densify boundary: decode() hands back a WireMessage with
+// a dense VectorClock, so everything past the codec (gap tracking,
+// watermark minima, retention cuts) stays on the dense representation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/compressed_clock.hpp"
+#include "online/online_system.hpp"
+
+namespace syncon {
+
+/// Sender-side half of one directed FIFO link.
+class LinkEncoder {
+ public:
+  /// `full_interval` = n emits an absolute frame every n-th message
+  /// (1 = every frame absolute; the first frame is always absolute).
+  explicit LinkEncoder(std::size_t process_count,
+                       std::uint32_t full_interval = 16);
+
+  /// Appends one frame for `message` to `out`; returns the frame size in
+  /// bytes (the codec's per-message piggyback cost).
+  std::size_t encode(const WireMessage& message, std::vector<std::uint8_t>& out);
+
+  /// Forces the next frame to be absolute (sender-side resync).
+  void reset() { since_full_ = full_interval_; }
+
+ private:
+  CompressedClock last_;
+  std::uint32_t full_interval_;
+  std::uint32_t since_full_;
+};
+
+/// Receiver-side half of one directed FIFO link.
+class LinkDecoder {
+ public:
+  explicit LinkDecoder(std::size_t process_count);
+
+  /// Consumes one frame from the front of `in`. Delta frames received while
+  /// unsynchronized (before any full frame after construction or reset)
+  /// fail the contract check.
+  WireMessage decode(std::span<const std::uint8_t>& in);
+
+  /// Drops codec state; decoding resumes at the next absolute frame.
+  void reset() { synced_ = false; }
+  bool synced() const { return synced_; }
+
+ private:
+  CompressedClock last_;
+  bool synced_ = false;
+};
+
+}  // namespace syncon

@@ -43,7 +43,7 @@ ClockValue SparseEventCuts::component(PosetCut which, ProcessId i,
 VectorClock SparseEventCuts::counts(PosetCut which) const {
   VectorClock out(ts_->execution().process_count());
   for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = component(which, static_cast<ProcessId>(i));
+    out.set(i, component(which, static_cast<ProcessId>(i)));
   }
   return out;
 }

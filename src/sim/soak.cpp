@@ -216,9 +216,9 @@ SoakResult run_soak(const SoakConfig& config) {
           std::max(result.live_log_peak, sys.live_log_events());
       VectorClock app_pin(n_proc, 0);
       for (ProcessId p = 0; p < n_proc; ++p) {
-        app_pin[p] = outstanding[p].empty()
-                         ? static_cast<ClockValue>(sys.executed(p)) + 1
-                         : outstanding[p].front().source.index;
+        app_pin.set(p, outstanding[p].empty()
+                           ? static_cast<ClockValue>(sys.executed(p)) + 1
+                           : outstanding[p].front().source.index);
       }
       const VectorClock pins[] = {monitor.watermark_pin(), app_pin};
       const std::size_t reclaimed = sys.compact(low_watermark(pins));

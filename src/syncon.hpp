@@ -19,10 +19,13 @@
 #include "support/table.hpp"        // IWYU pragma: export
 #include "support/thread_pool.hpp"  // IWYU pragma: export
 
+#include "model/clock.hpp"            // IWYU pragma: export
+#include "model/compressed_clock.hpp" // IWYU pragma: export
 #include "model/execution.hpp"     // IWYU pragma: export
 #include "model/reachability.hpp"  // IWYU pragma: export
 #include "model/scalar_clock.hpp"  // IWYU pragma: export
 #include "model/timestamps.hpp"    // IWYU pragma: export
+#include "model/tree_clock.hpp"    // IWYU pragma: export
 #include "model/types.hpp"         // IWYU pragma: export
 #include "model/vector_clock.hpp"  // IWYU pragma: export
 
@@ -62,6 +65,7 @@
 #include "online/online_evaluator.hpp"  // IWYU pragma: export
 #include "online/online_monitor.hpp"   // IWYU pragma: export
 #include "online/online_system.hpp"    // IWYU pragma: export
+#include "online/wire_codec.hpp"       // IWYU pragma: export
 
 #include "timing/physical_time.hpp"       // IWYU pragma: export
 #include "timing/timing_constraints.hpp"  // IWYU pragma: export

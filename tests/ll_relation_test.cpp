@@ -162,8 +162,8 @@ TEST_P(LLPropertyTest, LLIsTransitiveAndIrreflexive) {
   auto random_cut = [&]() {
     VectorClock counts(exec.process_count());
     for (ProcessId p = 0; p < exec.process_count(); ++p) {
-      counts[p] =
-          static_cast<ClockValue>(1 + rng.below(exec.total_count(p)));
+      counts.set(p,
+                 static_cast<ClockValue>(1 + rng.below(exec.total_count(p))));
     }
     return Cut(exec, std::move(counts));
   };
@@ -192,8 +192,8 @@ TEST_P(LLPropertyTest, ViolationMeansSurfaceDominance) {
   auto random_cut = [&]() {
     VectorClock counts(exec.process_count());
     for (ProcessId p = 0; p < exec.process_count(); ++p) {
-      counts[p] =
-          static_cast<ClockValue>(1 + rng.below(exec.total_count(p)));
+      counts.set(p,
+                 static_cast<ClockValue>(1 + rng.below(exec.total_count(p))));
     }
     return Cut(exec, std::move(counts));
   };

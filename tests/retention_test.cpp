@@ -274,7 +274,7 @@ TEST(RetentionTest, WatermarkPinHoldsGapsAndOpenActions) {
   EXPECT_EQ(mon.missing_report_count(), 1u);
   // The pin sits at the gap: 0:1 must stay servable.
   VectorClock pin = mon.watermark_pin();
-  EXPECT_EQ(pin[0], 1u);
+  EXPECT_EQ(pin.at(0), 1u);
 
   // Resync closes the gap; the open action now pins at its least recorded
   // index (0:2), not at the witnessed prefix.
@@ -283,13 +283,13 @@ TEST(RetentionTest, WatermarkPinHoldsGapsAndOpenActions) {
   }
   EXPECT_EQ(mon.missing_report_count(), 0u);
   pin = mon.watermark_pin();
-  EXPECT_EQ(pin[0], 2u);
+  EXPECT_EQ(pin.at(0), 2u);
 
   // Completion releases the action's pin; only the prefix bound remains.
   mon.complete("A");
   pin = mon.watermark_pin();
-  EXPECT_EQ(pin[0], 3u);
-  EXPECT_EQ(pin[1], 1u);  // nothing of p1 ever witnessed
+  EXPECT_EQ(pin.at(0), 3u);
+  EXPECT_EQ(pin.at(1), 1u);  // nothing of p1 ever witnessed
 
   // The pin is a safe compaction bound: everything below it reclaims.
   const VectorClock pins[] = {pin};

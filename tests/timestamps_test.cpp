@@ -50,8 +50,8 @@ TEST(TimestampsTest, OwnComponentIsIndexPlusOne) {
   const Execution exec = two_process_message();
   const Timestamps ts(exec);
   for (const EventId& e : all_events(exec)) {
-    EXPECT_EQ(ts.forward(e)[e.process], e.index + 1) << e.process << ":"
-                                                     << e.index;
+    EXPECT_EQ(ts.forward(e).at(e.process), e.index + 1)
+        << e.process << ":" << e.index;
   }
 }
 

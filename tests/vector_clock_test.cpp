@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "model/clock.hpp"
 #include "model/vector_clock.hpp"
 #include "support/contracts.hpp"
 
@@ -11,12 +12,14 @@ namespace {
 TEST(VectorClockTest, FillConstructor) {
   VectorClock vc(3, 7);
   ASSERT_EQ(vc.size(), 3u);
-  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(vc[i], 7u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(vc.at(i), 7u);
 }
 
 TEST(VectorClockTest, ComponentAccessChecked) {
   VectorClock vc(2);
-  EXPECT_THROW(vc[2], ContractViolation);
+  EXPECT_THROW(vc.at(2), ContractViolation);
+  EXPECT_THROW(vc.set(5, 1), ContractViolation);
+  EXPECT_THROW(vc.tick(2), ContractViolation);
   const VectorClock& cvc = vc;
   EXPECT_THROW(cvc[5], ContractViolation);
 }
