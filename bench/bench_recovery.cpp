@@ -1,0 +1,366 @@
+// Crash/recovery sweep for the durability subsystem (DESIGN.md §3.12).
+//
+// Each iteration kills a DurableSystem and a DurableMonitor at a
+// seeded-random operation count while the monitor feed suffers ≥15%
+// drop/duplicate/reorder and the storage backend injects torn tails and
+// bit flips, recovers from the newest valid snapshot plus the surviving
+// WAL tail, and checks the recovered run against an uninterrupted
+// fault-free reference: per-event clocks and physical times on the system
+// side, all 32 relation verdicts (Definite) on the monitor side.
+//
+// Scale dials for CI smoke vs a long sweep: SYNCON_RECOVERY_ITERS,
+// SYNCON_RECOVERY_SEED. scripts/ci_recovery_smoke.sh runs a pinned-seed
+// configuration and asserts on the syncon_recovery_* gauges this binary
+// publishes into the telemetry JSON (SYNCON_BENCH_JSON), including a
+// wall-clock budget on the worst recovery constructor scan.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "online/online_monitor.hpp"
+#include "online/online_system.hpp"
+#include "relations/relation.hpp"
+#include "sim/faulty_channel.hpp"
+#include "store/durable.hpp"
+#include "store/storage.hpp"
+
+namespace {
+
+using namespace syncon;
+using namespace syncon::bench;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::strtoull(value, nullptr, 10);
+}
+
+struct Firing {
+  bool holds = false;
+  Confidence conf = Confidence::Definite;
+
+  friend bool operator==(const Firing&, const Firing&) = default;
+};
+
+std::vector<Firing> verdicts_of(OnlineMonitor& mon) {
+  std::vector<Firing> fired;
+  for (const RelationId& id : all_relation_ids()) {
+    mon.watch(id, "X", "Y",
+              [&fired](const std::string&, const std::string&, bool holds,
+                       Confidence conf) { fired.push_back({holds, conf}); });
+  }
+  return fired;
+}
+
+DurabilityPolicy sweep_policy(Xoshiro256StarStar& rng) {
+  DurabilityPolicy policy;
+  policy.sync_every = 1 + static_cast<std::uint32_t>(rng.below(4));
+  policy.segment_records = 4 + static_cast<std::uint32_t>(rng.below(12));
+  policy.snapshot_every = 1;
+  policy.full_interval = 1 + static_cast<std::uint32_t>(rng.below(8));
+  return policy;
+}
+
+/// Running tally across the sweep; `identity` goes (and stays) false on the
+/// first divergence from the uninterrupted reference.
+struct SweepStats {
+  bool identity = true;
+  std::uint64_t runs = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;  // recoveries that found durable state
+  std::uint64_t events_replayed = 0;
+  std::uint64_t events_skipped = 0;
+  std::uint64_t recovery_micros_max = 0;
+  std::uint64_t recovery_micros_total = 0;
+
+  void absorb(const RecoveryStats& r) {
+    if (!r.recovered) return;  // fresh start: nothing was scanned
+    ++recoveries;
+    events_replayed += r.events_replayed;
+    events_skipped += r.events_skipped;
+    recovery_micros_max = std::max(recovery_micros_max, r.recovery_micros);
+    recovery_micros_total += r.recovery_micros;
+  }
+};
+
+/// System leg: crash a journaling DurableSystem mid-drive (compaction in
+/// the mix), recover, finish, and compare clocks/times against a replay
+/// that never crashed.
+void system_leg(std::uint64_t seed, SweepStats& stats) {
+  Xoshiro256StarStar rng(seed);
+  const Execution exec =
+      generate_execution(standard_workload(4, 24, seed * 3 + 1));
+  const OnlineSystem oracle = replay(exec);
+
+  SimFaultConfig faults;
+  faults.torn_tail = 0.6;
+  faults.bit_flip = 0.1;
+  faults.seed = seed;
+  SimStorage storage(faults);
+  const DurabilityPolicy policy = sweep_policy(rng);
+  auto sys =
+      std::make_unique<DurableSystem>(exec.process_count(), storage, policy);
+  std::set<EventId> is_source;
+  for (const Message& msg : exec.messages()) is_source.insert(msg.source);
+  const std::vector<EventId>& order = exec.topological_order();
+  storage.crash_after_ops(1 + rng.below(order.size()));
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const EventId e = order[i];
+    try {
+      if (e.index > sys->system().executed(e.process)) {
+        const auto incoming = exec.incoming(e);
+        if (!incoming.empty()) {
+          std::vector<WireMessage> msgs;
+          for (const EventId& src : incoming) {
+            msgs.push_back(sys->system().wire_of(src));
+          }
+          sys->deliver_all(e.process, msgs);
+        } else if (is_source.count(e)) {
+          sys->send(e.process);
+        } else {
+          sys->local(e.process);
+        }
+      }
+      if ((i + 1) % 7 == 0) sys->compact(sys->system().retention_watermark());
+      ++i;
+    } catch (const StorageCrash&) {
+      ++stats.crashes;
+      sys = std::make_unique<DurableSystem>(exec.process_count(), storage,
+                                            policy);
+      stats.absorb(sys->recovery());
+      i = 0;  // re-scan; recovered events are skipped, lost ones re-driven
+    }
+  }
+
+  for (ProcessId p = 0; p < exec.process_count(); ++p) {
+    if (sys->system().executed(p) != oracle.executed(p) ||
+        sys->system().current_clock(p) != oracle.current_clock(p)) {
+      stats.identity = false;
+      return;
+    }
+    for (EventIndex j = sys->system().reclaimed_before(p) + 1;
+         j <= sys->system().executed(p); ++j) {
+      const EventId e{p, j};
+      if (sys->system().clock_of(e) != oracle.clock_of(e) ||
+          sys->system().time_of(e) != oracle.time_of(e)) {
+        stats.identity = false;
+        return;
+      }
+    }
+  }
+}
+
+/// Monitor leg: crash a DurableMonitor whose feed runs through a faulty
+/// channel, recover, converge through resync, and compare all 32 relation
+/// verdicts against a clean uninterrupted run.
+void monitor_leg(std::uint64_t seed, SweepStats& stats) {
+  Xoshiro256StarStar rng(seed);
+  const Execution exec = generate_execution(standard_workload(4, 20, seed));
+  std::set<EventId> x_set, y_set;
+  for (EventIndex i = 2; i <= exec.real_count(0) && i <= 9; ++i) {
+    x_set.insert(EventId{0, i});
+  }
+  for (EventIndex i = 3; i <= exec.real_count(1) && i <= 11; ++i) {
+    y_set.insert(EventId{1, i});
+  }
+  const OnlineSystem sys = replay(exec);
+
+  OnlineMonitor clean(exec.process_count());
+  clean.begin("X");
+  clean.begin("Y");
+  for (const EventId& e : exec.topological_order()) {
+    const WireMessage w = sys.wire_of(e);
+    if (x_set.count(e)) {
+      clean.ingest("X", w);
+    } else if (y_set.count(e)) {
+      clean.ingest("Y", w);
+    } else {
+      clean.observe(w);
+    }
+  }
+  clean.complete("X");
+  clean.complete("Y");
+  const std::vector<Firing> clean_fires = verdicts_of(clean);
+
+  LinkFaultConfig link;
+  link.drop_probability = 0.2;
+  link.duplicate_probability = 0.18;
+  link.reorder_probability = 0.25;
+  link.max_delay = 40;
+  FaultyChannel channel(link, seed ^ 0xFEED);
+  TimePoint t = 0;
+  for (const EventId& e : exec.topological_order()) {
+    channel.push(sys.wire_of(e), t += 5);
+  }
+  const std::vector<Arrival> arrivals = channel.drain();
+
+  SimFaultConfig faults;
+  faults.torn_tail = 0.6;
+  faults.bit_flip = 0.1;
+  faults.seed = seed ^ 0xC0FFEE;
+  SimStorage storage(faults);
+  const DurabilityPolicy policy = sweep_policy(rng);
+  auto mon =
+      std::make_unique<DurableMonitor>(exec.process_count(), storage, policy);
+  const auto ensure_begun = [&] {
+    for (const char* label : {"X", "Y"}) {
+      if (!mon->monitor().is_open(label) &&
+          mon->monitor().summary(label) == nullptr) {
+        mon->begin(label);
+      }
+    }
+  };
+  const auto feed = [&](const WireMessage& report) {
+    if (x_set.count(report.source)) {
+      mon->ingest("X", report);
+    } else if (y_set.count(report.source)) {
+      mon->ingest("Y", report);
+    } else {
+      mon->observe(report);
+    }
+  };
+  const auto guarded = [&](const auto& fn) {
+    try {
+      fn();
+    } catch (const StorageCrash&) {
+      ++stats.crashes;
+      mon = std::make_unique<DurableMonitor>(exec.process_count(), storage,
+                                             policy);
+      stats.absorb(mon->recovery());
+      ensure_begun();
+      fn();
+    }
+  };
+
+  storage.crash_after_ops(1 + rng.below(arrivals.size() + 2));
+  guarded(ensure_begun);
+  for (const Arrival& a : arrivals) {
+    guarded([&] { feed(a.message); });
+  }
+  bool need_round = true;
+  int rounds = 0;
+  while (need_round || mon->monitor().missing_report_count() > 0) {
+    if (++rounds > 512) {
+      stats.identity = false;  // resync failed to converge
+      return;
+    }
+    need_round = false;
+    guarded([&] {
+      mon->checkpoint(sys.snapshot());
+      for (const WireMessage& w :
+           sys.serve(mon->monitor().resync_request(8))) {
+        feed(w);
+      }
+    });
+  }
+  guarded([&] {
+    if (mon->monitor().is_open("X")) mon->complete("X");
+  });
+  guarded([&] {
+    if (mon->monitor().is_open("Y")) mon->complete("Y");
+  });
+  rounds = 0;
+  while (mon->monitor().missing_report_count() > 0) {
+    if (++rounds > 512) {
+      stats.identity = false;
+      return;
+    }
+    mon->checkpoint(sys.snapshot());
+    for (const WireMessage& w : sys.serve(mon->monitor().resync_request(8))) {
+      feed(w);
+    }
+  }
+
+  const std::vector<Firing> crash_fires = verdicts_of(mon->monitor());
+  if (crash_fires.size() != clean_fires.size()) {
+    stats.identity = false;
+    return;
+  }
+  for (std::size_t i = 0; i < crash_fires.size(); ++i) {
+    if (crash_fires[i].conf != Confidence::Definite ||
+        !(crash_fires[i] == clean_fires[i])) {
+      stats.identity = false;
+      return;
+    }
+  }
+}
+
+int run() {
+  banner("E13: bench_recovery", "extension: crash/recovery identity",
+         "kill + recover under link and storage faults: verdict identity");
+  auto& registry = obs::MetricRegistry::global();
+
+  const std::uint64_t iters = env_u64("SYNCON_RECOVERY_ITERS", 24);
+  const std::uint64_t seed0 = env_u64("SYNCON_RECOVERY_SEED", 0x5EC0BE);
+
+  SweepStats stats;
+  for (std::uint64_t iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = seed0 + iter;
+    system_leg(seed, stats);
+    monitor_leg(seed, stats);
+    stats.runs += 2;
+    if (!stats.identity) {
+      std::printf("bench_recovery: identity BROKEN at seed %llu\n",
+                  static_cast<unsigned long long>(seed));
+      break;
+    }
+  }
+
+  const std::uint64_t micros_avg =
+      stats.recoveries == 0 ? 0
+                            : stats.recovery_micros_total / stats.recoveries;
+  TextTable table({"crash/recovery sweep", "value"});
+  table.new_row().add_cell(std::string("runs (system + monitor)"))
+      .add_cell(stats.runs);
+  table.new_row().add_cell(std::string("crashes injected"))
+      .add_cell(stats.crashes);
+  table.new_row()
+      .add_cell(std::string("recoveries with durable state"))
+      .add_cell(stats.recoveries);
+  table.new_row()
+      .add_cell(std::string("WAL records replayed / skipped"))
+      .add_cell(std::to_string(stats.events_replayed) + " / " +
+                std::to_string(stats.events_skipped));
+  table.new_row()
+      .add_cell(std::string("recovery scan µs (max / avg)"))
+      .add_cell(std::to_string(stats.recovery_micros_max) + " / " +
+                std::to_string(micros_avg));
+  table.new_row()
+      .add_cell(std::string("bit-identical to uninterrupted run"))
+      .add_cell(std::string(stats.identity ? "yes" : "NO"));
+  std::printf("%s\n", table.to_string().c_str());
+
+  registry.gauge("syncon_recovery_identity").set(stats.identity ? 1 : 0);
+  registry.gauge("syncon_recovery_runs")
+      .set(static_cast<std::int64_t>(stats.runs));
+  registry.gauge("syncon_recovery_crashes")
+      .set(static_cast<std::int64_t>(stats.crashes));
+  registry.gauge("syncon_recovery_recoveries")
+      .set(static_cast<std::int64_t>(stats.recoveries));
+  registry.gauge("syncon_recovery_events_replayed")
+      .set(static_cast<std::int64_t>(stats.events_replayed));
+  registry.gauge("syncon_recovery_events_skipped")
+      .set(static_cast<std::int64_t>(stats.events_skipped));
+  registry.gauge("syncon_recovery_micros_max")
+      .set(static_cast<std::int64_t>(stats.recovery_micros_max));
+  registry.gauge("syncon_recovery_micros_avg")
+      .set(static_cast<std::int64_t>(micros_avg));
+
+  const bool ok = stats.identity && stats.crashes > 0 && stats.recoveries > 0;
+  if (!ok) std::printf("bench_recovery: FAILED recovery guarantees\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  start_telemetry();
+  const int rc = run();
+  finish_telemetry("bench_recovery");
+  return rc;
+}

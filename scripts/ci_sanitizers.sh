@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the tier-1 test suite under every supported sanitizer configuration:
 #   asan  — address+undefined over the full suite
-#   tsan  — thread over the concurrency + fault + check suites
+#   tsan  — thread over the concurrency + fault + check + clocks + store suites
 # Each preset builds into its own binary dir (build-asan / build-tsan), so
 # this composes with (and never dirties) the plain `build` tree.
 #

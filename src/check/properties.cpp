@@ -21,6 +21,8 @@
 #include "relations/evaluator.hpp"
 #include "sim/faulty_channel.hpp"
 #include "sim/interval_picker.hpp"
+#include "store/durable.hpp"
+#include "store/storage.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -484,6 +486,258 @@ PropertyResult monitor_compaction_identity(const CheckCase& c) {
 }
 
 // ---------------------------------------------------------------------------
+// recovery_identity
+// ---------------------------------------------------------------------------
+
+PropertyResult recovery_identity(const CheckCase& c) {
+  std::optional<MaterializedCase> m = materialize(c);
+  if (!m) return fail("case failed to materialize");
+  const Execution& exec = *m->exec;
+  const std::uint64_t fng = fingerprint(c);
+  Xoshiro256StarStar rng(fng ^ 0xc2b2ae3d27d4eb4fULL);
+
+  DurabilityPolicy policy;
+  policy.sync_every = 1 + static_cast<std::uint32_t>(rng.below(4));
+  policy.segment_records = 4 + static_cast<std::uint32_t>(rng.below(12));
+  policy.snapshot_every = 1;
+  policy.full_interval = 1 + static_cast<std::uint32_t>(rng.below(8));
+
+  SimFaultConfig faults;
+  faults.torn_tail = 0.5;
+  faults.bit_flip = 0.05;
+  faults.seed = fng;
+
+  // System leg: journal every event into crash-faulty storage, crash at a
+  // seeded point mid-drive, recover from snapshot + WAL tail, finish the
+  // drive, and demand executed counts and every surviving clock
+  // bit-identical to a replay that never crashed.
+  {
+    const OnlineSystem oracle = replay(exec);
+    SimStorage storage(faults);
+    auto sys = std::make_unique<DurableSystem>(exec.process_count(), storage,
+                                               policy);
+    std::set<EventId> is_source;
+    for (const Message& msg : exec.messages()) is_source.insert(msg.source);
+    const std::vector<EventId>& order = exec.topological_order();
+    if (order.empty()) return pass();
+    // Every event journals at least one storage op, so this always fires.
+    storage.crash_after_ops(1 + rng.below(order.size()));
+    const std::size_t compact_period = 3 + rng.below(6);
+    bool crashed = false;
+    std::size_t i = 0;
+    while (i < order.size()) {
+      const EventId e = order[i];
+      try {
+        if (e.index > sys->system().executed(e.process)) {
+          const auto incoming = exec.incoming(e);
+          if (!incoming.empty()) {
+            std::vector<WireMessage> msgs;
+            msgs.reserve(incoming.size());
+            for (const EventId& src : incoming) {
+              // A source is never reclaimed before its receive executes
+              // (the retention watermark tracks receiver progress), so
+              // the live log can always reconstruct the wire.
+              msgs.push_back(sys->system().wire_of(src));
+            }
+            sys->deliver_all(e.process, msgs);
+          } else if (is_source.count(e)) {
+            sys->send(e.process);
+          } else {
+            sys->local(e.process);
+          }
+        }
+        if ((i + 1) % compact_period == 0) {
+          sys->compact(sys->system().retention_watermark());
+        }
+        ++i;
+      } catch (const StorageCrash&) {
+        if (crashed) return fail("simulated crash fired twice");
+        crashed = true;
+        sys = std::make_unique<DurableSystem>(exec.process_count(), storage,
+                                              policy);
+        // The crash may have lost an unsynced suffix of journaled events.
+        // Rescan from the top: already-recovered events are skipped by the
+        // executed() guard, lost ones are re-driven.
+        i = 0;
+      }
+    }
+    if (!crashed) return fail("seeded crash point never reached");
+    for (ProcessId p = 0; p < exec.process_count(); ++p) {
+      if (sys->system().executed(p) != oracle.executed(p)) {
+        return fail("process " + std::to_string(p) +
+                    ": executed count diverged after recovery (" +
+                    std::to_string(sys->system().executed(p)) + " vs " +
+                    std::to_string(oracle.executed(p)) + ")");
+      }
+      if (!(sys->system().current_clock(p) == oracle.current_clock(p))) {
+        return fail("process " + std::to_string(p) +
+                    ": surface clock diverged after recovery");
+      }
+      for (EventIndex j = sys->system().reclaimed_before(p) + 1;
+           j <= sys->system().executed(p); ++j) {
+        const EventId live{p, j};
+        if (!(sys->system().clock_of(live) == oracle.clock_of(live))) {
+          return fail(describe(live) + ": live clock diverged after recovery");
+        }
+      }
+    }
+  }
+
+  // Monitor leg: the lossy-channel differential of monitor_faulty_vs_clean
+  // with a seeded crash added. The DurableMonitor is killed mid-feed (or
+  // mid-resync / mid-complete), recovered from its own snapshot + WAL tail,
+  // and resynced until every gap closes; all 32 relation verdicts must be
+  // Definite and bit-identical to a clean never-crashed monitor.
+  std::vector<EventId> y_only;
+  for (const EventId& e : m->y.events()) {
+    if (!m->x.contains(e)) y_only.push_back(e);
+  }
+  if (y_only.empty()) return pass();  // see monitor_faulty_vs_clean
+  const std::set<EventId> x_set(m->x.events().begin(), m->x.events().end());
+  const std::set<EventId> y_set(y_only.begin(), y_only.end());
+
+  const OnlineSystem sys = replay(exec);
+  const auto verdicts_of = [&](OnlineMonitor& mon) {
+    std::vector<Firing> fired;
+    for (const RelationId& id : all_relation_ids()) {
+      mon.watch(id, "X", "Y",
+                [&fired](const std::string&, const std::string&, bool holds,
+                         Confidence conf) { fired.push_back({holds, conf}); });
+    }
+    return fired;
+  };
+
+  OnlineMonitor clean(exec.process_count());
+  clean.begin("X");
+  clean.begin("Y");
+  for (const EventId& e : exec.topological_order()) {
+    const WireMessage w = sys.wire_of(e);
+    if (x_set.count(e)) {
+      clean.ingest("X", w);
+    } else if (y_set.count(e)) {
+      clean.ingest("Y", w);
+    } else {
+      clean.observe(w);
+    }
+  }
+  clean.complete("X");
+  clean.complete("Y");
+  const std::vector<Firing> clean_fires = verdicts_of(clean);
+
+  Xoshiro256StarStar frng(fng ^ 0x9e3779b97f4a7c15ULL);
+  const LinkFaultConfig link = generate_link_faults(frng);
+  FaultyChannel channel(link, fng ^ 2);
+  TimePoint t = 0;
+  for (const EventId& e : exec.topological_order()) {
+    channel.push(sys.wire_of(e), t += 5);
+  }
+  const std::vector<Arrival> arrivals = channel.drain();
+
+  SimFaultConfig mfaults = faults;
+  mfaults.seed = fng ^ 0x5bf0363577e53b95ULL;
+  SimStorage mstorage(mfaults);
+  auto mon = std::make_unique<DurableMonitor>(exec.process_count(), mstorage,
+                                              policy);
+  bool mcrashed = false;
+  const auto ensure_begun = [&] {
+    for (const char* label : {"X", "Y"}) {
+      // A begin record lost with the unsynced WAL suffix must be re-issued;
+      // an action whose completion survived must not be re-opened.
+      if (!mon->monitor().is_open(label) &&
+          mon->monitor().summary(label) == nullptr) {
+        mon->begin(label);
+      }
+    }
+  };
+  const auto recover = [&] {
+    mon = std::make_unique<DurableMonitor>(exec.process_count(), mstorage,
+                                           policy);
+    ensure_begun();
+  };
+  const auto feed = [&](const WireMessage& report) {
+    if (x_set.count(report.source)) {
+      mon->ingest("X", report);
+    } else if (y_set.count(report.source)) {
+      mon->ingest("Y", report);
+    } else {
+      mon->observe(report);
+    }
+  };
+  const auto guarded = [&](const auto& fn) -> bool {
+    try {
+      fn();
+    } catch (const StorageCrash&) {
+      if (mcrashed) return false;
+      mcrashed = true;
+      recover();
+      fn();  // the crash is disarmed; the retried unit is idempotent
+    }
+    return true;
+  };
+
+  // Each feed does at least one storage op, so the crash fires within the
+  // run (begins / feeds / resync / completes all count ops).
+  mstorage.crash_after_ops(1 + rng.below(arrivals.size() + 4));
+  if (!guarded(ensure_begun)) return fail("simulated crash fired twice");
+  for (const Arrival& a : arrivals) {
+    if (!guarded([&] { feed(a.message); })) {
+      return fail("simulated crash fired twice");
+    }
+  }
+  // Converge: checkpoint inside the loop so a crash that loses the
+  // checkpoint record (or tail reports) reopens the gaps next round.
+  bool need_round = true;
+  int rounds = 0;
+  while (need_round || mon->monitor().missing_report_count() > 0) {
+    if (++rounds > 512) return fail("post-crash resync failed to converge");
+    need_round = false;
+    const bool ok = guarded([&] {
+      mon->checkpoint(sys.snapshot());
+      for (const WireMessage& w :
+           sys.serve(mon->monitor().resync_request(8))) {
+        feed(w);
+      }
+    });
+    if (!ok) return fail("simulated crash fired twice");
+  }
+  const auto complete_one = [&](const char* label) {
+    return guarded([&] {
+      if (mon->monitor().is_open(label)) mon->complete(label);
+    });
+  };
+  if (!complete_one("X") || !complete_one("Y")) {
+    return fail("simulated crash fired twice");
+  }
+  // If the crash hit during completion and tore off trailing reports, the
+  // reopened gaps must be closed before reading verdicts.
+  rounds = 0;
+  while (mon->monitor().missing_report_count() > 0) {
+    if (++rounds > 512) return fail("post-complete resync failed to converge");
+    mon->checkpoint(sys.snapshot());
+    for (const WireMessage& w : sys.serve(mon->monitor().resync_request(8))) {
+      feed(w);
+    }
+  }
+  const std::vector<Firing> crash_fires = verdicts_of(mon->monitor());
+
+  if (clean_fires.size() != 32 || crash_fires.size() != 32) {
+    return fail("expected 32 immediate firings, got " +
+                std::to_string(clean_fires.size()) + " clean / " +
+                std::to_string(crash_fires.size()) + " recovered");
+  }
+  const auto ids = all_relation_ids();
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (crash_fires[i].conf != Confidence::Definite) {
+      return fail(to_string(ids[i]) + ": recovered verdict not Definite");
+    }
+    if (!(crash_fires[i] == clean_fires[i])) {
+      return fail(to_string(ids[i]) + ": recovered-vs-clean verdicts differ");
+    }
+  }
+  return pass();
+}
+
+// ---------------------------------------------------------------------------
 // metamorphic_redundant_message
 // ---------------------------------------------------------------------------
 
@@ -674,7 +928,7 @@ PropertyResult clock_backend_identity(const CheckCase& c) {
   return pass();
 }
 
-constexpr std::array<PropertyInfo, 10> kProperties{{
+constexpr std::array<PropertyInfo, 11> kProperties{{
     {"fast_vs_naive",
      "Theorem 20 fast conditions vs naive proxy quantification (and the BFS "
      "oracle on small universes) for all 32 relations, with cost bounds",
@@ -714,6 +968,11 @@ constexpr std::array<PropertyInfo, 10> kProperties{{
      "dense, tree and compressed clock backends stamp, cut and decide all "
      "relations bit-identically after densification, at equal probe cost",
      &clock_backend_identity},
+    {"recovery_identity",
+     "crash the durable system and monitor at a seeded point under storage "
+     "faults, recover from snapshot + WAL tail, and require clocks and all "
+     "32 verdicts bit-identical to an uninterrupted run",
+     &recovery_identity},
 }};
 
 }  // namespace

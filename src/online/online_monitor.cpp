@@ -114,18 +114,18 @@ bool OnlineMonitor::observe(const WireMessage& report) {
   return true;
 }
 
-void OnlineMonitor::ingest(const std::string& label,
+bool OnlineMonitor::ingest(const std::string& label,
                            const WireMessage& report, std::int64_t when) {
   SYNCON_SPAN("monitor/ingest");
-  degraded_ = true;
-  ++reports_seen_;
   const auto open_it = open_.find(label);
   const auto sealed_it = sealed_.find(label);
   SYNCON_REQUIRE(open_it != open_.end() || sealed_it != sealed_.end(),
                  "no open or completed action labeled '" + label + "'");
+  degraded_ = true;
+  ++reports_seen_;
   if (!gaps_.witness(report.source)) {
     ++duplicate_reports_;
-    return;
+    return false;
   }
   gaps_.claim(report.clock);
   if (open_it != open_.end()) {
@@ -140,6 +140,99 @@ void OnlineMonitor::ingest(const std::string& label,
   note_gap_state();
   if (!gaps_.has_gap()) rearm_after_recovery(nullptr);
   fire_ready_watches();
+  return true;
+}
+
+bool OnlineMonitor::try_observe(const WireMessage& report) {
+  if (!valid_report(report)) {
+    quarantine(report);
+    return false;
+  }
+  return observe(report);
+}
+
+bool OnlineMonitor::try_ingest(const std::string& label,
+                               const WireMessage& report, std::int64_t when) {
+  if (!valid_report(report)) {
+    quarantine(report);
+    return false;
+  }
+  return ingest(label, report, when);
+}
+
+bool OnlineMonitor::valid_report(const WireMessage& report) const {
+  // Everything a genuine report satisfies and garbage usually does not:
+  // range checks the gap tracker would otherwise abort on, plus the Fidge
+  // invariant — the clock of event (p, i) has own component i + 1 (the
+  // convention counts the dummy). A corrupt frame that still passes all of
+  // this carries a self-consistent clock and folds in harmlessly.
+  return report.source.process < process_count_ && report.source.index >= 1 &&
+         report.clock.size() == process_count_ &&
+         report.clock[report.source.process] == report.source.index + 1;
+}
+
+void OnlineMonitor::quarantine(const WireMessage&) {
+  ++quarantined_;
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::MetricRegistry::global().counter(
+        "syncon_monitor_quarantined_reports_total");
+    c.add();
+  }
+}
+
+void OnlineMonitor::set_resync_policy(const ResyncPolicy& policy) {
+  SYNCON_REQUIRE(policy.budget >= 1 && policy.initial_backoff >= 1 &&
+                     policy.max_backoff >= policy.initial_backoff,
+                 "resync policy needs budget >= 1 and an ordered backoff "
+                 "range");
+  resync_policy_ = policy;
+  resync_episode_attempts_ = 0;
+  resync_backoff_ = policy.initial_backoff;
+  resync_exhausted_ = false;
+}
+
+std::optional<RetransmitRequest> OnlineMonitor::next_resync(
+    std::uint64_t now, std::size_t limit) {
+  if (!gaps_.has_gap()) {
+    resync_episode_attempts_ = 0;
+    resync_backoff_ = resync_policy_.initial_backoff;
+    resync_exhausted_ = false;
+    return std::nullopt;
+  }
+  const std::size_t missing_now = gaps_.missing_count();
+  if (resync_episode_attempts_ > 0 && missing_now < resync_last_missing_) {
+    // The last round recovered something — the server is alive; a slow
+    // chunked recovery must not burn the budget. Fresh episode.
+    resync_episode_attempts_ = 0;
+    resync_backoff_ = resync_policy_.initial_backoff;
+    resync_exhausted_ = false;
+  }
+  if (resync_episode_attempts_ >= resync_policy_.budget) {
+    if (!resync_exhausted_) {
+      resync_exhausted_ = true;
+      ++resync_give_ups_;
+      if (obs::enabled()) {
+        static obs::Counter& c = obs::MetricRegistry::global().counter(
+            "syncon_monitor_resync_give_ups_total");
+        c.add();
+      }
+    }
+    return std::nullopt;  // gaps stay PendingGap for good
+  }
+  if (resync_episode_attempts_ > 0 && now < resync_next_at_) {
+    return std::nullopt;  // backing off
+  }
+  ++resync_episode_attempts_;
+  ++resync_attempts_;
+  resync_last_missing_ = missing_now;
+  resync_next_at_ = now + resync_backoff_;
+  resync_backoff_ = std::min(resync_backoff_ * 2, resync_policy_.max_backoff);
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::MetricRegistry::global().counter(
+        "syncon_monitor_resync_attempts_total");
+    c.add();
+  }
+  return gaps_.resync_request(limit);
 }
 
 void OnlineMonitor::checkpoint(const VectorClock& snapshot) {
@@ -285,6 +378,11 @@ std::vector<OnlineMonitor::HealthMetric> OnlineMonitor::health_metrics()
        duplicate_reports_},
       {"syncon_monitor_known_lost_reports", "known-lost reports",
        missing_report_count()},
+      {"syncon_monitor_quarantined_reports", "quarantined reports",
+       quarantined_},
+      {"syncon_monitor_resync_attempts", "resync attempts", resync_attempts_},
+      {"syncon_monitor_resync_give_ups", "resync budget exhaustions",
+       resync_give_ups_},
       {"syncon_monitor_definite_fires", "definite watch firings",
        definite_fires_},
       {"syncon_monitor_pending_fires", "pending-gap watch firings",

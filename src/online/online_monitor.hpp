@@ -108,9 +108,26 @@ class OnlineMonitor {
   /// own clock (never reading the shared system). The action must be open,
   /// or already completed — a late report for a completed action repairs
   /// its summary and re-arms the watches that used it. Duplicate reports
-  /// are dropped. Reports may arrive in any order.
-  void ingest(const std::string& label, const WireMessage& report,
+  /// are dropped. Reports may arrive in any order. Returns true iff the
+  /// report was fresh.
+  bool ingest(const std::string& label, const WireMessage& report,
               std::int64_t when = OnlineSystem::kNoTime);
+
+  /// Fault-hardened observe: a malformed report (unknown source process,
+  /// non-event index, foreign clock size, clock breaking the Fidge own-
+  /// component invariant) is rejected into quarantined() instead of
+  /// tripping the gap tracker's contracts — wire garbage must not kill the
+  /// monitor (DESIGN.md §3.12). Returns observe()'s freshness verdict;
+  /// false also means quarantined (the counter tells them apart).
+  bool try_observe(const WireMessage& report);
+
+  /// Fault-hardened ingest, same rejection rule. The label must still name
+  /// an open or completed action — that is a caller bug, not wire garbage.
+  bool try_ingest(const std::string& label, const WireMessage& report,
+                  std::int64_t when = OnlineSystem::kNoTime);
+
+  /// Reports rejected by try_observe/try_ingest so far.
+  std::uint64_t quarantined() const { return quarantined_; }
 
   /// Clock-snapshot recovery: an authoritative clock snapshot (e.g. from
   /// OnlineSystem::snapshot(), broadcast periodically) vouches for every
@@ -139,6 +156,36 @@ class OnlineMonitor {
   bool degraded() const { return degraded_; }
   /// Duplicate reports suppressed so far.
   std::uint64_t duplicate_reports() const { return duplicate_reports_; }
+
+  /// Retry discipline for the resync loop: attempts against an unresponsive
+  /// server are spaced by exponential backoff and capped by a budget, after
+  /// which the monitor gives up and the open gaps stay PendingGap for good.
+  /// Any recovery progress (the missing-report count dropping between
+  /// attempts) refunds the budget and resets the backoff.
+  struct ResyncPolicy {
+    std::uint32_t budget = 8;          // attempts per no-progress episode
+    std::uint64_t initial_backoff = 1; // ticks between attempts 1 and 2
+    std::uint64_t max_backoff = 64;    // backoff cap, ticks
+  };
+
+  void set_resync_policy(const ResyncPolicy& policy);
+  const ResyncPolicy& resync_policy() const { return resync_policy_; }
+
+  /// Budgeted resync driver: the retransmit request to send now, or nullopt
+  /// when there is no gap, the backoff window has not elapsed, or the budget
+  /// is exhausted (counted in resync_give_ups()). `now` is any monotone
+  /// tick — wall µs, report counts, loop iterations — the same unit as the
+  /// policy's backoff fields.
+  std::optional<RetransmitRequest> next_resync(
+      std::uint64_t now,
+      std::size_t limit = std::numeric_limits<std::size_t>::max());
+
+  /// Attempts next_resync has issued / episodes it has given up on.
+  std::uint64_t resync_attempts() const { return resync_attempts_; }
+  std::uint64_t resync_give_ups() const { return resync_give_ups_; }
+  /// True while the current gap episode's budget is spent (cleared by
+  /// progress or by the gaps closing).
+  bool resync_exhausted() const { return resync_exhausted_; }
 
   // --- retention (DESIGN.md §3.10) ------------------------------------------
 
@@ -241,6 +288,9 @@ class OnlineMonitor {
 
   void fire_ready_watches();
   Confidence current_confidence() const;
+  /// Structural sanity of a wire report (see try_observe).
+  bool valid_report(const WireMessage& report) const;
+  void quarantine(const WireMessage& report);
   /// Tracks has_gap() transitions after each report/checkpoint, feeding the
   /// gap-open-duration histogram (measured in observed reports — the
   /// monitor's deterministic clock).
@@ -264,6 +314,15 @@ class OnlineMonitor {
   ComparisonCounter counter_;
   bool degraded_ = false;
   std::uint64_t duplicate_reports_ = 0;
+  std::uint64_t quarantined_ = 0;
+  ResyncPolicy resync_policy_;
+  std::uint32_t resync_episode_attempts_ = 0;
+  std::uint64_t resync_backoff_ = 1;
+  std::uint64_t resync_next_at_ = 0;
+  std::size_t resync_last_missing_ = 0;
+  bool resync_exhausted_ = false;
+  std::uint64_t resync_attempts_ = 0;
+  std::uint64_t resync_give_ups_ = 0;
   std::uint64_t definite_fires_ = 0;
   std::uint64_t pending_fires_ = 0;
   bool firing_ = false;

@@ -250,6 +250,109 @@ bool OnlineSystem::already_delivered(ProcessId p, EventId source) const {
   return delivered_[p].count(source) != 0 || gaps_[p].witnessed(source);
 }
 
+bool OnlineSystem::try_deliver(ProcessId p, const WireMessage& message,
+                               std::int64_t when, EventId* receipt) {
+  // Every contract check on the single-message deliver path (process range,
+  // check_deliverable, the time floor) runs before the first state mutation,
+  // so a rejection here leaves the system untouched.
+  try {
+    const EventId r = deliver(p, message, when);
+    if (receipt != nullptr) *receipt = r;
+    return true;
+  } catch (const ContractViolation&) {
+    ++quarantined_;
+    if (obs::enabled()) {
+      static obs::Counter& c = obs::MetricRegistry::global().counter(
+          "syncon_online_quarantined_total");
+      c.add();
+    }
+    return false;
+  }
+}
+
+void OnlineSystem::restore_checkpoint(const RetentionCheckpoint& checkpoint) {
+  SYNCON_REQUIRE(total_ == 0,
+                 "restore_checkpoint requires a fresh system (recovery "
+                 "installs the snapshot before replaying the WAL tail)");
+  SYNCON_REQUIRE(checkpoint.cut.size() == process_count() &&
+                     checkpoint.surface_clocks.size() == process_count() &&
+                     checkpoint.surface_times.size() == process_count(),
+                 "checkpoint does not match this system's process count");
+  checkpoint_ = checkpoint;
+  for (ProcessId p = 0; p < process_count(); ++p) {
+    SYNCON_REQUIRE(checkpoint.cut[p] >= 1,
+                   "cut timestamps count the dummy (component >= 1)");
+    base_[p] = checkpoint.cut[p] - 1;
+    clocks_[p] = checkpoint.surface_clocks[p];
+    last_timed_[p] = checkpoint.surface_times[p];
+    total_ += base_[p];
+  }
+  for (ProcessId p = 0; p < process_count(); ++p) {
+    for (ProcessId q = 0; q < process_count(); ++q) {
+      if (q == p || checkpoint.cut[q] <= 1) continue;
+      // Everything inside the cut was durably witnessed by every consumer
+      // (the compaction precondition), and any claim a below-cut message
+      // made is bounded by the cut (clocks of cut members are <= the cut
+      // componentwise): forgiving the cut restores both sides.
+      gaps_[p].forgive(q, checkpoint.cut[q] - 1);
+      // Re-claim what p's own pre-crash state vouched for (never p's own
+      // component — a receiver does not track itself, exactly as advance()
+      // skips it). Redundant under the precondition, but keeps the claimed
+      // frontier consistent with the pre-crash tracker's.
+      if (checkpoint.surface_clocks[p][q] > 0) {
+        gaps_[p].claim(q, checkpoint.surface_clocks[p][q] - 1);
+      }
+    }
+  }
+}
+
+bool OnlineSystem::restore_event(EventId e, const VectorClock& clock,
+                                 std::span<const EventId> sources,
+                                 std::int64_t time) {
+  const ProcessId p = e.process;
+  SYNCON_REQUIRE(p < clocks_.size() && e.index >= 1, "unknown event");
+  SYNCON_REQUIRE(clock.size() == clocks_.size(),
+                 "restored clock size does not match the process count");
+  SYNCON_REQUIRE(clock[p] == e.index + 1,
+                 "restored clock breaks the Fidge invariant (own component "
+                 "counts the dummy: event (p, i) has clock[p] == i + 1)");
+  const bool fresh = e.index > executed(p);
+  if (fresh) {
+    SYNCON_REQUIRE(e.index == executed(p) + 1,
+                   "WAL replay must restore each process's events in order");
+    LoggedEvent logged;
+    logged.clock = clock;
+    logged.sources.assign(sources.begin(), sources.end());
+    logged.time = time;
+    clocks_[p] = clock;
+    log_[p].push_back(std::move(logged));
+    if (time != kNoTime) last_timed_[p] = time;
+    ++total_;
+  }
+  // Witness/dedup state is refreshed even for events the snapshot already
+  // covers: a below-cut receive can be the only witness of an above-cut
+  // source, and pruning its dedup record must not resurrect the duplicate.
+  for (const EventId& src : sources) {
+    SYNCON_REQUIRE(src.process < clocks_.size() && src.process != p &&
+                       src.index >= 1,
+                   "restored event has a malformed source");
+    gaps_[p].witness(src);
+    delivered_[p].emplace(src, e);
+  }
+  for (ProcessId q = 0; q < clocks_.size(); ++q) {
+    if (q == p || clock[q] == 0) continue;
+    // The event's own clock dominates every message clock it merged, and
+    // claimed frontiers are maxima — claiming it reproduces the original
+    // claim state exactly.
+    gaps_[p].claim(q, clock[q] - 1);
+  }
+  return fresh;
+}
+
+std::span<const EventId> OnlineSystem::sources_of(EventId e) const {
+  return live_entry(e).sources;
+}
+
 std::vector<EventId> OnlineSystem::missing_at(ProcessId p,
                                               std::size_t limit) const {
   SYNCON_REQUIRE(p < gaps_.size(), "process id out of range");

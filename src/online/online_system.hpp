@@ -117,6 +117,18 @@ class OnlineSystem {
   /// True iff p already consumed a message with this source event.
   bool already_delivered(ProcessId p, EventId source) const;
 
+  /// Fault-hardened deliver: a malformed or corrupt message (unknown source
+  /// process, foreign clock size, impossible receiver component, physical
+  /// time regression) is rejected — counted in quarantined() — instead of
+  /// tripping the delivery contract checks, so wire garbage cannot kill the
+  /// process (DESIGN.md §3.12). On success `receipt` (when non-null) gets
+  /// what deliver() would have returned.
+  bool try_deliver(ProcessId p, const WireMessage& message,
+                   std::int64_t when = kNoTime, EventId* receipt = nullptr);
+
+  /// Messages rejected by try_deliver so far.
+  std::uint64_t quarantined() const { return quarantined_; }
+
   /// Duplicate deliveries suppressed across all processes so far.
   std::uint64_t duplicates_suppressed() const {
     return duplicates_suppressed_;
@@ -195,6 +207,35 @@ class OnlineSystem {
   EventIndex reclaimed_before(ProcessId p) const;
   bool is_live(EventId e) const;
 
+  // --- durability / crash recovery (DESIGN.md §3.12) -------------------------
+
+  /// Installs a retention checkpoint into a *fresh* system (no events
+  /// executed) — the first step of crash recovery. The checkpoint's cut
+  /// becomes the reclaimed log prefix, its surface clocks/times become each
+  /// process's current state, and every receiver's gap tracker forgives the
+  /// cut and claims the surfaces. Requires the deployment's compaction
+  /// precondition (compact only below every consumer's durable watermark):
+  /// then everything a pre-crash receiver witnessed or claimed below the cut
+  /// is covered, and replaying the WAL tail converges to the pre-crash
+  /// state. restore_checkpoint(bottom(n)) is the fresh system itself.
+  void restore_checkpoint(const RetentionCheckpoint& checkpoint);
+
+  /// Re-executes one journaled event during WAL replay. The id, clock,
+  /// sources and time are authoritative — they were journaled after the
+  /// original execution — so this bypasses deliver()'s merge and writes them
+  /// back verbatim. Idempotent against the restored checkpoint and earlier
+  /// replays: an event at or below the current frontier only refreshes its
+  /// witness/dedup state (a receive journaled below the snapshot cut may
+  /// still be the sole witness of an above-cut source). Returns true iff the
+  /// event extended the log.
+  bool restore_event(EventId e, const VectorClock& clock,
+                     std::span<const EventId> sources,
+                     std::int64_t time = kNoTime);
+
+  /// Source events of a live executed event (empty for local/send events) —
+  /// what the durability layer journals alongside the wire form.
+  std::span<const EventId> sources_of(EventId e) const;
+
  private:
   EventId advance(ProcessId p, std::span<const WireMessage> messages,
                   std::int64_t when);
@@ -225,6 +266,7 @@ class OnlineSystem {
   std::vector<GapTracker> gaps_;
   RetentionCheckpoint checkpoint_;
   std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t quarantined_ = 0;
   std::size_t total_ = 0;
 };
 

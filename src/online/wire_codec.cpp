@@ -66,4 +66,19 @@ WireMessage LinkDecoder::decode(std::span<const std::uint8_t>& in) {
   return message;
 }
 
+bool LinkDecoder::try_decode(std::span<const std::uint8_t>& in,
+                             WireMessage& out) {
+  // decode() mutates last_/synced_ only after its final contract check
+  // passes, so catching the violation on a probe cursor leaves both the
+  // input span and the codec state exactly as they were.
+  std::span<const std::uint8_t> probe = in;
+  try {
+    out = decode(probe);
+  } catch (const ContractViolation&) {
+    return false;
+  }
+  in = probe;
+  return true;
+}
+
 }  // namespace syncon

@@ -67,6 +67,13 @@ class LinkDecoder {
   /// fail the contract check.
   WireMessage decode(std::span<const std::uint8_t>& in);
 
+  /// Fault-hardened decode: consumes one frame iff it parses cleanly with
+  /// the current codec state; on garbage (empty input, unknown tag,
+  /// malformed varints, foreign clock size, delta before sync) returns
+  /// false with `in` and the codec state untouched, so the caller can skip
+  /// or quarantine the bytes and keep the link alive (DESIGN.md §3.12).
+  bool try_decode(std::span<const std::uint8_t>& in, WireMessage& out);
+
   /// Drops codec state; decoding resumes at the next absolute frame.
   void reset() { synced_ = false; }
   bool synced() const { return synced_; }

@@ -1,0 +1,377 @@
+#include "store/durable.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "store/snapshot.hpp"
+#include "support/contracts.hpp"
+#include "support/varint.hpp"
+
+namespace syncon {
+
+namespace {
+
+// WAL record kinds. kEvent is the DurableSystem journal; the rest are the
+// DurableMonitor's. A store only ever holds one shell's records.
+constexpr std::uint8_t kEvent = 1;
+constexpr std::uint8_t kBegin = 2;
+constexpr std::uint8_t kComplete = 3;
+constexpr std::uint8_t kReport = 4;  // empty label = observe()
+constexpr std::uint8_t kMonCheckpoint = 5;
+constexpr std::uint8_t kAdopt = 6;
+constexpr std::uint8_t kForget = 7;
+
+class RecoveryTimer {
+ public:
+  explicit RecoveryTimer(RecoveryStats& stats)
+      : stats_(stats), start_(std::chrono::steady_clock::now()) {}
+  ~RecoveryTimer() {
+    stats_.recovery_micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    if (obs::enabled()) {
+      auto& registry = obs::MetricRegistry::global();
+      registry.gauge("syncon_store_recovery_us")
+          .set(static_cast<std::int64_t>(stats_.recovery_micros));
+      static obs::Counter& replayed =
+          registry.counter("syncon_store_replayed_records_total");
+      replayed.add(stats_.events_replayed);
+    }
+  }
+
+ private:
+  RecoveryStats& stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+std::string decode_label(std::span<const std::uint8_t>& in) {
+  const std::size_t length = static_cast<std::size_t>(decode_varint(in));
+  SYNCON_REQUIRE(length <= in.size(), "label runs past the WAL record");
+  std::string label(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(length));
+  in = in.subspan(length);
+  return label;
+}
+
+void encode_label(const std::string& label, std::vector<std::uint8_t>& out) {
+  encode_varint(label.size(), out);
+  out.insert(out.end(), label.begin(), label.end());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DurableSystem
+// ---------------------------------------------------------------------------
+
+DurableSystem::DurableSystem(std::size_t process_count,
+                             StorageBackend& storage, DurabilityPolicy policy)
+    : system_(process_count),
+      store_(storage, policy),
+      encoder_(process_count, policy.full_interval) {
+  RecoveryTimer timer(stats_);
+  const std::vector<Store::RecoveredRecord> records = store_.take_records();
+  stats_.recovered = store_.recovery().snapshot.has_value() ||
+                     store_.recovery().segments_scanned > 0;
+  if (store_.recovery().snapshot.has_value()) {
+    const SnapshotImage& image = *store_.recovery().snapshot;
+    SYNCON_REQUIRE(image.process_count == process_count,
+                   "snapshot covers " + std::to_string(image.process_count) +
+                       " processes, this system has " +
+                       std::to_string(process_count));
+    system_.restore_checkpoint(image.checkpoint);
+  }
+  LinkDecoder decoder(process_count);
+  std::uint64_t segment = std::numeric_limits<std::uint64_t>::max();
+  for (const Store::RecoveredRecord& record : records) {
+    if (record.segment != segment) {
+      // Writers reset their encoder at segment boundaries, so every
+      // segment's first frame is absolute and decodes stateless.
+      decoder.reset();
+      segment = record.segment;
+    }
+    try {
+      std::span<const std::uint8_t> in = record.body;
+      SYNCON_REQUIRE(!in.empty() && in.front() == kEvent,
+                     "not a system WAL record");
+      in = in.subspan(1);
+      WireMessage wire;
+      SYNCON_REQUIRE(decoder.try_decode(in, wire),
+                     "undecodable journaled wire frame");
+      const std::size_t nsources =
+          static_cast<std::size_t>(decode_varint(in));
+      std::vector<EventId> sources;
+      sources.reserve(nsources);
+      for (std::size_t i = 0; i < nsources; ++i) {
+        EventId src;
+        src.process = static_cast<ProcessId>(decode_varint(in));
+        src.index = static_cast<EventIndex>(decode_varint(in));
+        sources.push_back(src);
+      }
+      const std::int64_t time = decode_signed_varint(in);
+      SYNCON_REQUIRE(in.empty(), "trailing bytes in WAL record");
+      if (system_.restore_event(wire.source, wire.clock, sources, time)) {
+        ++stats_.events_replayed;
+      } else {
+        ++stats_.events_skipped;
+      }
+    } catch (const ContractViolation&) {
+      // CRC-valid but unusable (format drift, a frame chained onto state a
+      // quarantined predecessor should have advanced): skip, keep serving.
+      ++stats_.records_quarantined;
+    }
+  }
+}
+
+void DurableSystem::journal_event(EventId e) {
+  const std::uint64_t seg = store_.open_segment_seq();
+  if (seg != encoder_segment_) {
+    encoder_.reset();  // first frame of a segment must be absolute
+    encoder_segment_ = seg;
+  }
+  std::vector<std::uint8_t> body;
+  body.push_back(kEvent);
+  encoder_.encode(WireMessage{e, system_.clock_of(e)}, body);
+  const std::span<const EventId> sources = system_.sources_of(e);
+  encode_varint(sources.size(), body);
+  std::vector<EventId> touches;
+  touches.reserve(sources.size() + 1);
+  touches.push_back(e);
+  for (const EventId& src : sources) {
+    encode_varint(src.process, body);
+    encode_varint(src.index, body);
+    touches.push_back(src);
+  }
+  encode_signed_varint(system_.time_of(e), body);
+  store_.append(body, touches);
+}
+
+EventId DurableSystem::local(ProcessId p, std::int64_t when) {
+  const EventId e = system_.local(p, when);
+  journal_event(e);
+  return e;
+}
+
+WireMessage DurableSystem::send(ProcessId p, std::int64_t when) {
+  const WireMessage wire = system_.send(p, when);
+  journal_event(wire.source);
+  return wire;
+}
+
+EventId DurableSystem::deliver(ProcessId p, const WireMessage& message,
+                               std::int64_t when) {
+  const EventIndex before = system_.executed(p);
+  const EventId e = system_.deliver(p, message, when);
+  // Suppressed duplicates execute nothing and need no journal entry — the
+  // receive that consumed the source was journaled when it executed.
+  if (system_.executed(p) != before) journal_event(e);
+  return e;
+}
+
+EventId DurableSystem::deliver_all(ProcessId p,
+                                   std::span<const WireMessage> messages,
+                                   std::int64_t when) {
+  const EventIndex before = system_.executed(p);
+  const EventId e = system_.deliver_all(p, messages, when);
+  if (system_.executed(p) != before) journal_event(e);
+  return e;
+}
+
+bool DurableSystem::try_deliver(ProcessId p, const WireMessage& message,
+                                std::int64_t when, EventId* receipt) {
+  const EventIndex before = p < process_count() ? system_.executed(p) : 0;
+  EventId r{};
+  if (!system_.try_deliver(p, message, when, &r)) return false;
+  if (system_.executed(p) != before) journal_event(r);
+  if (receipt != nullptr) *receipt = r;
+  return true;
+}
+
+std::size_t DurableSystem::compact(const VectorClock& watermark) {
+  const std::size_t reclaimed = system_.compact(watermark);
+  ++compactions_;
+  if (compactions_ % store_.policy().snapshot_every == 0) snapshot_now();
+  return reclaimed;
+}
+
+void DurableSystem::snapshot_now() {
+  store_.write_snapshot(
+      SnapshotImage{process_count(), system_.checkpoint()});
+}
+
+// ---------------------------------------------------------------------------
+// DurableMonitor
+// ---------------------------------------------------------------------------
+
+DurableMonitor::DurableMonitor(std::size_t process_count,
+                               StorageBackend& storage,
+                               DurabilityPolicy policy)
+    : process_count_(process_count),
+      monitor_(process_count),
+      store_(storage, policy),
+      encoder_(process_count, policy.full_interval) {
+  RecoveryTimer timer(stats_);
+  const std::vector<Store::RecoveredRecord> records = store_.take_records();
+  stats_.recovered = store_.recovery().snapshot.has_value() ||
+                     store_.recovery().segments_scanned > 0;
+  // The monitor's snapshot files only advance the store's durable cut (so
+  // observe-only segments can be pruned); monitor state itself is rebuilt
+  // purely by replaying the journal in order — a checkpoint adoption must
+  // act at its original position, not before records that preceded it.
+  LinkDecoder decoder(process_count);
+  std::uint64_t segment = std::numeric_limits<std::uint64_t>::max();
+  for (const Store::RecoveredRecord& record : records) {
+    if (record.segment != segment) {
+      decoder.reset();
+      segment = record.segment;
+    }
+    try {
+      std::span<const std::uint8_t> in = record.body;
+      SYNCON_REQUIRE(!in.empty(), "empty WAL record");
+      const std::uint8_t kind = in.front();
+      in = in.subspan(1);
+      switch (kind) {
+        case kBegin: {
+          monitor_.begin(decode_label(in));
+          ++stats_.events_replayed;
+          break;
+        }
+        case kComplete: {
+          monitor_.complete(decode_label(in));
+          ++stats_.events_replayed;
+          break;
+        }
+        case kForget: {
+          monitor_.forget(decode_label(in));
+          ++stats_.events_replayed;
+          break;
+        }
+        case kReport: {
+          const std::string label = decode_label(in);
+          const std::int64_t when = decode_signed_varint(in);
+          WireMessage report;
+          SYNCON_REQUIRE(decoder.try_decode(in, report),
+                         "undecodable journaled report frame");
+          const bool fresh = label.empty()
+                                 ? monitor_.observe(report)
+                                 : monitor_.ingest(label, report, when);
+          (fresh ? stats_.events_replayed : stats_.events_skipped) += 1;
+          break;
+        }
+        case kMonCheckpoint: {
+          monitor_.checkpoint(VectorClock::decode(in));
+          ++stats_.events_replayed;
+          break;
+        }
+        case kAdopt: {
+          monitor_.adopt_checkpoint(decode_checkpoint(in));
+          ++stats_.events_replayed;
+          break;
+        }
+        default:
+          SYNCON_REQUIRE(false, "unknown monitor WAL record kind");
+      }
+    } catch (const ContractViolation&) {
+      ++stats_.records_quarantined;
+    }
+  }
+}
+
+void DurableMonitor::journal(std::uint8_t kind,
+                             std::span<const std::uint8_t> body,
+                             std::span<const EventId> touches, bool pinned) {
+  std::vector<std::uint8_t> record;
+  record.reserve(body.size() + 1);
+  record.push_back(kind);
+  record.insert(record.end(), body.begin(), body.end());
+  store_.append(record, touches, pinned);
+}
+
+void DurableMonitor::journal_report(const std::string& label,
+                                    const WireMessage& report,
+                                    std::int64_t when) {
+  const std::uint64_t seg = store_.open_segment_seq();
+  if (seg != encoder_segment_) {
+    encoder_.reset();  // first frame of a segment must be absolute
+    encoder_segment_ = seg;
+  }
+  std::vector<std::uint8_t> body;
+  body.push_back(kReport);
+  encode_label(label, body);
+  encode_signed_varint(when, body);
+  encoder_.encode(report, body);
+  const EventId touches[] = {report.source};
+  // Labeled reports are pinned: they rebuild action summaries at replay and
+  // cannot be re-derived from a checkpoint. Plain observations can — the
+  // adopted cut forgives them — so they stay prunable.
+  store_.append(body, touches, /*pinned=*/!label.empty());
+}
+
+void DurableMonitor::begin(const std::string& label) {
+  monitor_.begin(label);
+  std::vector<std::uint8_t> body;
+  encode_label(label, body);
+  journal(kBegin, body, {}, /*pinned=*/true);
+}
+
+const IntervalSummary& DurableMonitor::complete(const std::string& label) {
+  const IntervalSummary& summary = monitor_.complete(label);
+  std::vector<std::uint8_t> body;
+  encode_label(label, body);
+  journal(kComplete, body, {}, /*pinned=*/true);
+  return summary;
+}
+
+bool DurableMonitor::observe(const WireMessage& report) {
+  const bool fresh = monitor_.observe(report);
+  if (fresh) journal_report("", report, OnlineSystem::kNoTime);
+  return fresh;
+}
+
+bool DurableMonitor::ingest(const std::string& label,
+                            const WireMessage& report, std::int64_t when) {
+  const bool fresh = monitor_.ingest(label, report, when);
+  if (fresh) journal_report(label, report, when);
+  return fresh;
+}
+
+bool DurableMonitor::try_observe(const WireMessage& report) {
+  const bool fresh = monitor_.try_observe(report);
+  if (fresh) journal_report("", report, OnlineSystem::kNoTime);
+  return fresh;
+}
+
+bool DurableMonitor::try_ingest(const std::string& label,
+                                const WireMessage& report, std::int64_t when) {
+  const bool fresh = monitor_.try_ingest(label, report, when);
+  if (fresh) journal_report(label, report, when);
+  return fresh;
+}
+
+void DurableMonitor::checkpoint(const VectorClock& snapshot) {
+  monitor_.checkpoint(snapshot);
+  std::vector<std::uint8_t> body;
+  snapshot.encode(body);
+  journal(kMonCheckpoint, body, {}, /*pinned=*/true);
+}
+
+void DurableMonitor::adopt_checkpoint(const RetentionCheckpoint& checkpoint) {
+  monitor_.adopt_checkpoint(checkpoint);
+  std::vector<std::uint8_t> body;
+  encode_checkpoint(checkpoint, body);
+  journal(kAdopt, body, {}, /*pinned=*/true);
+  if (++adoptions_ % store_.policy().snapshot_every == 0) {
+    store_.write_snapshot(SnapshotImage{process_count_, checkpoint});
+  }
+}
+
+void DurableMonitor::forget(const std::string& label) {
+  monitor_.forget(label);
+  std::vector<std::uint8_t> body;
+  encode_label(label, body);
+  journal(kForget, body, {}, /*pinned=*/true);
+}
+
+}  // namespace syncon

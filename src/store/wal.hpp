@@ -1,0 +1,54 @@
+// CRC32 record framing for the write-ahead log (DESIGN.md §3.12).
+//
+//   frame := varint(payload_length) payload crc32(payload):u32le
+//
+// The length prefix makes frames self-delimiting; the trailing CRC makes
+// torn tails and bit flips detectable. A scanner stops at the first frame
+// that fails to parse or checksum — the *recovery truncation rule*: every
+// byte after the first invalid frame is discarded, because an append-only
+// log corrupted at offset k says nothing trustworthy beyond k.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "support/crc32.hpp"
+
+namespace syncon {
+
+/// Appends one CRC-framed record to `out`; returns the frame size in bytes.
+std::size_t append_frame(std::span<const std::uint8_t> payload,
+                         std::vector<std::uint8_t>& out);
+
+/// Sequential scanner over one segment's bytes. next() yields payload views
+/// until the bytes run out or the first invalid frame (truncated length,
+/// payload running past the buffer, or CRC mismatch) — after which it
+/// yields nothing more and corrupt()/valid_bytes() describe the cut.
+class FrameReader {
+ public:
+  explicit FrameReader(std::span<const std::uint8_t> bytes)
+      : bytes_(bytes), cursor_(bytes) {}
+
+  /// The next frame's payload (a view into the scanned buffer), or nullopt
+  /// at end-of-log / first invalid frame.
+  std::optional<std::span<const std::uint8_t>> next();
+
+  /// True iff the scan stopped because of an invalid frame (not clean EOF).
+  bool corrupt() const { return corrupt_; }
+  /// Bytes of the buffer covered by valid frames — the truncation offset.
+  std::size_t valid_bytes() const {
+    return static_cast<std::size_t>(bytes_.size() - cursor_.size());
+  }
+  std::size_t frames_read() const { return frames_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::span<const std::uint8_t> cursor_;
+  bool corrupt_ = false;
+  bool done_ = false;
+  std::size_t frames_ = 0;
+};
+
+}  // namespace syncon

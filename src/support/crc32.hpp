@@ -1,0 +1,47 @@
+// CRC-32 (ISO-HDLC polynomial 0xEDB88320, the zlib/PNG variant) for the
+// durability layer's record framing (store/wal.hpp). Every WAL frame and
+// snapshot carries the checksum of its payload; a mismatch marks the frame
+// as torn or corrupted and recovery truncates there (DESIGN.md §3.12).
+//
+// Table-driven, one slice, constexpr-initialized — fast enough for the
+// record sizes involved (tens of bytes) without pulling in a dependency.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace syncon {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of `bytes`, optionally continuing from a previous checksum (pass
+/// the prior result as `seed` to checksum split buffers incrementally).
+inline std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                           std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) {
+    c = detail::kCrc32Table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace syncon

@@ -1,0 +1,528 @@
+// Crash/recovery end-to-end (DESIGN.md §3.12): the headline differential
+// kills a durable monitor at a seeded-random point while its feed suffers
+// ≥15% drop/duplicate/reorder AND its storage suffers torn tails and bit
+// flips, recovers from snapshot + WAL tail, and demands verdicts, clocks
+// and traces bit-identical to an uninterrupted fault-free run. Plus the
+// ingress-hardening (quarantine) and resync retry-budget satellites.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "online/online_monitor.hpp"
+#include "online/online_system.hpp"
+#include "online/wire_codec.hpp"
+#include "relations/relation.hpp"
+#include "sim/faulty_channel.hpp"
+#include "sim/workload.hpp"
+#include "store/durable.hpp"
+#include "store/storage.hpp"
+#include "support/rng.hpp"
+
+namespace syncon {
+namespace {
+
+struct Firing {
+  bool holds = false;
+  Confidence conf = Confidence::Definite;
+
+  friend bool operator==(const Firing&, const Firing&) = default;
+};
+
+std::vector<Firing> verdicts_of(OnlineMonitor& mon) {
+  std::vector<Firing> fired;
+  for (const RelationId& id : all_relation_ids()) {
+    mon.watch(id, "X", "Y",
+              [&fired](const std::string&, const std::string&, bool holds,
+                       Confidence conf) { fired.push_back({holds, conf}); });
+  }
+  return fired;
+}
+
+Execution sample_execution(std::uint64_t seed) {
+  WorkloadConfig config;
+  config.process_count = 4;
+  config.events_per_process = 20;
+  config.seed = seed;
+  return generate_execution(config);
+}
+
+// X/Y pick a prefix window on two processes — enough events on each that
+// the intervals overlap the message traffic.
+void pick_intervals(const Execution& exec, std::set<EventId>& x_set,
+                    std::set<EventId>& y_set) {
+  for (EventIndex i = 2; i <= exec.real_count(0) && i <= 9; ++i) {
+    x_set.insert(EventId{0, i});
+  }
+  for (EventIndex i = 3; i <= exec.real_count(1) && i <= 11; ++i) {
+    y_set.insert(EventId{1, i});
+  }
+  ASSERT_FALSE(x_set.empty());
+  ASSERT_FALSE(y_set.empty());
+}
+
+DurabilityPolicy test_policy(Xoshiro256StarStar& rng) {
+  DurabilityPolicy policy;
+  policy.sync_every = 1 + static_cast<std::uint32_t>(rng.below(4));
+  policy.segment_records = 4 + static_cast<std::uint32_t>(rng.below(12));
+  policy.snapshot_every = 1;
+  policy.full_interval = 1 + static_cast<std::uint32_t>(rng.below(8));
+  return policy;
+}
+
+// --- headline: crash under link + storage faults, recover, bit-identity ---
+
+TEST(RecoveryTest, MonitorCrashUnderFaultsRecoversToFaultFreeVerdicts) {
+  const int iters = testing::test_iters(20);
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = 0x51CCA0 + static_cast<std::uint64_t>(iter);
+    SYNCON_SEED_TRACE(seed);
+    Xoshiro256StarStar rng(seed);
+    const Execution exec = sample_execution(seed);
+    std::set<EventId> x_set, y_set;
+    pick_intervals(exec, x_set, y_set);
+    const OnlineSystem sys = replay(exec);
+
+    // Uninterrupted fault-free reference.
+    OnlineMonitor clean(exec.process_count());
+    clean.begin("X");
+    clean.begin("Y");
+    for (const EventId& e : exec.topological_order()) {
+      const WireMessage w = sys.wire_of(e);
+      if (x_set.count(e)) {
+        clean.ingest("X", w);
+      } else if (y_set.count(e)) {
+        clean.ingest("Y", w);
+      } else {
+        clean.observe(w);
+      }
+    }
+    clean.complete("X");
+    clean.complete("Y");
+    const std::vector<Firing> clean_fires = verdicts_of(clean);
+    ASSERT_EQ(clean_fires.size(), 32u);
+
+    // Subject: ≥15% of each link fault, torn/bit-flipped storage, and a
+    // crash at a seeded-random feed position.
+    LinkFaultConfig link;
+    link.drop_probability = 0.2;
+    link.duplicate_probability = 0.18;
+    link.reorder_probability = 0.25;
+    link.max_delay = 40;
+    FaultyChannel channel(link, seed ^ 0xFEED);
+    TimePoint t = 0;
+    for (const EventId& e : exec.topological_order()) {
+      channel.push(sys.wire_of(e), t += 5);
+    }
+    const std::vector<Arrival> arrivals = channel.drain();
+
+    SimFaultConfig faults;
+    faults.torn_tail = 0.6;
+    faults.bit_flip = 0.1;
+    faults.seed = seed ^ 0xC0FFEE;
+    SimStorage storage(faults);
+    const DurabilityPolicy policy = test_policy(rng);
+    auto mon = std::make_unique<DurableMonitor>(exec.process_count(),
+                                                storage, policy);
+    bool crashed = false;
+    const auto ensure_begun = [&] {
+      for (const char* label : {"X", "Y"}) {
+        if (!mon->monitor().is_open(label) &&
+            mon->monitor().summary(label) == nullptr) {
+          mon->begin(label);
+        }
+      }
+    };
+    const auto recover = [&] {
+      // A crash before the first sync barrier can leave nothing durable:
+      // recovery then starts fresh, which must ALSO converge to identity.
+      mon = std::make_unique<DurableMonitor>(exec.process_count(), storage,
+                                             policy);
+      ensure_begun();
+    };
+    const auto feed = [&](const WireMessage& report) {
+      if (x_set.count(report.source)) {
+        mon->ingest("X", report);
+      } else if (y_set.count(report.source)) {
+        mon->ingest("Y", report);
+      } else {
+        mon->observe(report);
+      }
+    };
+    const auto guarded = [&](const auto& fn) {
+      try {
+        fn();
+      } catch (const StorageCrash&) {
+        ASSERT_FALSE(crashed) << "armed crash fired twice";
+        crashed = true;
+        recover();
+        fn();
+      }
+    };
+
+    storage.crash_after_ops(1 + rng.below(arrivals.size() + 2));
+    guarded(ensure_begun);
+    for (const Arrival& a : arrivals) {
+      guarded([&] { feed(a.message); });
+    }
+    bool need_round = true;
+    int rounds = 0;
+    while (need_round || mon->monitor().missing_report_count() > 0) {
+      ASSERT_LT(++rounds, 512) << "resync failed to converge";
+      need_round = false;
+      guarded([&] {
+        mon->checkpoint(sys.snapshot());
+        for (const WireMessage& w :
+             sys.serve(mon->monitor().resync_request(8))) {
+          feed(w);
+        }
+      });
+    }
+    guarded([&] {
+      if (mon->monitor().is_open("X")) mon->complete("X");
+    });
+    guarded([&] {
+      if (mon->monitor().is_open("Y")) mon->complete("Y");
+    });
+    rounds = 0;
+    while (mon->monitor().missing_report_count() > 0) {
+      ASSERT_LT(++rounds, 512);
+      mon->checkpoint(sys.snapshot());
+      for (const WireMessage& w :
+           sys.serve(mon->monitor().resync_request(8))) {
+        feed(w);
+      }
+    }
+    EXPECT_TRUE(crashed) << "seeded crash point was never reached";
+
+    const std::vector<Firing> crash_fires = verdicts_of(mon->monitor());
+    ASSERT_EQ(crash_fires.size(), 32u);
+    const auto ids = all_relation_ids();
+    for (std::size_t i = 0; i < 32; ++i) {
+      EXPECT_EQ(crash_fires[i].conf, Confidence::Definite)
+          << to_string(ids[i]);
+      EXPECT_TRUE(crash_fires[i] == clean_fires[i]) << to_string(ids[i]);
+    }
+  }
+}
+
+// The system-side identity: a journaling DurableSystem crashed mid-drive
+// (with compaction in the mix) recovers and finishes with clocks and traces
+// bit-identical to a never-crashed replay.
+TEST(RecoveryTest, SystemCrashRecoversToIdenticalClocksAndTraces) {
+  const int iters = testing::test_iters(20);
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = 0xD15C + static_cast<std::uint64_t>(iter);
+    SYNCON_SEED_TRACE(seed);
+    Xoshiro256StarStar rng(seed);
+    const Execution exec = sample_execution(seed * 3 + 1);
+    const OnlineSystem oracle = replay(exec);
+
+    SimFaultConfig faults;
+    faults.torn_tail = 0.6;
+    faults.bit_flip = 0.1;
+    faults.seed = seed;
+    SimStorage storage(faults);
+    const DurabilityPolicy policy = test_policy(rng);
+    auto sys = std::make_unique<DurableSystem>(exec.process_count(), storage,
+                                               policy);
+    std::set<EventId> is_source;
+    for (const Message& msg : exec.messages()) is_source.insert(msg.source);
+    const std::vector<EventId>& order = exec.topological_order();
+    storage.crash_after_ops(1 + rng.below(order.size()));
+    bool crashed = false;
+    std::size_t i = 0;
+    while (i < order.size()) {
+      const EventId e = order[i];
+      try {
+        if (e.index > sys->system().executed(e.process)) {
+          const auto incoming = exec.incoming(e);
+          if (!incoming.empty()) {
+            std::vector<WireMessage> msgs;
+            for (const EventId& src : incoming) {
+              msgs.push_back(sys->system().wire_of(src));
+            }
+            sys->deliver_all(e.process, msgs);
+          } else if (is_source.count(e)) {
+            sys->send(e.process);
+          } else {
+            sys->local(e.process);
+          }
+        }
+        if ((i + 1) % 7 == 0) {
+          sys->compact(sys->system().retention_watermark());
+        }
+        ++i;
+      } catch (const StorageCrash&) {
+        ASSERT_FALSE(crashed);
+        crashed = true;
+        sys = std::make_unique<DurableSystem>(exec.process_count(), storage,
+                                              policy);
+        i = 0;  // re-scan; recovered events are skipped, lost ones re-driven
+      }
+    }
+    EXPECT_TRUE(crashed);
+
+    for (ProcessId p = 0; p < exec.process_count(); ++p) {
+      ASSERT_EQ(sys->system().executed(p), oracle.executed(p)) << "p=" << p;
+      EXPECT_EQ(sys->system().current_clock(p), oracle.current_clock(p));
+      for (EventIndex j = sys->system().reclaimed_before(p) + 1;
+           j <= sys->system().executed(p); ++j) {
+        const EventId e{p, j};
+        EXPECT_EQ(sys->system().clock_of(e), oracle.clock_of(e));
+        EXPECT_EQ(sys->system().time_of(e), oracle.time_of(e));
+      }
+    }
+  }
+}
+
+// --- satellite: hardened ingress quarantines garbage, never aborts --------
+
+TEST(QuarantineTest, LinkDecoderRejectsGarbageWithoutStateDamage) {
+  LinkEncoder enc(3, 4);
+  LinkDecoder dec(3);
+  OnlineSystem sys(3);
+  const WireMessage w1 = sys.send(0);
+  sys.deliver(1, w1);
+  const WireMessage w2 = {EventId{1, 1}, sys.clock_of(EventId{1, 1})};
+
+  std::vector<std::uint8_t> frames;
+  enc.encode(w1, frames);
+  const std::size_t boundary = frames.size();
+  enc.encode(w2, frames);
+
+  // Garbage: random bytes are rejected and the input span is not consumed.
+  const std::vector<std::uint8_t> junk = {0xde, 0xad, 0xbe, 0xef, 0x99};
+  std::span<const std::uint8_t> junk_in = junk;
+  WireMessage out;
+  EXPECT_FALSE(dec.try_decode(junk_in, out));
+  EXPECT_EQ(junk_in.size(), junk.size());
+
+  // A bit-flipped first frame is rejected; the pristine copy still decodes,
+  // proving the failed attempt left no partial decoder state behind.
+  std::vector<std::uint8_t> flipped(frames.begin(),
+                                    frames.begin() +
+                                        static_cast<std::ptrdiff_t>(boundary));
+  flipped[flipped.size() / 2] ^= 0x40;
+  std::span<const std::uint8_t> flipped_in = flipped;
+  const bool flipped_ok = dec.try_decode(flipped_in, out);
+  std::span<const std::uint8_t> good_in = frames;
+  ASSERT_TRUE(dec.try_decode(good_in, out));
+  EXPECT_EQ(out.source, w1.source);
+  EXPECT_EQ(out.clock, w1.clock);
+  ASSERT_TRUE(dec.try_decode(good_in, out));
+  EXPECT_EQ(out.source, w2.source);
+  EXPECT_EQ(out.clock, w2.clock);
+  // (flipped_ok may rarely be true if the flip lands in a don't-care bit;
+  // the invariant under test is the pristine stream decoding either way.)
+  (void)flipped_ok;
+}
+
+TEST(QuarantineTest, TryDeliverQuarantinesMalformedMessages) {
+  OnlineSystem sys(2);
+  const WireMessage good = sys.send(0);
+
+  // Out-of-range process, zero index, clock that violates the Fidge
+  // convention: all quarantined, none aborts, nothing executes.
+  WireMessage bad = good;
+  bad.source.process = 7;
+  EXPECT_FALSE(sys.try_deliver(1, bad));
+  bad = good;
+  bad.source.index = 0;
+  EXPECT_FALSE(sys.try_deliver(1, bad));
+  bad = good;
+  bad.clock = VectorClock({9, 9});  // clock[0] != index + 1
+  EXPECT_FALSE(sys.try_deliver(1, bad));
+  EXPECT_EQ(sys.quarantined(), 3u);
+  EXPECT_EQ(sys.executed(1), 0u);
+
+  // The clean message still goes through afterwards.
+  EventId receipt;
+  ASSERT_TRUE(sys.try_deliver(1, good, OnlineSystem::kNoTime, &receipt));
+  EXPECT_EQ(receipt, (EventId{1, 1}));
+  EXPECT_EQ(sys.quarantined(), 3u);
+}
+
+TEST(QuarantineTest, MonitorQuarantinesGarbageReportsAndKeepsServing) {
+  OnlineSystem sys(2);
+  OnlineMonitor mon(2);
+  mon.begin("A");
+  const WireMessage w = sys.send(0);
+
+  WireMessage bad = w;
+  bad.clock = VectorClock({3, 1, 4});  // wrong width
+  EXPECT_FALSE(mon.try_ingest("A", bad));
+  bad = w;
+  bad.source.process = 9;
+  EXPECT_FALSE(mon.try_observe(bad));
+  bad = w;
+  bad.clock = VectorClock({7, 0});  // violates clock[p] == index + 1
+  EXPECT_FALSE(mon.try_ingest("A", bad));
+  EXPECT_EQ(mon.quarantined(), 3u);
+
+  EXPECT_TRUE(mon.try_ingest("A", w));  // clean traffic unaffected
+  EXPECT_EQ(mon.quarantined(), 3u);
+  mon.complete("A");
+
+  // The quarantine count surfaces on the health report.
+  bool found = false;
+  for (const auto& row : mon.health_metrics()) {
+    if (row.metric == "syncon_monitor_quarantined_reports") {
+      found = true;
+      EXPECT_EQ(row.value, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QuarantineTest, DurableShellsNeverJournalQuarantinedInput) {
+  SimStorage storage;
+  DurableMonitor mon(2, storage);
+  mon.begin("A");
+  OnlineSystem sys(2);
+  const WireMessage w = sys.send(0);
+  WireMessage bad = w;
+  bad.clock = VectorClock({9, 9});
+  const std::uint64_t before = mon.store().records_appended();
+  EXPECT_FALSE(mon.try_ingest("A", bad));
+  EXPECT_EQ(mon.store().records_appended(), before);  // nothing journaled
+  EXPECT_TRUE(mon.try_ingest("A", w));
+  EXPECT_EQ(mon.store().records_appended(), before + 1);
+}
+
+// --- satellite: resync retry budget + exponential backoff ------------------
+
+TEST(ResyncBudgetTest, BacksOffExponentiallyAndGivesUpAfterBudget) {
+  OnlineSystem sys(2);
+  OnlineMonitor mon(2);
+  // One gap: process 0's event 1 was dropped; event 2's clock names it.
+  sys.send(0);
+  mon.observe(sys.send(0));
+  OnlineMonitor::ResyncPolicy policy;
+  policy.budget = 3;
+  policy.initial_backoff = 2;
+  policy.max_backoff = 16;
+  mon.set_resync_policy(policy);
+  ASSERT_GT(mon.missing_report_count(), 0u);
+
+  // Attempt 1 fires immediately; the next is gated by backoff 2, then 4.
+  EXPECT_TRUE(mon.next_resync(100).has_value());
+  EXPECT_FALSE(mon.next_resync(101).has_value());  // inside backoff window
+  EXPECT_TRUE(mon.next_resync(102).has_value());   // 100 + 2
+  EXPECT_FALSE(mon.next_resync(105).has_value());  // inside doubled window
+  EXPECT_TRUE(mon.next_resync(106).has_value());   // 102 + 4
+  EXPECT_EQ(mon.resync_attempts(), 3u);
+
+  // Budget spent with no progress: give up (once), stay given-up.
+  EXPECT_FALSE(mon.next_resync(1000).has_value());
+  EXPECT_TRUE(mon.resync_exhausted());
+  EXPECT_EQ(mon.resync_give_ups(), 1u);
+  EXPECT_FALSE(mon.next_resync(2000).has_value());
+  EXPECT_EQ(mon.resync_give_ups(), 1u);
+
+  // A given-up gap is still a gap: an action completed across it reports
+  // PendingGap honestly rather than pretending the verdict is final.
+  mon.begin("A");
+  mon.ingest("A", sys.send(1));
+  mon.begin("B");
+  mon.ingest("B", sys.send(1));
+  Firing fired;
+  bool any = false;
+  mon.watch({Relation::R3, ProxyKind::Begin, ProxyKind::End}, "A", "B",
+            [&](const std::string&, const std::string&, bool, Confidence c) {
+              fired.conf = c;
+              any = true;
+            });
+  mon.complete("A");
+  mon.complete("B");
+  ASSERT_TRUE(any);
+  EXPECT_EQ(fired.conf, Confidence::PendingGap);
+}
+
+TEST(ResyncBudgetTest, ProgressRefundsTheBudgetAndResetsBackoff) {
+  OnlineSystem sys(2);
+  OnlineMonitor mon(2);
+  // Two missing reports on process 0.
+  const WireMessage w3 = [&] {
+    sys.send(0);
+    sys.send(0);
+    return sys.send(0);
+  }();
+  mon.observe(w3);
+  OnlineMonitor::ResyncPolicy policy;
+  policy.budget = 2;
+  policy.initial_backoff = 4;
+  policy.max_backoff = 64;
+  mon.set_resync_policy(policy);
+  ASSERT_EQ(mon.missing_report_count(), 2u);
+
+  EXPECT_TRUE(mon.next_resync(10).has_value());
+  EXPECT_TRUE(mon.next_resync(14).has_value());
+  EXPECT_FALSE(mon.next_resync(200).has_value());  // budget spent
+  EXPECT_TRUE(mon.resync_exhausted());
+
+  // One missing report arrives: progress refunds the budget and resets the
+  // backoff, so the next attempt fires immediately and clears exhaustion.
+  for (const WireMessage& w : sys.serve(mon.resync_request(1))) {
+    mon.observe(w);
+  }
+  ASSERT_EQ(mon.missing_report_count(), 1u);
+  EXPECT_TRUE(mon.next_resync(201).has_value());
+  EXPECT_FALSE(mon.resync_exhausted());
+
+  // Closing the gap entirely resets the episode state.
+  for (const WireMessage& w : sys.serve(mon.resync_request())) {
+    mon.observe(w);
+  }
+  EXPECT_EQ(mon.missing_report_count(), 0u);
+  EXPECT_FALSE(mon.next_resync(300).has_value());
+  EXPECT_FALSE(mon.resync_exhausted());
+}
+
+TEST(ResyncBudgetTest, DroppedFirstReplyIsRetriedAfterBackoffToDefinite) {
+  OnlineSystem sys(2);
+  OnlineMonitor mon(2);
+  mon.begin("A");
+  sys.send(0);  // dropped by the link
+  const WireMessage w2 = sys.send(0);
+  mon.ingest("A", w2);
+  ASSERT_EQ(mon.missing_report_count(), 1u);
+
+  std::uint64_t now = 50;
+  int served = 0;
+  while (mon.missing_report_count() > 0) {
+    if (const auto request = mon.next_resync(now)) {
+      ++served;
+      if (served > 1) {  // the FIRST resync reply is dropped too
+        for (const WireMessage& w : sys.serve(*request)) mon.ingest("A", w);
+      }
+    }
+    ++now;
+    ASSERT_LT(now, 1000u) << "retry never converged";
+  }
+  EXPECT_GE(mon.resync_attempts(), 2u);
+  EXPECT_EQ(mon.resync_give_ups(), 0u);
+  EXPECT_EQ(mon.missing_report_count(), 0u);
+
+  Firing fired;
+  bool any = false;
+  mon.watch({Relation::R3, ProxyKind::Begin, ProxyKind::End}, "A", "A2",
+            [&](const std::string&, const std::string&, bool holds,
+                Confidence conf) {
+              fired = {holds, conf};
+              any = true;
+            });
+  mon.begin("A2");
+  mon.ingest("A2", sys.send(1));
+  mon.complete("A2");
+  mon.complete("A");
+  EXPECT_TRUE(any);
+  EXPECT_EQ(fired.conf, Confidence::Definite);
+}
+
+}  // namespace
+}  // namespace syncon

@@ -17,6 +17,8 @@
 #include "online/online_monitor.hpp"
 #include "online/online_system.hpp"
 #include "sim/soak.hpp"
+#include "store/durable.hpp"
+#include "store/storage.hpp"
 #include "support/contracts.hpp"
 
 namespace syncon {
@@ -391,6 +393,86 @@ TEST(RetentionSoakTest, CompactedFaultyRunKeepsCleanVerdictsAndPlateaus) {
   // and converged via surface reports + adopt_checkpoint.
   EXPECT_GT(compacted.surface_replies, 0u);
   EXPECT_TRUE(compacted.late_joiner_converged);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction meets durability: a crash between compact() and the snapshot
+// becoming durable must recover from the PREVIOUS snapshot plus a longer
+// WAL tail — same final state, just more replay (DESIGN.md §3.12).
+// ---------------------------------------------------------------------------
+
+TEST(RetentionTest, CrashBeforeSnapshotDurableFallsBackToPriorSnapshot) {
+  SimStorage storage;  // clean crash model: the crash point is the subject
+  DurabilityPolicy policy;
+  policy.sync_every = 1;
+  policy.segment_records = 64;
+  policy.snapshot_every = 1;
+  policy.full_interval = 4;
+  auto sys = std::make_unique<DurableSystem>(2, storage, policy);
+  OnlineSystem oracle(2);
+
+  const auto drive = [&](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      sys->deliver(1, sys->send(0));
+      sys->deliver(0, sys->send(1));
+      oracle.deliver(1, oracle.send(0));
+      oracle.deliver(0, oracle.send(1));
+    }
+  };
+  const auto cut_below_surface = [&] {
+    // Counts-form cut covering everything but each process's last event.
+    VectorClock w(2, 0);
+    for (ProcessId p = 0; p < 2; ++p) {
+      w.set(p, static_cast<ClockValue>(sys->system().executed(p)));
+    }
+    return w;
+  };
+
+  drive(4);
+  sys->compact(cut_below_surface());  // snapshot #1, fully durable
+  const VectorClock first_cut = sys->store().durable_cut();
+  EXPECT_GT(sys->system().reclaimed_events(), 0u);
+
+  drive(4);
+  // The second compaction's snapshot never becomes durable: op 1 is the
+  // log-before-checkpoint WAL sync, op 2 the snapshot-file append — crash.
+  const VectorClock second_cut = cut_below_surface();
+  ASSERT_NE(second_cut, first_cut);
+  storage.crash_after_ops(2);
+  EXPECT_THROW(sys->compact(second_cut), StorageCrash);
+
+  auto recovered = std::make_unique<DurableSystem>(2, storage, policy);
+  ASSERT_TRUE(recovered->recovery().recovered);
+  const auto& info = recovered->store().recovery();
+  ASSERT_TRUE(info.snapshot.has_value());
+  // Fell back to the prior snapshot, paid for with a longer replayed tail.
+  EXPECT_EQ(info.snapshot->checkpoint.cut, first_cut);
+  EXPECT_GT(recovered->recovery().events_replayed, 0u);
+
+  // No divergence: every live clock matches the never-compacted oracle,
+  // and the recovered system keeps running and compacting.
+  const auto expect_identical = [&] {
+    for (ProcessId p = 0; p < 2; ++p) {
+      ASSERT_EQ(recovered->system().executed(p), oracle.executed(p));
+      EXPECT_EQ(recovered->system().current_clock(p), oracle.current_clock(p));
+      for (EventIndex j = recovered->system().reclaimed_before(p) + 1;
+           j <= recovered->system().executed(p); ++j) {
+        EXPECT_EQ(recovered->system().clock_of(EventId{p, j}),
+                  oracle.clock_of(EventId{p, j}));
+      }
+    }
+  };
+  expect_identical();
+
+  for (int i = 0; i < 2; ++i) {
+    recovered->deliver(1, recovered->send(0));
+    recovered->deliver(0, recovered->send(1));
+    oracle.deliver(1, oracle.send(0));
+    oracle.deliver(0, oracle.send(1));
+  }
+  recovered->compact(second_cut);  // the retried compaction now sticks
+  EXPECT_EQ(recovered->store().durable_cut(), second_cut);
+  expect_identical();
 }
 
 }  // namespace
