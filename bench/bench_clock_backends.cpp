@@ -29,6 +29,7 @@
 
 #include "bench_common.hpp"
 #include "model/clock.hpp"
+#include "obs/metrics.hpp"
 #include "model/compressed_clock.hpp"
 #include "model/tree_clock.hpp"
 #include "model/vector_clock.hpp"
@@ -179,10 +180,23 @@ void BM_WireBytesPerMessage(benchmark::State& state) {
   for (const WireMessage& m : stream) {
     dense_bytes += sizeof(EventId) + m.clock.size() * sizeof(ClockValue);
   }
+  const double ratio_pct =
+      100.0 * static_cast<double>(total_bytes) /
+      static_cast<double>(dense_bytes == 0 ? 1 : dense_bytes);
   state.counters["bytes_per_msg"] = benchmark::Counter(
       static_cast<double>(total_bytes) / static_cast<double>(stream.size()));
   state.counters["dense_bytes_per_msg"] = benchmark::Counter(
       static_cast<double>(dense_bytes) / static_cast<double>(stream.size()));
+  state.counters["delta_vs_dense_pct"] = benchmark::Counter(ratio_pct);
+  // Publish the per-|P| compression ratio into the telemetry snapshot
+  // (SYNCON_BENCH_JSON) alongside the codec's own frame/byte counters,
+  // which the timed loop above populated via LinkEncoder::encode.
+  if (obs::enabled()) {
+    obs::MetricRegistry::global()
+        .gauge("syncon_wire_delta_vs_dense_ratio_pct_p" +
+               std::to_string(procs))
+        .set(ratio_pct);
+  }
 }
 
 void print_backend_table() {
@@ -243,8 +257,10 @@ BENCHMARK(BM_WireBytesPerMessage)->Arg(64)->Arg(256)->Arg(1024);
 
 int main(int argc, char** argv) {
   print_backend_table();
+  syncon::bench::start_telemetry();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  syncon::bench::finish_telemetry("bench_clock_backends");
   benchmark::Shutdown();
   return 0;
 }

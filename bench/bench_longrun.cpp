@@ -14,11 +14,20 @@
 // SYNCON_SOAK_PROCS, SYNCON_SOAK_SEED. scripts/ci_soak_smoke.sh runs a
 // short configuration and asserts on the syncon_longrun_* gauges this
 // binary publishes into the telemetry JSON (SYNCON_BENCH_JSON).
+//
+// Observability hooks (DESIGN.md §3.13): SYNCON_METRICS_PORT serves live
+// /metrics + /flight scrapes on 127.0.0.1 during the plateau phase;
+// SYNCON_CAUSAL_TRACE captures the identity phase's clean run with full
+// observability and writes its causal span trace as OTLP-style JSON.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "bench_common.hpp"
+#include "model/timestamps.hpp"
+#include "obs/causal_trace.hpp"
+#include "obs/serve.hpp"
 #include "sim/soak.hpp"
 
 namespace {
@@ -75,7 +84,16 @@ int run() {
   auto& registry = obs::MetricRegistry::global();
 
   // --- phase 1: plateau ---
-  const SoakConfig cfg = plateau_config();
+  SoakConfig cfg = plateau_config();
+  obs::ScrapeServer server(obs::ScrapeServer::Options{
+      static_cast<std::uint16_t>(env_u64("SYNCON_METRICS_PORT", 0)),
+      "bench_longrun"});
+  if (std::getenv("SYNCON_METRICS_PORT") != nullptr && server.ok()) {
+    std::printf("serving scrapes on http://127.0.0.1:%u\n", server.port());
+    cfg.on_cycle = [&server](std::uint64_t cycle) {
+      if (cycle % 64 == 0) server.serve_pending();
+    };
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const SoakResult soak = run_soak(cfg);
   const double secs =
@@ -134,9 +152,27 @@ int run() {
   SoakConfig clean = faulty;
   clean.report_link = LinkFaultConfig{};
   clean.compact_every = 0;  // uncompacted reference
+  const char* causal_path = std::getenv("SYNCON_CAUSAL_TRACE");
+  clean.capture_observability = causal_path != nullptr;
 
   const SoakResult faulty_run = run_soak(faulty);
   const SoakResult clean_run = run_soak(clean);
+
+  if (causal_path != nullptr && clean_run.execution) {
+    const Timestamps stamps(*clean_run.execution);
+    obs::CausalTrace trace =
+        obs::build_causal_trace(*clean_run.execution, stamps);
+    obs::append_monitor_spans(trace, clean_run.waterfalls);
+    obs::append_flight_spans(trace, clean_run.flight);
+    std::string why;
+    const bool consistent = obs::verify_causal_consistency(
+        trace, *clean_run.execution, stamps, &why);
+    std::ofstream out(causal_path);
+    obs::write_causal_otlp(out, trace);
+    std::printf("causal trace (%zu spans, consistency %s) -> %s\n",
+                trace.spans.size(), consistent ? "verified" : why.c_str(),
+                causal_path);
+  }
   const bool identical =
       !clean_run.definite_verdicts.empty() &&
       faulty_run.definite_verdicts == clean_run.definite_verdicts;

@@ -16,12 +16,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/flight.hpp"
 #include "online/online_monitor.hpp"
 #include "online/online_system.hpp"
 #include "relations/relation.hpp"
@@ -360,7 +362,18 @@ int run() {
 
 int main() {
   start_telemetry();
+  // SYNCON_FLIGHT_JSON (DESIGN.md §3.13): record the sweep's WAL syncs,
+  // rotations, snapshots, and recoveries in the flight ring and dump it.
+  const char* flight_path = std::getenv("SYNCON_FLIGHT_JSON");
+  if (flight_path != nullptr) syncon::obs::set_flight_enabled(true);
   const int rc = run();
+  if (flight_path != nullptr) {
+    syncon::obs::set_flight_enabled(false);
+    std::ofstream out(flight_path);
+    syncon::obs::write_flight_json(out,
+                                   syncon::obs::FlightRecorder::global().dump());
+    std::printf("flight dump -> %s\n", flight_path);
+  }
   finish_telemetry("bench_recovery");
   return rc;
 }

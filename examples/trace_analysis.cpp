@@ -20,7 +20,9 @@
 #include "cuts/watermark.hpp"
 #include "monitor/monitor.hpp"
 #include "monitor/report.hpp"
+#include "obs/causal_trace.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
@@ -133,11 +135,24 @@ int main(int argc, char** argv) {
                  "trace-event JSON (open in Perfetto / chrome://tracing)");
   cli.add_option("metrics", "",
                  "enable telemetry; write Prometheus text metrics here");
+  cli.add_option("causal-trace", "",
+                 "map the execution into a causal span trace (process / "
+                 "event / message / interval spans with happens-before "
+                 "follows-from links), property-check it against the clock "
+                 "order, and write OTLP-style JSON here");
+  cli.add_option("causal-chrome", "",
+                 "also write the causal span trace as Chrome trace-event "
+                 "JSON (happens-before rendered as flow arrows)");
+  cli.add_option("flight", "",
+                 "enable the flight recorder for the run and write its "
+                 "text dump here (WAL / compaction / recovery records)");
   if (!cli.parse(argc, argv)) return 1;
 
   const bool telemetry =
       !cli.get("chrome-trace").empty() || !cli.get("metrics").empty();
   if (telemetry) obs::set_enabled(true);
+  const bool flight_dump = !cli.get("flight").empty();
+  if (flight_dump) obs::set_flight_enabled(true);
 
   // --- obtain the execution -------------------------------------------------
   std::shared_ptr<const Execution> exec;
@@ -293,6 +308,34 @@ int main(int argc, char** argv) {
   monitor.use_thread_pool(&ThreadPool::shared());
   for (const NonatomicEvent& iv : intervals) monitor.add_interval(iv);
 
+  // --- causal trace export (DESIGN.md §3.13) --------------------------------
+  if (!cli.get("causal-trace").empty() || !cli.get("causal-chrome").empty()) {
+    obs::CausalTrace trace =
+        obs::build_causal_trace(*exec, monitor.timestamps());
+    obs::append_interval_spans(trace, *exec, intervals);
+    std::string why;
+    const bool consistent = obs::verify_causal_consistency(
+        trace, *exec, monitor.timestamps(), &why);
+    std::printf("\ncausal trace: %zu spans; happens-before consistency: %s\n",
+                trace.spans.size(), consistent ? "verified" : "FAILED");
+    if (!consistent) {
+      std::fprintf(stderr, "causal trace inconsistency: %s\n", why.c_str());
+      return 1;
+    }
+    if (!cli.get("causal-trace").empty()) {
+      std::ofstream out(cli.get("causal-trace"));
+      obs::write_causal_otlp(out, trace);
+      std::printf("wrote OTLP-style causal trace to %s\n",
+                  cli.get("causal-trace").c_str());
+    }
+    if (!cli.get("causal-chrome").empty()) {
+      std::ofstream out(cli.get("causal-chrome"));
+      obs::write_causal_chrome_trace(out, trace);
+      std::printf("wrote Chrome causal trace to %s (open in Perfetto)\n",
+                  cli.get("causal-chrome").c_str());
+    }
+  }
+
   // --- queries ---------------------------------------------------------------
   if (!cli.get("x").empty() && !cli.get("y").empty()) {
     const std::string cond_text = cli.get("condition");
@@ -383,6 +426,16 @@ int main(int argc, char** argv) {
       std::printf("wrote Prometheus metrics to %s\n",
                   cli.get("metrics").c_str());
     }
+  }
+
+  if (flight_dump) {
+    obs::set_flight_enabled(false);
+    std::ofstream out(cli.get("flight"));
+    const std::vector<obs::FlightRecord> records =
+        obs::FlightRecorder::global().dump();
+    obs::write_flight_text(out, records);
+    std::printf("wrote flight-recorder dump (%zu records) to %s\n",
+                records.size(), cli.get("flight").c_str());
   }
   return 0;
 }

@@ -138,6 +138,13 @@ void write_online_report(std::ostream& os, const OnlineMonitor& monitor) {
             "complete)\n";
     }
   }
+
+  if (!monitor.waterfalls().empty()) {
+    os << "\n=== detection-latency waterfalls ===\n";
+    const std::vector<obs::Waterfall> falls(monitor.waterfalls().begin(),
+                                            monitor.waterfalls().end());
+    obs::write_waterfalls(os, falls);
+  }
 }
 
 std::string online_report_to_string(const OnlineMonitor& monitor) {

@@ -25,28 +25,6 @@ std::string format_double(double v) {
   return buf;
 }
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 /// Splits "base{labels}" into its two parts ("" labels when absent).
 std::pair<std::string_view, std::string_view> split_labels(
     std::string_view name) {
@@ -68,6 +46,34 @@ const char* type_name(MetricsSnapshot::Kind kind) {
 }
 
 }  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: {
+        // Control bytes are invalid in JSON strings; bytes >= 0x7f are
+        // escaped too (as the raw byte value) so a run label carrying
+        // non-UTF-8 garbage still yields valid ASCII JSON.
+        const unsigned byte = static_cast<unsigned char>(c);
+        if (byte < 0x20 || byte >= 0x7f) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+          out += buf;
+        } else {
+          out += c;
+        }
+      }
+    }
+  }
+  return out;
+}
 
 std::string sanitize_metric_name(std::string_view name) {
   const auto [base, labels] = split_labels(name);

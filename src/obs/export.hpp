@@ -20,8 +20,17 @@
 namespace syncon::obs {
 
 /// Maps a metric name onto the Prometheus charset: [a-zA-Z0-9_:], with any
-/// '{...}' label suffix kept verbatim ("/" and "." become "_").
+/// '{...}' label suffix kept verbatim ("/" and "." become "_"). Edge cases
+/// normalize instead of producing invalid exposition: an empty or label-only
+/// name gets a "_" base, a digit-leading base is prefixed with "_", an
+/// unterminated label suffix is closed, and a bare "{}" is dropped.
 std::string sanitize_metric_name(std::string_view name);
+
+/// JSON string escaping used by every obs exporter. Escapes quotes,
+/// backslashes, all control bytes, and every non-ASCII byte (as \u00XX of
+/// the raw byte value), so the output is always valid ASCII JSON no matter
+/// what bytes a run label or label value carries.
+std::string json_escape(std::string_view s);
 
 /// Prometheus text exposition format, one # TYPE line per metric family.
 /// Histograms render as cumulative <name>_bucket{le=...} + _sum + _count.

@@ -116,12 +116,25 @@ double HistogramSnapshot::quantile(double q) const {
     const double before = static_cast<double>(cumulative);
     cumulative += counts[b];
     if (static_cast<double>(cumulative) >= rank) {
-      const double lower = b == 0 ? min : std::max(min, bounds[b - 1]);
-      const double upper =
-          b == bounds.size() ? max : std::min(max, bounds[b]);
+      double lower = b == 0 ? min : std::max(min, bounds[b - 1]);
+      double upper = b == bounds.size() ? max : std::min(max, bounds[b]);
+      if (b == bounds.size() && max < lower) {
+        // Overflow bucket of a snapshot whose min/max were never tracked
+        // (hand-assembled or merged from bucket counts alone): anchor the
+        // open-ended bucket at its lower bound instead of interpolating
+        // toward a stale max below it.
+        upper = lower;
+      }
+      // Degenerate snapshots (again: hand-assembled) can present
+      // upper < lower; interpolation must never run backwards.
+      upper = std::max(upper, lower);
       const double frac =
           (rank - before) / static_cast<double>(counts[b]);
-      return std::clamp(lower + frac * (upper - lower), min, max);
+      const double value = lower + frac * (upper - lower);
+      // Clamp to the observed [min, max] only when that range is coherent
+      // with the bucket the rank landed in; a stale range must not squash
+      // the interpolated value back below the bucket.
+      return min <= max && max >= lower ? std::clamp(value, min, max) : value;
     }
   }
   return max;

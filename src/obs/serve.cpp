@@ -1,0 +1,146 @@
+#include "obs/serve.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string_view>
+
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+
+namespace syncon::obs {
+
+namespace {
+
+struct Response {
+  const char* status = "200 OK";
+  const char* content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+Response route(std::string_view path, const std::string& run_label) {
+  if (path == "/metrics") {
+    return {"200 OK", "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_to_string(MetricRegistry::global().snapshot())};
+  }
+  if (path == "/telemetry.json") {
+    return {"200 OK", "application/json",
+            json_to_string(MetricRegistry::global().snapshot(), run_label)};
+  }
+  if (path == "/flight") {
+    std::ostringstream oss;
+    write_flight_text(oss, FlightRecorder::global().dump());
+    return {"200 OK", "text/plain; charset=utf-8", oss.str()};
+  }
+  if (path == "/flight.json") {
+    std::ostringstream oss;
+    write_flight_json(oss, FlightRecorder::global().dump());
+    return {"200 OK", "application/json", oss.str()};
+  }
+  if (path == "/healthz") {
+    return {"200 OK", "text/plain; charset=utf-8", "ok\n"};
+  }
+  return {"404 Not Found", "text/plain; charset=utf-8",
+          "unknown path; try /metrics /telemetry.json /flight /flight.json "
+          "/healthz\n"};
+}
+
+void write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n <= 0) return;  // peer went away; nothing to salvage
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+ScrapeServer::ScrapeServer(Options options) : options_(std::move(options)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return;
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, options_.listen_backlog) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+}
+
+ScrapeServer::~ScrapeServer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool ScrapeServer::serve_once(int timeout_ms) {
+  if (fd_ < 0) return false;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return false;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return false;
+  handle_connection(client);
+  ::close(client);
+  ++requests_served_;
+  return true;
+}
+
+std::size_t ScrapeServer::serve_pending() {
+  std::size_t served = 0;
+  while (serve_once(0)) ++served;
+  return served;
+}
+
+void ScrapeServer::handle_connection(int client) {
+  // Read until the end of the request head (or a sanity cap); only the
+  // request line matters — no header the routes care about.
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::read(client, buf, sizeof(buf));
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  std::string_view line(request);
+  line = line.substr(0, line.find("\r\n"));
+
+  Response response;
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.substr(0, sp1) != "GET") {
+    response = {"400 Bad Request", "text/plain; charset=utf-8",
+                "only GET is served here\n"};
+  } else {
+    std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    path = path.substr(0, path.find('?'));  // queries are ignored
+    response = route(path, options_.run_label);
+  }
+
+  std::ostringstream head;
+  head << "HTTP/1.0 " << response.status << "\r\n"
+       << "Content-Type: " << response.content_type << "\r\n"
+       << "Content-Length: " << response.body.size() << "\r\n"
+       << "Connection: close\r\n\r\n";
+  write_all(client, head.str());
+  write_all(client, response.body);
+}
+
+}  // namespace syncon::obs

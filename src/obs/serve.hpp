@@ -1,0 +1,67 @@
+// A deliberately tiny scrape endpoint (DESIGN.md §3.13): one blocking,
+// single-threaded HTTP/1.0 responder bound to 127.0.0.1, serving the
+// telemetry registry and the flight recorder of *this* process. It exists
+// so a long soak (bench_longrun, syncon_metricsd) can be watched live with
+// `curl` or a local Prometheus without pulling in a server dependency.
+//
+// Routes:
+//   GET /metrics         Prometheus text exposition of the global registry
+//   GET /telemetry.json  syncon-telemetry-v1 JSON snapshot
+//   GET /flight          flight-recorder dump, text table
+//   GET /flight.json     flight-recorder dump, syncon-flight-v1 JSON
+//   GET /healthz         "ok"
+//
+// Concurrency model: none, on purpose. The owner calls serve_pending()
+// from its main loop (e.g. once per soak cycle); each call drains every
+// queued connection, handling one request per connection, then returns.
+// The kernel listen backlog buffers scrapers between calls.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace syncon::obs {
+
+class ScrapeServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  // 0 → kernel-assigned ephemeral port
+    std::string run_label = "syncon";
+    int listen_backlog = 16;
+  };
+
+  ScrapeServer() : ScrapeServer(Options{}) {}
+  explicit ScrapeServer(Options options);
+  ~ScrapeServer();
+
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  /// False when binding the socket failed (port taken, no loopback, …);
+  /// the server is then inert and serve_* calls return immediately.
+  bool ok() const { return fd_ >= 0; }
+
+  /// The bound port (resolves the ephemeral choice when options.port == 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Waits up to timeout_ms (-1 = forever, 0 = poll) for one connection
+  /// and serves it. Returns true iff a request was handled.
+  bool serve_once(int timeout_ms = -1);
+
+  /// Serves every connection already queued on the listen socket without
+  /// blocking; returns how many requests were handled.
+  std::size_t serve_pending();
+
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void handle_connection(int client);
+
+  Options options_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace syncon::obs

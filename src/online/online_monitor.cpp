@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "support/contracts.hpp"
@@ -31,6 +32,7 @@ void OnlineMonitor::begin(const std::string& label) {
   SYNCON_REQUIRE(!open_.count(label) && !completed_.count(label),
                  "duplicate action label '" + label + "'");
   open_.emplace(label, IntervalTracker(label));
+  if (latency_tracking_) timing_[label].begin_us = obs::now_us();
 }
 
 void OnlineMonitor::record(const std::string& label, EventId e) {
@@ -40,6 +42,7 @@ void OnlineMonitor::record(const std::string& label, EventId e) {
   const auto it = open_.find(label);
   SYNCON_REQUIRE(it != open_.end(), "no open action labeled '" + label + "'");
   it->second.add(*system_, e);
+  note_action_report(label);
 }
 
 const IntervalSummary& OnlineMonitor::complete(const std::string& label) {
@@ -56,6 +59,7 @@ const IntervalSummary& OnlineMonitor::complete(const std::string& label) {
   // Keep the tracker: a late report recovered after a loss can still repair
   // this summary (degraded mode). forget() releases it.
   sealed_.insert(open_.extract(it));
+  if (latency_tracking_) timing_[label].completed_us = obs::now_us();
   fire_ready_watches();
   return pos->second;
 }
@@ -84,6 +88,7 @@ void OnlineMonitor::forget(const std::string& label) {
                  "no completed action labeled '" + label + "'");
   completed_.erase(label);
   sealed_.erase(label);
+  timing_.erase(label);
   std::erase_if(relation_watches_, [&](const RelationWatch& w) {
     return w.x == label || w.y == label;
   });
@@ -128,6 +133,7 @@ bool OnlineMonitor::ingest(const std::string& label,
     return false;
   }
   gaps_.claim(report.clock);
+  note_action_report(label);
   if (open_it != open_.end()) {
     open_it->second.add(report.source, report.clock, when);
   } else {
@@ -171,13 +177,16 @@ bool OnlineMonitor::valid_report(const WireMessage& report) const {
          report.clock[report.source.process] == report.source.index + 1;
 }
 
-void OnlineMonitor::quarantine(const WireMessage&) {
+void OnlineMonitor::quarantine(const WireMessage& report) {
   ++quarantined_;
   if (obs::enabled()) {
     static obs::Counter& c = obs::MetricRegistry::global().counter(
         "syncon_monitor_quarantined_reports_total");
     c.add();
   }
+  obs::flight(obs::FlightKind::kQuarantine, obs::FlightRecord::kNoProcess,
+              obs::pack_event(report.source));
+  obs::flight_auto_dump("quarantine");
 }
 
 void OnlineMonitor::set_resync_policy(const ResyncPolicy& policy) {
@@ -232,12 +241,16 @@ std::optional<RetransmitRequest> OnlineMonitor::next_resync(
         "syncon_monitor_resync_attempts_total");
     c.add();
   }
-  return gaps_.resync_request(limit);
+  RetransmitRequest request = gaps_.resync_request(limit);
+  obs::flight(obs::FlightKind::kResyncRequest, obs::FlightRecord::kNoProcess,
+              request.events.size(), resync_episode_attempts_);
+  return request;
 }
 
 void OnlineMonitor::checkpoint(const VectorClock& snapshot) {
   degraded_ = true;
   gaps_.claim(snapshot);
+  obs::flight(obs::FlightKind::kCheckpoint, obs::FlightRecord::kNoProcess);
   note_gap_state();
 }
 
@@ -271,6 +284,8 @@ void OnlineMonitor::adopt_checkpoint(const RetentionCheckpoint& checkpoint) {
     gaps_.claim(checkpoint.surface_clocks[p]);
     if (checkpoint.cut[p] > 0) gaps_.forgive(p, checkpoint.cut[p] - 1);
   }
+  obs::flight(obs::FlightKind::kCheckpoint, obs::FlightRecord::kNoProcess,
+              checkpoint.sequence);
   note_gap_state();
   if (!gaps_.has_gap()) rearm_after_recovery(nullptr);
   fire_ready_watches();
@@ -281,8 +296,12 @@ void OnlineMonitor::note_gap_state() {
   if (open_now && !gap_open_) {
     gap_open_ = true;
     gap_opened_at_report_ = reports_seen_;
+    gap_opened_us_ = obs::now_us();
+    obs::flight(obs::FlightKind::kGapOpen, obs::FlightRecord::kNoProcess,
+                gaps_.missing_count());
   } else if (!open_now && gap_open_) {
     gap_open_ = false;
+    const std::uint64_t open_us = obs::now_us() - gap_opened_us_;
     if (obs::enabled()) {
       // Duration measured in reports observed while the gap stayed open —
       // the monitor's own deterministic clock, unlike wall time.
@@ -293,12 +312,19 @@ void OnlineMonitor::note_gap_state() {
       open_reports.record(
           static_cast<double>(reports_seen_ - gap_opened_at_report_));
     }
+    // The wall-clock dwell behind PendingGap verdicts — the resync leg of
+    // the detection-latency taxonomy (outside the per-verdict waterfall,
+    // since one gap episode can taint many verdicts).
+    obs::record_stage_latency("resync_wait", open_us);
+    obs::flight(obs::FlightKind::kGapClose, obs::FlightRecord::kNoProcess,
+                reports_seen_ - gap_opened_at_report_, open_us);
   }
 }
 
 void OnlineMonitor::mark_crashed(ProcessId p) {
   SYNCON_REQUIRE(p < process_count_, "process id out of range");
   crashed_[p] = true;
+  obs::flight(obs::FlightKind::kCrash, p);
 }
 
 bool OnlineMonitor::is_crashed(ProcessId p) const {
@@ -399,6 +425,72 @@ void OnlineMonitor::publish_metrics() const {
   }
 }
 
+void OnlineMonitor::note_action_report(const std::string& label) {
+  if (!latency_tracking_) return;
+  ActionTiming& t = timing_[label];
+  const std::uint64_t now = obs::now_us();
+  if (t.first_report_us == 0) t.first_report_us = now;
+  t.last_report_us = now;
+}
+
+void OnlineMonitor::emit_waterfall(const std::string& x, const std::string& y,
+                                   bool holds, Confidence confidence,
+                                   int fires, std::uint64_t eval0_us,
+                                   std::uint64_t eval1_us,
+                                   std::uint64_t fired_us) {
+  const auto timing_of = [&](const std::string& label) {
+    const auto it = timing_.find(label);
+    return it == timing_.end() ? ActionTiming{} : it->second;
+  };
+  const ActionTiming tx = timing_of(x);
+  const ActionTiming ty = timing_of(y);
+  // Earliest stamp either action carries; a zero stamp means "tracking was
+  // not on yet" and contributes nothing.
+  const auto min_nonzero = [](std::uint64_t a, std::uint64_t b) {
+    if (a == 0) return b;
+    if (b == 0) return a;
+    return std::min(a, b);
+  };
+  std::uint64_t start = min_nonzero(min_nonzero(tx.begin_us, ty.begin_us),
+                                    min_nonzero(tx.first_report_us,
+                                                ty.first_report_us));
+  if (start == 0 || start > eval0_us) start = eval0_us;
+
+  obs::Waterfall w;
+  w.x = x;
+  w.y = y;
+  w.holds = holds;
+  w.definite = confidence == Confidence::Definite;
+  w.fire_index = fires;
+  w.start_us = start;
+  // Contiguous, clamped boundaries: each stage begins where the previous
+  // ended, so the waterfall is monotone by construction and its durations
+  // sum exactly to the end-to-end latency.
+  const std::uint64_t bounds[] = {
+      start,
+      std::max(tx.last_report_us, ty.last_report_us),   // observe ends
+      std::max(tx.completed_us, ty.completed_us),       // track ends
+      eval0_us,                                         // gap_wait ends
+      eval1_us,                                         // evaluate ends
+      fired_us,                                         // fire ends
+  };
+  std::uint64_t cursor = start;
+  const auto stages = obs::detect_stages();
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const std::uint64_t end = std::max(cursor, bounds[s + 1]);
+    w.stages.push_back(
+        obs::StageSpan{std::string(stages[s]), cursor, end - cursor});
+    obs::record_stage_latency(stages[s], end - cursor);
+    cursor = end;
+  }
+  obs::flight(obs::FlightKind::kVerdict, obs::FlightRecord::kNoProcess,
+              static_cast<std::uint64_t>(holds) |
+                  (static_cast<std::uint64_t>(w.definite) << 1),
+              w.total_us());
+  waterfalls_.push_back(std::move(w));
+  while (waterfalls_.size() > kMaxWaterfalls) waterfalls_.pop_front();
+}
+
 void OnlineMonitor::rearm_after_recovery(const std::string* label) {
   const bool all_clear = !gaps_.has_gap();
   const auto rearm = [&](auto& watch) {
@@ -433,14 +525,20 @@ void OnlineMonitor::fire_ready_watches() {
       ++relation_watches_[i].fires;
       (conf == Confidence::Definite ? definite_fires_ : pending_fires_) += 1;
       fired_any = true;
+      const int fires = relation_watches_[i].fires;
+      const std::uint64_t eval0 = latency_tracking_ ? obs::now_us() : 0;
       const bool holds =
           evaluate_online(relation_watches_[i].relation, *sx, *sy, counter_);
+      const std::uint64_t eval1 = latency_tracking_ ? obs::now_us() : 0;
       // Copy what the callback needs: re-entrant registrations may grow the
       // vector and invalidate references.
       const RelationCallback callback = relation_watches_[i].callback;
       const std::string x = relation_watches_[i].x;
       const std::string y = relation_watches_[i].y;
       callback(x, y, holds, conf);
+      if (latency_tracking_) {
+        emit_waterfall(x, y, holds, conf, fires, eval0, eval1, obs::now_us());
+      }
     }
     for (std::size_t i = 0; i < deadline_watches_.size(); ++i) {
       if (!deadline_watches_[i].armed) continue;
@@ -453,19 +551,30 @@ void OnlineMonitor::fire_ready_watches() {
       ++deadline_watches_[i].fires;
       (conf == Confidence::Definite ? definite_fires_ : pending_fires_) += 1;
       fired_any = true;
+      const int fires = deadline_watches_[i].fires;
+      const std::uint64_t eval0 = latency_tracking_ ? obs::now_us() : 0;
       const TimingConstraint constraint = deadline_watches_[i].constraint;
       const DeadlineCallback callback = deadline_watches_[i].callback;
       const std::string x = deadline_watches_[i].x;
       const std::string y = deadline_watches_[i].y;
       if (!sx->fully_timed || !sy->fully_timed) {
+        const std::uint64_t eval1 = latency_tracking_ ? obs::now_us() : 0;
         callback(x, y, 0, false, conf);
+        if (latency_tracking_) {
+          emit_waterfall(x, y, false, conf, fires, eval0, eval1,
+                         obs::now_us());
+        }
         continue;
       }
       const Duration measured = anchor_time(*sy, constraint.anchor_y) -
                                 anchor_time(*sx, constraint.anchor_x);
       const bool ok =
           measured >= constraint.min_gap && measured <= constraint.max_gap;
+      const std::uint64_t eval1 = latency_tracking_ ? obs::now_us() : 0;
       callback(x, y, measured, ok, conf);
+      if (latency_tracking_) {
+        emit_waterfall(x, y, ok, conf, fires, eval0, eval1, obs::now_us());
+      }
     }
   }
   firing_ = false;

@@ -18,6 +18,7 @@
 // never complete because their process died.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <limits>
 #include <map>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "cuts/ll_relation.hpp"
+#include "obs/latency.hpp"
 #include "online/gap_tracker.hpp"
 #include "online/interval_tracker.hpp"
 #include "online/online_evaluator.hpp"
@@ -249,6 +251,23 @@ class OnlineMonitor {
   std::uint64_t definite_fires() const { return definite_fires_; }
   std::uint64_t pending_fires() const { return pending_fires_; }
 
+  // --- detection-latency attribution (DESIGN.md §3.13) ----------------------
+
+  /// With tracking on, every action stamps wall-clock stage times
+  /// (begin → reports → complete) and every watch firing produces an
+  /// obs::Waterfall attributing its end-to-end detection latency to the
+  /// observe / track / gap_wait / evaluate / fire stages (each also fed
+  /// into the syncon_detect_latency_{stage}_us histograms). Off by default:
+  /// the fast path then never reads the clock for attribution.
+  void set_latency_tracking(bool on) { latency_tracking_ = on; }
+  bool latency_tracking() const { return latency_tracking_; }
+
+  /// Waterfalls of the most recent firings, oldest first. Bounded: the
+  /// newest kMaxWaterfalls are retained (a soak does not grow this).
+  const std::deque<obs::Waterfall>& waterfalls() const { return waterfalls_; }
+
+  static constexpr std::size_t kMaxWaterfalls = 256;
+
   // --- health / telemetry ---------------------------------------------------
 
   /// One row of the monitor's health report: the registry metric name, the
@@ -286,8 +305,25 @@ class OnlineMonitor {
     Confidence last = Confidence::Definite;
   };
 
+  /// Wall-clock stage stamps of one tracked action (all obs::now_us();
+  /// zero = never stamped, e.g. tracking was enabled mid-action).
+  struct ActionTiming {
+    std::uint64_t begin_us = 0;
+    std::uint64_t first_report_us = 0;
+    std::uint64_t last_report_us = 0;
+    std::uint64_t completed_us = 0;
+  };
+
   void fire_ready_watches();
   Confidence current_confidence() const;
+  /// Stamps a report's arrival into the named action's timing record.
+  void note_action_report(const std::string& label);
+  /// Builds the contiguous five-stage waterfall for a firing of (x, y),
+  /// records the stage histograms and the kVerdict flight record, and
+  /// retains it (bounded by kMaxWaterfalls).
+  void emit_waterfall(const std::string& x, const std::string& y, bool holds,
+                      Confidence confidence, int fires, std::uint64_t eval0_us,
+                      std::uint64_t eval1_us, std::uint64_t fired_us);
   /// Structural sanity of a wire report (see try_observe).
   bool valid_report(const WireMessage& report) const;
   void quarantine(const WireMessage& report);
@@ -330,6 +366,11 @@ class OnlineMonitor {
   std::uint64_t reports_seen_ = 0;
   std::uint64_t gap_opened_at_report_ = 0;
   bool gap_open_ = false;
+  // Detection-latency attribution (see set_latency_tracking).
+  bool latency_tracking_ = false;
+  std::map<std::string, ActionTiming> timing_;
+  std::deque<obs::Waterfall> waterfalls_;
+  std::uint64_t gap_opened_us_ = 0;
 };
 
 }  // namespace syncon

@@ -1,8 +1,11 @@
 #include "online/online_system.hpp"
 
 #include <algorithm>
+#include <ostream>
 #include <string>
 
+#include "obs/flight.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "support/contracts.hpp"
@@ -35,6 +38,10 @@ void record_delivery_latency(std::int64_t sent_at, std::int64_t when) {
       "syncon_online_delivery_latency_us",
       obs::HistogramSpec::exponential(1.0, 1048576.0));
   latency.record(static_cast<double>(when - sent_at));
+  // Same measurement, filed under the detection-latency stage taxonomy
+  // (the occurred → delivered leg; application-time domain).
+  obs::record_stage_latency("delivered",
+                            static_cast<std::uint64_t>(when - sent_at));
 }
 
 }  // namespace
@@ -115,8 +122,11 @@ EventId OnlineSystem::advance(ProcessId p,
     if (!gaps_[p].witness(m.source)) {
       ++duplicates_suppressed_;
       if (obs::enabled()) duplicates_counter().add();
+      obs::flight(obs::FlightKind::kDuplicate, p, obs::pack_event(m.source));
       continue;
     }
+    obs::flight(obs::FlightKind::kDelivery, p, obs::pack_event(m.source),
+                when < 0 ? 0 : static_cast<std::uint64_t>(when));
     clock.merge_max(m.clock);
     logged.sources.push_back(m.source);
     // Everything the source's clock vouches for (other than p's own events)
@@ -266,8 +276,15 @@ bool OnlineSystem::try_deliver(ProcessId p, const WireMessage& message,
           "syncon_online_quarantined_total");
       c.add();
     }
+    obs::flight(obs::FlightKind::kQuarantine, p,
+                obs::pack_event(message.source));
+    obs::flight_auto_dump("quarantine");
     return false;
   }
+}
+
+void OnlineSystem::dump_flight(std::ostream& os) const {
+  obs::write_flight_text(os, obs::FlightRecorder::global().dump());
 }
 
 void OnlineSystem::restore_checkpoint(const RetentionCheckpoint& checkpoint) {
@@ -401,6 +418,8 @@ std::vector<WireMessage> OnlineSystem::serve(
     serves.add(1);
     served.add(out.size());
   }
+  obs::flight(obs::FlightKind::kResyncServe, obs::FlightRecord::kNoProcess,
+              request.events.size(), out.size());
   return out;
 }
 
@@ -469,6 +488,8 @@ std::size_t OnlineSystem::compact(const VectorClock& watermark) {
     lag.set(static_cast<std::int64_t>(
         watermark_lag(checkpoint_.cut, snapshot())));
   }
+  obs::flight(obs::FlightKind::kCompact, obs::FlightRecord::kNoProcess,
+              reclaimed, live_log_events());
   return reclaimed;
 }
 

@@ -1,5 +1,7 @@
 #include "online/wire_codec.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "support/contracts.hpp"
 #include "support/varint.hpp"
 
@@ -35,7 +37,23 @@ std::size_t LinkEncoder::encode(const WireMessage& message,
     ++since_full_;
   }
   last_ = clock;
-  return out.size() - start;
+  const std::size_t frame_bytes = out.size() - start;
+  if (obs::enabled()) {
+    static obs::Histogram& bytes_per_message = obs::MetricRegistry::global()
+        .histogram("syncon_wire_bytes_per_message",
+                   obs::HistogramSpec::exponential(1.0, 65536.0));
+    static obs::Counter& frames =
+        obs::MetricRegistry::global().counter("syncon_wire_frames_total");
+    static obs::Counter& absolute_escapes = obs::MetricRegistry::global()
+        .counter("syncon_wire_absolute_escapes_total");
+    static obs::Counter& bytes =
+        obs::MetricRegistry::global().counter("syncon_wire_bytes_total");
+    bytes_per_message.record(static_cast<double>(frame_bytes));
+    frames.add();
+    if (full) absolute_escapes.add();
+    bytes.add(frame_bytes);
+  }
+  return frame_bytes;
 }
 
 LinkDecoder::LinkDecoder(std::size_t process_count)
@@ -75,6 +93,11 @@ bool LinkDecoder::try_decode(std::span<const std::uint8_t>& in,
   try {
     out = decode(probe);
   } catch (const ContractViolation&) {
+    if (obs::enabled()) {
+      static obs::Counter& rejected = obs::MetricRegistry::global().counter(
+          "syncon_wire_rejected_frames_total");
+      rejected.add();
+    }
     return false;
   }
   in = probe;

@@ -37,6 +37,12 @@ SoakResult run_soak(const SoakConfig& config) {
   OnlineSystem sys(n_proc);
   OnlineMonitor monitor(n_proc);  // feed-only: sees reports, not the system
 
+  const bool flight_was_enabled = obs::flight_enabled();
+  if (config.capture_observability) {
+    monitor.set_latency_tracking(true);
+    obs::set_flight_enabled(true);
+  }
+
   FaultPlan app_plan;
   app_plan.link = config.app_link;
   app_plan.seed = config.seed;
@@ -225,6 +231,8 @@ SoakResult run_soak(const SoakConfig& config) {
       if (reclaimed > 0) ++result.compactions;
       result.live_log_samples.push_back(sys.live_log_events());
     }
+
+    if (config.on_cycle) config.on_cycle(cycle);
   }
 
   // Drain: one final recovery pass settles every in-flight pair.
@@ -263,6 +271,19 @@ SoakResult run_soak(const SoakConfig& config) {
       late.adopt_checkpoint(sys.checkpoint());
     }
     result.late_joiner_converged = late.missing_report_count() == 0;
+  }
+
+  if (config.capture_observability) {
+    result.waterfalls.assign(monitor.waterfalls().begin(),
+                             monitor.waterfalls().end());
+    result.flight = obs::FlightRecorder::global().dump();
+    if (config.compact_every == 0) {
+      // Only an uncompacted log can materialize its full execution — the
+      // causal-trace exporters need every event.
+      result.execution =
+          std::make_shared<const Execution>(sys.to_execution());
+    }
+    obs::set_flight_enabled(flight_was_enabled);
   }
 
   return result;

@@ -16,9 +16,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "model/execution.hpp"
+#include "obs/flight.hpp"
+#include "obs/latency.hpp"
 #include "sim/faulty_channel.hpp"
 
 namespace syncon {
@@ -49,6 +54,14 @@ struct SoakConfig {
   /// After the run, spin up a fresh feed-only monitor and resync it across
   /// the watermark (exercises checkpoint serving + adopt_checkpoint).
   bool late_joiner_probe = false;
+  /// Causal-observability capture (DESIGN.md §3.13): turns on the monitor's
+  /// detection-latency tracking and the flight recorder for the run, and
+  /// fills SoakResult::waterfalls / flight / execution (the latter only for
+  /// uncompacted runs, where the full execution is still materializable).
+  bool capture_observability = false;
+  /// Called at the end of every main-loop cycle — the live-observation hook
+  /// (serve scrape requests, publish metrics) for daemon-shaped harnesses.
+  std::function<void(std::uint64_t cycle)> on_cycle;
 };
 
 /// What one soak run produced.
@@ -76,6 +89,12 @@ struct SoakResult {
   bool late_joiner_converged = false;
   /// Resync replies answered from the retention checkpoint's surface.
   std::uint64_t surface_replies = 0;
+  /// capture_observability only: the retained verdict waterfalls, the
+  /// flight-recorder contents at the end of the run, and (for uncompacted
+  /// runs) the full execution for causal-trace export.
+  std::vector<obs::Waterfall> waterfalls;
+  std::vector<obs::FlightRecord> flight;
+  std::shared_ptr<const Execution> execution;
 };
 
 /// Runs the soak scenario. Deterministic: same config → same result,

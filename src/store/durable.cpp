@@ -3,6 +3,8 @@
 #include <chrono>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "store/snapshot.hpp"
@@ -39,6 +41,15 @@ class RecoveryTimer {
       static obs::Counter& replayed =
           registry.counter("syncon_store_replayed_records_total");
       replayed.add(stats_.events_replayed);
+    }
+    if (stats_.recovered) {
+      // Attribute the replay time as a detection-latency stage (verdicts
+      // that waited on this recovery paid it), note the recovery in the
+      // flight ring, and flush the ring so the incident is on disk.
+      obs::record_stage_latency("wal_replay", stats_.recovery_micros);
+      obs::flight(obs::FlightKind::kRecovery, obs::FlightRecord::kNoProcess,
+                  stats_.events_replayed, stats_.recovery_micros);
+      obs::flight_auto_dump("recovery");
     }
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "store/wal.hpp"
@@ -260,6 +261,8 @@ void Store::sync() {
     storage_.sync(open.name);
     ++syncs_;
     if (obs::enabled()) fsync_counter().add();
+    obs::flight(obs::FlightKind::kWalSync, obs::FlightRecord::kNoProcess,
+                unsynced_records_, bytes_appended_);
   }
   unsynced_records_ = 0;
 }
@@ -269,6 +272,8 @@ void Store::rotate() {
   // open segment is the only one a crash can lose or tear.
   sync();
   open_segment();
+  obs::flight(obs::FlightKind::kWalRotate, obs::FlightRecord::kNoProcess,
+              segments_.back().seq);
 }
 
 void Store::write_snapshot(const SnapshotImage& image) {
@@ -289,6 +294,8 @@ void Store::write_snapshot(const SnapshotImage& image) {
     fsync_counter().add();
     snapshot_counter().add();
   }
+  obs::flight(obs::FlightKind::kSnapshot, obs::FlightRecord::kNoProcess,
+              image.checkpoint.sequence);
   prune();
   // Keep the newest two snapshots: the newest may be the one torn by the
   // next crash, and its predecessor is the fallback.

@@ -2,11 +2,18 @@
 
 #include <sstream>
 
+#include "obs/flight.hpp"
+
 namespace syncon::detail {
 
 void contract_failure(const char* kind, const char* condition,
                       const char* file, int line,
                       const std::string& message) {
+  // A contract failure is exactly the moment the flight recorder exists
+  // for: note it and flush the ring before the exception unwinds state.
+  obs::flight(obs::FlightKind::kContractFailure, obs::FlightRecord::kNoProcess,
+              static_cast<std::uint64_t>(line));
+  obs::flight_auto_dump("contract-failure");
   std::ostringstream oss;
   oss << "syncon " << kind << " violated: " << message << " [" << condition
       << "] at " << file << ":" << line;

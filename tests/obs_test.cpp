@@ -13,9 +13,16 @@
 #include <utility>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "model/timestamps.hpp"
 #include "obs/export.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
+#include "obs/serve.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "online/online_monitor.hpp"
@@ -570,6 +577,151 @@ TEST_F(ObsTest, PipelineTraceCoversAllPhases) {
   ASSERT_NE(gap, nullptr);
   EXPECT_GE(gap->histogram->count, 1u);
   (void)m1;
+}
+
+// --- exporter edge cases (DESIGN.md §3.13) -----------------------------------
+
+TEST_F(ObsTest, SanitizeMetricNameHandlesEmptyAndLabelOnlyNames) {
+  EXPECT_EQ(obs::sanitize_metric_name(""), "_");
+  // A label-only name has an empty base; the base is still made legal.
+  EXPECT_EQ(obs::sanitize_metric_name("{le=\"1\"}"), "_{le=\"1\"}");
+  EXPECT_EQ(obs::sanitize_metric_name("***"), "___");
+  EXPECT_EQ(obs::sanitize_metric_name("42{q=\"0.5\"}"), "_42{q=\"0.5\"}");
+}
+
+TEST_F(ObsTest, JsonEscapeControlAndNonAsciiBytes) {
+  EXPECT_EQ(obs::json_escape("a\x01" "b"), "a\\u0001b");
+  EXPECT_EQ(obs::json_escape("\x7f"), "\\u007f");
+  EXPECT_EQ(obs::json_escape("tab\there\nline"), "tab\\there\\nline");
+  // Non-UTF-8 garbage in a run label must still yield ASCII-only JSON.
+  const std::string garbage("run\xff\xfe ok");
+  const std::string escaped = obs::json_escape(garbage);
+  EXPECT_EQ(escaped, "run\\u00ff\\u00fe ok");
+  EXPECT_TRUE(JsonChecker("\"" + escaped + "\"").valid());
+}
+
+TEST_F(ObsTest, HistogramOverflowBucketQuantileStaysCoherent) {
+  // Live histogram: every sample lands past the last bound; the quantile
+  // interpolates toward the tracked max instead of being stuck at a bound.
+  obs::Histogram& h = obs::MetricRegistry::global().histogram(
+      "syncon_test_overflow_us", obs::HistogramSpec::linear(1.0, 1.0, 2));
+  h.record(100.0);
+  h.record(200.0);
+  const obs::HistogramSnapshot live = h.snapshot();
+  EXPECT_DOUBLE_EQ(live.quantile(1.0), 200.0);
+  EXPECT_GE(live.quantile(0.25), 2.0);
+  EXPECT_LE(live.quantile(0.25), 200.0);
+
+  // Hand-assembled snapshot (merged from bucket counts alone, min/max never
+  // tracked): the open-ended bucket anchors at its lower bound rather than
+  // interpolating backwards toward a stale max below it.
+  obs::HistogramSnapshot merged;
+  merged.bounds = {1.0, 2.0};
+  merged.counts = {0, 0, 4};
+  merged.count = 4;
+  merged.min = 0.0;
+  merged.max = 0.0;
+  EXPECT_DOUBLE_EQ(merged.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(merged.quantile(1.0), 2.0);
+}
+
+// --- detection-latency waterfalls --------------------------------------------
+
+TEST_F(ObsTest, WaterfallMonotoneStagesSumToTotal) {
+  obs::Waterfall fall;
+  fall.x = "A#1";
+  fall.y = "B#1";
+  fall.holds = true;
+  fall.definite = true;
+  fall.start_us = 100;
+  fall.stages = {{"observe", 100, 5},
+                 {"track", 105, 0},
+                 {"gap_wait", 105, 7},
+                 {"evaluate", 112, 2},
+                 {"fire", 114, 1}};
+  EXPECT_TRUE(fall.monotone());
+  EXPECT_EQ(fall.total_us(), 15u);
+  std::uint64_t sum = 0;
+  for (const obs::StageSpan& s : fall.stages) sum += s.duration_us;
+  EXPECT_EQ(sum, fall.total_us());
+
+  obs::Waterfall gap = fall;
+  gap.stages[2].start_us = 120;  // hole between track and gap_wait
+  EXPECT_FALSE(gap.monotone());
+  obs::Waterfall unanchored = fall;
+  unanchored.start_us = 90;  // first stage no longer starts at start_us
+  EXPECT_FALSE(unanchored.monotone());
+
+  std::ostringstream text;
+  const std::vector<obs::Waterfall> falls{fall};
+  obs::write_waterfalls(text, falls);
+  EXPECT_NE(text.str().find("observe"), std::string::npos);
+  std::ostringstream json;
+  obs::write_waterfalls_json(json, falls);
+  EXPECT_TRUE(JsonChecker(json.str()).valid()) << json.str();
+  EXPECT_NE(json.str().find("syncon-waterfalls-v1"), std::string::npos);
+}
+
+TEST_F(ObsTest, RecordStageLatencyFeedsHistogramFamily) {
+  obs::set_enabled(true);
+  obs::record_stage_latency("evaluate", 42);
+  obs::record_stage_latency("resync_wait", 7);
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::global().snapshot();
+  const auto* evaluate = snap.find("syncon_detect_latency_evaluate_us");
+  ASSERT_NE(evaluate, nullptr);
+  EXPECT_EQ(evaluate->histogram->count, 1u);
+  ASSERT_NE(snap.find("syncon_detect_latency_resync_wait_us"), nullptr);
+}
+
+// --- scrape endpoint ---------------------------------------------------------
+
+std::string scrape(obs::ScrapeServer& server, const char* path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  const std::string request =
+      std::string("GET ") + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  EXPECT_TRUE(server.serve_once(2000));
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof buffer)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(ObsTest, ScrapeServerServesMetricsTelemetryAndHealth) {
+  obs::set_enabled(true);
+  obs::MetricRegistry::global().counter("syncon_scrape_probe_total").add(3);
+  obs::ScrapeServer::Options options;
+  options.run_label = "obs_test";
+  obs::ScrapeServer server(options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_NE(server.port(), 0);
+
+  const std::string health = scrape(server, "/healthz");
+  EXPECT_NE(health.find("200"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string metrics = scrape(server, "/metrics");
+  EXPECT_NE(metrics.find("syncon_scrape_probe_total 3"), std::string::npos);
+
+  const std::string telemetry = scrape(server, "/telemetry.json");
+  const std::size_t body = telemetry.find("\r\n\r\n");
+  ASSERT_NE(body, std::string::npos);
+  EXPECT_TRUE(JsonChecker(telemetry.substr(body + 4)).valid());
+  EXPECT_NE(telemetry.find("obs_test"), std::string::npos);
+
+  EXPECT_NE(scrape(server, "/no-such-route").find("404"), std::string::npos);
+  EXPECT_EQ(server.requests_served(), 4u);
 }
 
 }  // namespace

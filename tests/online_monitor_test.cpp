@@ -188,6 +188,79 @@ TEST(OnlineMonitorTest, ForgetDropsDanglingWatches) {
   EXPECT_EQ(calls, 0);
 }
 
+TEST(OnlineMonitorTest, LatencyTrackingEmitsMonotoneWaterfalls) {
+  OnlineSystem sys(2);
+  OnlineMonitor monitor(sys);
+  EXPECT_FALSE(monitor.latency_tracking());
+  monitor.set_latency_tracking(true);
+  ASSERT_TRUE(monitor.latency_tracking());
+
+  monitor.begin("produce");
+  monitor.begin("consume");
+  monitor.watch({Relation::R1, ProxyKind::End, ProxyKind::Begin}, "produce",
+                "consume",
+                [](const std::string&, const std::string&, bool, Confidence) {
+                });
+  monitor.record("produce", sys.local(0));
+  const WireMessage m = sys.send(0);
+  monitor.record("produce", m.source);
+  monitor.complete("produce");
+  monitor.record("consume", sys.deliver(1, m));
+  monitor.complete("consume");
+
+  ASSERT_EQ(monitor.waterfalls().size(), 1u);
+  const obs::Waterfall& fall = monitor.waterfalls().front();
+  EXPECT_EQ(fall.x, "produce");
+  EXPECT_EQ(fall.y, "consume");
+  EXPECT_TRUE(fall.definite);  // direct observer
+  EXPECT_EQ(fall.fire_index, 1);
+
+  // The waterfall invariant: stages follow the pipeline taxonomy in order,
+  // are contiguous clamped-monotone, and sum exactly to the end-to-end
+  // detection latency.
+  const auto taxonomy = obs::detect_stages();
+  ASSERT_EQ(fall.stages.size(), taxonomy.size());
+  for (std::size_t i = 0; i < taxonomy.size(); ++i) {
+    EXPECT_EQ(fall.stages[i].stage, taxonomy[i]);
+  }
+  EXPECT_TRUE(fall.monotone());
+  std::uint64_t sum = 0;
+  for (const obs::StageSpan& s : fall.stages) sum += s.duration_us;
+  EXPECT_EQ(sum, fall.total_us());
+  EXPECT_EQ(fall.start_us + fall.total_us(), fall.end_us());
+}
+
+TEST(OnlineMonitorTest, DeadlineWatchesEmitWaterfallsToo) {
+  OnlineSystem sys(2);
+  OnlineMonitor monitor(sys);
+  monitor.set_latency_tracking(true);
+  monitor.begin("req");
+  const WireMessage m = sys.send(0, 1000);
+  monitor.record("req", m.source);
+  monitor.complete("req");
+  monitor.begin("rsp");
+  monitor.record("rsp", sys.deliver(1, m, 4000));
+  monitor.complete("rsp");
+  monitor.watch_deadline(
+      TimingConstraint{"rt", Anchor::End, Anchor::End, 0, 2500}, "req", "rsp",
+      [](const std::string&, const std::string&, Duration, bool, Confidence) {
+      });
+  ASSERT_EQ(monitor.waterfalls().size(), 1u);
+  EXPECT_TRUE(monitor.waterfalls().front().monotone());
+}
+
+TEST(OnlineMonitorTest, LatencyTrackingOffEmitsNothing) {
+  OnlineSystem sys(2);
+  OnlineMonitor monitor(sys);
+  monitor.begin("a");
+  monitor.record("a", sys.local(0));
+  monitor.complete("a");
+  monitor.watch({Relation::R4, ProxyKind::Begin, ProxyKind::End}, "a", "a",
+                [](const std::string&, const std::string&, bool, Confidence) {
+                });
+  EXPECT_TRUE(monitor.waterfalls().empty());
+}
+
 // ---------------------------------------------------------------------------
 // Proxy-summary property: the 32-relation online evaluation matches the
 // offline naive evaluation of R(X̂, Ŷ) on the Defn-2 proxies.
