@@ -1,5 +1,6 @@
 #include "check/driver.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <ostream>
@@ -33,6 +34,27 @@ std::string size_of(const CheckCase& c) {
          std::to_string(c.messages.size()) + " msgs";
 }
 
+/// Scoped exhaustive-mode budget: lifts the schedule_invariance walk bound
+/// for the run and restores the previous config on exit.
+class ExhaustiveBudget {
+ public:
+  explicit ExhaustiveBudget(bool engage)
+      : engaged_(engage), saved_(schedule_invariance_config()) {
+    if (engaged_) {
+      schedule_invariance_config().max_schedules = std::uint64_t{1} << 20;
+    }
+  }
+  ~ExhaustiveBudget() {
+    if (engaged_) schedule_invariance_config() = saved_;
+  }
+  ExhaustiveBudget(const ExhaustiveBudget&) = delete;
+  ExhaustiveBudget& operator=(const ExhaustiveBudget&) = delete;
+
+ private:
+  bool engaged_;
+  ScheduleInvarianceConfig saved_;
+};
+
 }  // namespace
 
 std::uint64_t case_seed_for(std::uint64_t master_seed, std::size_t index) {
@@ -52,8 +74,16 @@ PropertyResult run_property_on_case(const PropertyInfo& property,
 }
 
 DriverReport run_conformance(const DriverOptions& options, std::ostream* log) {
-  const std::vector<const PropertyInfo*> properties =
+  std::vector<const PropertyInfo*> properties =
       resolve_properties(options.properties);
+  if (options.exhaustive) {
+    const PropertyInfo* exhaustive_prop = find_property("schedule_invariance");
+    const bool selected =
+        std::find(properties.begin(), properties.end(), exhaustive_prop) !=
+        properties.end();
+    if (!selected) properties.push_back(exhaustive_prop);
+  }
+  const ExhaustiveBudget budget_guard(options.exhaustive);
   SYNCON_REQUIRE(options.max_cases > 0 || options.budget_seconds > 0,
                  "unlimited cases need a time budget");
 

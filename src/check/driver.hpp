@@ -31,6 +31,11 @@ struct DriverOptions {
   ShrinkOptions shrink;
   /// Stop after this many failures; 0 means collect them all.
   std::size_t stop_after_failures = 1;
+  /// Exhaustive mode: force schedule_invariance into the property set (when
+  /// a property filter is given) and lift its schedule budget for the run,
+  /// so every case under the size gate gets full enumeration instead of the
+  /// default bounded walk. The budget is restored when the run ends.
+  bool exhaustive = false;
 };
 
 struct FailureReport {

@@ -11,6 +11,8 @@
 
 #include "check/generators.hpp"
 #include "cuts/watermark.hpp"
+#include "explore/explorer.hpp"
+#include "explore/invariants.hpp"
 #include "model/compressed_clock.hpp"
 #include "model/reachability.hpp"
 #include "model/tree_clock.hpp"
@@ -928,7 +930,49 @@ PropertyResult clock_backend_identity(const CheckCase& c) {
   return pass();
 }
 
-constexpr std::array<PropertyInfo, 11> kProperties{{
+// ---------------------------------------------------------------------------
+// schedule_invariance
+// ---------------------------------------------------------------------------
+
+PropertyResult schedule_invariance(const CheckCase& c) {
+  // Exhaustive enumeration only pays on small universes; larger cases pass
+  // vacuously — the sampled properties cover them, and the explorer CLI
+  // exists for bigger budgets.
+  const ScheduleInvarianceConfig& cfg = schedule_invariance_config();
+  if (c.process_count() > cfg.max_processes ||
+      c.messages.size() > cfg.max_messages ||
+      c.total_events() > cfg.max_events) {
+    return pass();
+  }
+  std::optional<MaterializedCase> m = materialize(c);
+  if (!m) return fail("case failed to materialize");
+  const explore::Universe u = explore::universe_from_execution(*m->exec);
+
+  explore::InvariantOptions inv;
+  inv.mask = explore::kInvCore;
+  inv.fault_seed = fingerprint(c);
+  explore::ExploreOptions opt;
+  opt.max_schedules = cfg.max_schedules;
+
+  std::string violation;
+  const explore::ExploreStats stats =
+      explore::explore(u, opt, [&](const explore::Schedule& s) {
+        const explore::ScheduleCheckResult r =
+            explore::check_schedule(u, s, c.x_members, c.y_members, inv);
+        if (!r.passed) {
+          violation = r.message;
+          return false;
+        }
+        return true;
+      });
+  if (!violation.empty()) {
+    return fail("schedule " + std::to_string(stats.traces_visited) +
+                " of the universe violates: " + violation);
+  }
+  return pass();
+}
+
+constexpr std::array<PropertyInfo, 12> kProperties{{
     {"fast_vs_naive",
      "Theorem 20 fast conditions vs naive proxy quantification (and the BFS "
      "oracle on small universes) for all 32 relations, with cost bounds",
@@ -973,11 +1017,22 @@ constexpr std::array<PropertyInfo, 11> kProperties{{
      "faults, recover from snapshot + WAL tail, and require clocks and all "
      "32 verdicts bit-identical to an uninterrupted run",
      &recovery_identity},
+    {"schedule_invariance",
+     "small universes: enumerate every inequivalent delivery schedule "
+     "(DPOR) and run the core invariant battery on each poset — fast vs "
+     "naive, schedule-driven online clocks vs offline, monitor vs offline, "
+     "verdict stability across linearizations of one trace",
+     &schedule_invariance},
 }};
 
 }  // namespace
 
 std::span<const PropertyInfo> all_properties() { return kProperties; }
+
+ScheduleInvarianceConfig& schedule_invariance_config() {
+  static ScheduleInvarianceConfig config;
+  return config;
+}
 
 const PropertyInfo* find_property(std::string_view name) {
   for (const PropertyInfo& info : kProperties) {

@@ -33,8 +33,15 @@
 //                       point under storage faults and recovered from
 //                       snapshot + WAL tail: clocks and all 32 verdicts
 //                       bit-identical to an uninterrupted run.
+//   schedule_invariance small universes only: enumerate every inequivalent
+//                       delivery schedule (src/explore DPOR) and run the
+//                       core invariant battery on each poset — fast ≡
+//                       naive, schedule-driven online clocks ≡ offline,
+//                       monitor ≡ offline, and verdict stability across
+//                       linearizations of the same trace.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
@@ -62,5 +69,20 @@ std::span<const PropertyInfo> all_properties();
 
 /// Lookup by name; nullptr when unknown.
 const PropertyInfo* find_property(std::string_view name);
+
+/// Budget knobs of the schedule_invariance property. Cases above the size
+/// gate pass vacuously (exhaustive enumeration only pays on small
+/// universes); max_schedules bounds the walk on pathological fan-outs. The
+/// driver's exhaustive mode raises the budget for the duration of a run —
+/// within any single run the config is stable, which keeps the property a
+/// pure function of the case (what shrinking soundness needs).
+struct ScheduleInvarianceConfig {
+  std::size_t max_processes = 4;
+  std::size_t max_messages = 10;
+  std::size_t max_events = 20;
+  std::uint64_t max_schedules = 4096;
+};
+
+ScheduleInvarianceConfig& schedule_invariance_config();
 
 }  // namespace syncon::check

@@ -1,0 +1,235 @@
+#include "explore/explorer.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "support/thread_pool.hpp"
+
+namespace syncon::explore {
+
+namespace {
+
+struct KeyHash {
+  std::size_t operator()(const TraceKey& key) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::uint64_t word : key) {
+      h ^= word;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+obs::Counter& visited_counter() {
+  static obs::Counter& c = obs::MetricRegistry::global().counter(
+      "syncon_explore_schedules_visited_total");
+  return c;
+}
+
+obs::Counter& pruned_counter() {
+  static obs::Counter& c = obs::MetricRegistry::global().counter(
+      "syncon_explore_prefixes_pruned_total");
+  return c;
+}
+
+obs::Counter& dedup_counter() {
+  static obs::Counter& c = obs::MetricRegistry::global().counter(
+      "syncon_explore_traces_deduped_total");
+  return c;
+}
+
+obs::Counter& dead_end_counter() {
+  static obs::Counter& c = obs::MetricRegistry::global().counter(
+      "syncon_explore_dead_ends_total");
+  return c;
+}
+
+obs::Histogram& check_latency_histogram() {
+  static obs::Histogram& h = obs::MetricRegistry::global().histogram(
+      "syncon_explore_check_latency_us",
+      obs::HistogramSpec::exponential(1.0, 1 << 22));
+  return h;
+}
+
+struct Ctx {
+  Ctx(const Universe& universe, const ExploreOptions& options,
+      const ScheduleCallback& callback)
+      : u(universe), opt(options), cb(callback) {}
+
+  const Universe& u;
+  const ExploreOptions& opt;
+  const ScheduleCallback& cb;
+
+  std::mutex mu;  // guards visited + the two stop-reason flags
+  std::unordered_set<TraceKey, KeyHash> visited;
+  bool budget_exhausted = false;
+  bool stopped_by_callback = false;
+
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> traces{0};
+  std::atomic<std::uint64_t> duplicates{0};
+  std::atomic<std::uint64_t> pruned{0};
+  std::atomic<std::uint64_t> dead_ends{0};
+  std::atomic<bool> stop{false};
+};
+
+/// The lex-least-representative criterion: `e` may not extend `word` when
+/// some suffix step it commutes past is lexicographically greater — the
+/// equivalent word with `e` moved earlier is smaller and will be (or was)
+/// generated instead. Walking stops at the first dependent step, which `e`
+/// cannot commute across.
+bool lex_pruned(const Universe& u, const std::vector<Step>& word, Step e) {
+  for (std::size_t i = word.size(); i-- > 0;) {
+    if (dependent(u, e, word[i])) return false;
+    if (word[i] > e) return true;
+  }
+  return false;
+}
+
+void handle_complete(Ctx& c, const ScheduleState& st,
+                     const std::vector<Step>& word) {
+  const std::uint64_t n = c.executed.fetch_add(1) + 1;
+  if (c.opt.max_schedules != 0 && n >= c.opt.max_schedules) {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    c.budget_exhausted = true;
+    c.stop.store(true);
+  }
+  Schedule s{word, st.binding};
+  TraceKey key = trace_key(c.u, s);
+  bool fresh = false;
+  {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    fresh = c.visited.insert(std::move(key)).second;
+  }
+  if (!fresh) {
+    c.duplicates.fetch_add(1);
+    return;
+  }
+  c.traces.fetch_add(1);
+  // The battery runs outside the dedup lock: schedules of distinct traces
+  // check concurrently in parallel mode.
+  const bool timed = obs::enabled();
+  const std::uint64_t t0 = timed ? obs::now_us() : 0;
+  const bool keep_going = c.cb(s);
+  if (timed) {
+    check_latency_histogram().record(
+        static_cast<double>(obs::now_us() - t0));
+  }
+  if (!keep_going) {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    c.stopped_by_callback = true;
+    c.stop.store(true);
+  }
+}
+
+void dfs(Ctx& c, const ScheduleState& st, std::vector<Step>& word) {
+  if (c.stop.load(std::memory_order_relaxed)) return;
+  if (st.complete(c.u)) {
+    handle_complete(c, st, word);
+    return;
+  }
+  bool extended = false;
+  for (const Step e : st.enabled_steps(c.u)) {
+    if (c.opt.dpor && lex_pruned(c.u, word, e)) {
+      c.pruned.fetch_add(1);
+      continue;
+    }
+    extended = true;
+    ScheduleState child = st;
+    child.apply(c.u, e);
+    word.push_back(e);
+    dfs(c, child, word);
+    word.pop_back();
+    if (c.stop.load(std::memory_order_relaxed)) return;
+  }
+  // No enabled step, or every extension pruned: the prefix is not a prefix
+  // of any canonical word. Backtracking loses nothing — canonical words are
+  // prefix-closed, so each is still reached along its own prefix chain.
+  if (!extended) c.dead_ends.fetch_add(1);
+}
+
+struct Node {
+  ScheduleState st;
+  std::vector<Step> word;
+};
+
+}  // namespace
+
+ExploreStats explore(const Universe& u, const ExploreOptions& options,
+                     const ScheduleCallback& on_schedule) {
+  Ctx c{u, options, on_schedule};
+
+  if (!options.parallel) {
+    std::vector<Step> word;
+    word.reserve(u.total_steps());
+    dfs(c, ScheduleState(u), word);
+  } else {
+    // Breadth-first to a frontier wide enough to feed every worker, then
+    // depth-first per frontier prefix over the shared visited set. The
+    // visited *set* is a property of the universe, so the parallel result
+    // is deterministic even though arrival order is not.
+    ThreadPool& pool = ThreadPool::shared();
+    const std::size_t target = 4 * std::max<std::size_t>(1, pool.thread_count());
+    std::vector<Node> frontier;
+    frontier.push_back({ScheduleState(u), {}});
+    for (std::size_t depth = 0;
+         depth < u.total_steps() && frontier.size() < target; ++depth) {
+      std::vector<Node> next;
+      for (Node& node : frontier) {
+        if (node.st.complete(u)) {
+          handle_complete(c, node.st, node.word);
+          continue;
+        }
+        bool extended = false;
+        for (const Step e : node.st.enabled_steps(u)) {
+          if (options.dpor && lex_pruned(u, node.word, e)) {
+            c.pruned.fetch_add(1);
+            continue;
+          }
+          extended = true;
+          Node child{node.st, node.word};
+          child.st.apply(u, e);
+          child.word.push_back(e);
+          next.push_back(std::move(child));
+        }
+        if (!extended) c.dead_ends.fetch_add(1);
+      }
+      frontier = std::move(next);
+      if (c.stop.load()) break;
+    }
+    if (!c.stop.load() && !frontier.empty()) {
+      pool.parallel_for(frontier.size(),
+                        [&](std::size_t, std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            std::vector<Step> word = frontier[i].word;
+                            word.reserve(u.total_steps());
+                            dfs(c, frontier[i].st, word);
+                          }
+                        });
+    }
+  }
+
+  ExploreStats stats;
+  stats.schedules_executed = c.executed.load();
+  stats.traces_visited = c.traces.load();
+  stats.duplicate_traces = c.duplicates.load();
+  stats.prefixes_pruned = c.pruned.load();
+  stats.dead_ends = c.dead_ends.load();
+  stats.budget_exhausted = c.budget_exhausted;
+  stats.stopped_by_callback = c.stopped_by_callback;
+  if (obs::enabled()) {
+    visited_counter().add(stats.schedules_executed);
+    pruned_counter().add(stats.prefixes_pruned);
+    dedup_counter().add(stats.duplicate_traces);
+    dead_end_counter().add(stats.dead_ends);
+  }
+  return stats;
+}
+
+}  // namespace syncon::explore

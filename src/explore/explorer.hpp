@@ -1,0 +1,71 @@
+// Stateless DPOR-style schedule enumeration (DESIGN.md §3.14).
+//
+// The explorer walks the tree of valid schedule prefixes of a Universe in
+// depth-first order and visits each Mazurkiewicz-trace equivalence class
+// ("same induced poset") exactly once. Pruning is the lex-least-word
+// criterion over the static dependence relation: a step `e` may extend a
+// prefix only if no suffix step it is independent of (walking backwards
+// until the first dependent step) is lexicographically greater than `e`.
+// The complete words that survive are exactly the lexicographically least
+// representatives of their trace classes — a sleep-set-equivalent pruning
+// keyed on commuting independent deliveries. Because the dependence
+// relation is a sound over-approximation, conservatism can only produce
+// duplicate canonical words for one poset; an exact trace-key dedup absorbs
+// those, so the callback fires once per inequivalent schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "explore/universe.hpp"
+
+namespace syncon::explore {
+
+struct ExploreOptions {
+  /// Stop after this many complete schedules (0 = unbounded). With DPOR on,
+  /// "schedules" counts canonical words reached, not raw interleavings.
+  std::uint64_t max_schedules = 0;
+  /// Disable pruning: enumerate every valid interleaving (the naive
+  /// baseline DPOR reduction is measured against). Trace dedup still runs,
+  /// so the callback set is identical — only the work differs.
+  bool dpor = true;
+  /// Run the exploration frontier over ThreadPool::shared(). The visited
+  /// trace set is shared; the callback must then be thread-safe. The set of
+  /// traces visited is deterministic (it is a property of the universe);
+  /// arrival order is not.
+  bool parallel = false;
+};
+
+struct ExploreStats {
+  /// Complete schedules reached (canonical words under DPOR).
+  std::uint64_t schedules_executed = 0;
+  /// Inequivalent schedules: distinct trace keys — the callback count.
+  std::uint64_t traces_visited = 0;
+  /// Canonical words deduplicated by the exact trace key (the price of the
+  /// conservative static dependence relation).
+  std::uint64_t duplicate_traces = 0;
+  /// Prefix extensions rejected by the lex-least criterion.
+  std::uint64_t prefixes_pruned = 0;
+  /// Prefixes with no enabled extension before completion.
+  std::uint64_t dead_ends = 0;
+  /// True when max_schedules stopped the walk (enumeration incomplete).
+  bool budget_exhausted = false;
+  /// True when the callback requested a stop.
+  bool stopped_by_callback = false;
+};
+
+/// Called once per inequivalent schedule, with the canonical schedule that
+/// first reached its trace. Return false to stop the exploration (e.g.
+/// after recording a violation). Must be thread-safe when
+/// ExploreOptions::parallel is set.
+using ScheduleCallback = std::function<bool(const Schedule&)>;
+
+/// Enumerates the universe's schedules. Deterministic for a fixed universe
+/// and options (parallel mode: the visited set and all counters are
+/// deterministic when the walk runs to completion; arrival order is not).
+/// Publishes syncon_explore_* counters and the per-schedule check-latency
+/// histogram to MetricRegistry::global() when obs is enabled.
+ExploreStats explore(const Universe& u, const ExploreOptions& options,
+                     const ScheduleCallback& on_schedule);
+
+}  // namespace syncon::explore

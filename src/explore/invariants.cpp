@@ -1,0 +1,356 @@
+#include "explore/invariants.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "cuts/watermark.hpp"
+#include "model/timestamps.hpp"
+#include "nonatomic/interval.hpp"
+#include "online/online_monitor.hpp"
+#include "online/online_system.hpp"
+#include "relations/evaluator.hpp"
+#include "sim/faulty_channel.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace syncon::explore {
+
+namespace {
+
+std::string describe(const EventId& e) {
+  std::ostringstream os;
+  os << e;
+  return os.str();
+}
+
+struct Firing {
+  bool holds = false;
+  Confidence conf = Confidence::Definite;
+
+  friend bool operator==(const Firing&, const Firing&) = default;
+};
+
+/// Drives a fresh OnlineSystem by the schedule itself: exec steps execute
+/// locally, a gather's deliveries are shipped as one deliver_all batch in
+/// delivery order at the completing step. Returns the events in execution
+/// order (the schedule's linearization of the induced poset).
+std::vector<EventId> drive_system(const Universe& u, const Schedule& s,
+                                  OnlineSystem& sys) {
+  ScheduleState st(u);
+  std::vector<std::vector<WireMessage>> pending(u.process_count());
+  std::vector<EventId> order;
+  order.reserve(u.total_ops());
+  for (const Step step : s.word) {
+    if (!is_deliver(step)) {
+      const ProcessId p = process_of_exec(step);
+      const EventId e{p, static_cast<EventIndex>(op_of_exec(step) + 1)};
+      sys.local(p);
+      order.push_back(e);
+      st.apply(u, step);
+      continue;
+    }
+    const UniverseMessage& m = u.messages[message_of(step)];
+    pending[m.dst].push_back(
+        sys.wire_of({m.src, static_cast<EventIndex>(m.src_op + 1)}));
+    const std::uint32_t before = st.cursor[m.dst];
+    st.apply(u, step);
+    if (st.cursor[m.dst] != before) {
+      const EventId e{m.dst, static_cast<EventIndex>(before + 1)};
+      sys.deliver_all(m.dst, pending[m.dst]);
+      pending[m.dst].clear();
+      order.push_back(e);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::optional<unsigned> invariant_mask_from_csv(std::string_view csv) {
+  unsigned mask = 0;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = std::min(csv.find(',', pos), csv.size());
+    const std::string_view name = csv.substr(pos, comma - pos);
+    if (name == "relations") {
+      mask |= kInvRelations;
+    } else if (name == "online") {
+      mask |= kInvOnline;
+    } else if (name == "monitor") {
+      mask |= kInvMonitor;
+    } else if (name == "stability") {
+      mask |= kInvStability;
+    } else if (name == "compaction") {
+      mask |= kInvCompaction;
+    } else if (name == "recovery") {
+      mask |= kInvRecovery;
+    } else if (name == "core") {
+      mask |= kInvCore;
+    } else if (name == "all") {
+      mask |= kInvAll;
+    } else if (!name.empty()) {
+      return std::nullopt;
+    }
+    pos = comma + 1;
+  }
+  return mask;
+}
+
+ScheduleCheckResult check_schedule(const Universe& u, const Schedule& s,
+                                   const std::vector<EventId>& x_members,
+                                   const std::vector<EventId>& y_members,
+                                   const InvariantOptions& options) {
+  ScheduleCheckResult result;
+  const auto fail = [&result](std::string message) {
+    result.passed = false;
+    result.message = std::move(message);
+    return result;
+  };
+
+  const std::shared_ptr<const Execution> exec = induced_execution(u, s);
+  const Timestamps ts(*exec);
+  const NonatomicEvent x(*exec, x_members, "X");
+  const NonatomicEvent y(*exec, y_members, "Y");
+  RelationEvaluator eval(ts);
+  const EventHandle hx = eval.add_event(x);
+  const EventHandle hy = eval.add_event(y);
+
+  // The offline verdict payload — 32 relations × both orders — is always
+  // computed: it is what cross-schedule comparisons (DPOR vs naive, trace
+  // stability) assert on.
+  const auto ids = all_relation_ids();
+  result.verdicts.reserve(64);
+  for (const RelationId& id : ids) {
+    result.verdicts.push_back(eval.holds(id, hx, hy));
+    result.verdicts.push_back(eval.holds(id, hy, hx));
+  }
+
+  if (options.mask & kInvRelations) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const bool fast_xy = result.verdicts[2 * i];
+      const bool fast_yx = result.verdicts[2 * i + 1];
+      if (fast_xy != eval.holds_naive(ids[i], hx, hy)) {
+        return fail("relations: " + to_string(ids[i]) +
+                    "(X,Y) fast/naive verdicts differ");
+      }
+      if (fast_yx != eval.holds_naive(ids[i], hy, hx)) {
+        return fail("relations: " + to_string(ids[i]) +
+                    "(Y,X) fast/naive verdicts differ");
+      }
+    }
+  }
+
+  // Schedule-driven online system: shared by the online and monitor legs.
+  OnlineSystem sys(u.process_count());
+  const std::vector<EventId> order = drive_system(u, s, sys);
+
+  if (options.mask & kInvOnline) {
+    if (sys.total_executed() != u.total_ops()) {
+      return fail("online: executed " +
+                  std::to_string(sys.total_executed()) + " events, expected " +
+                  std::to_string(u.total_ops()));
+    }
+    for (const EventId& e : order) {
+      if (sys.clock_of(e) != ts.forward_ref(e)) {
+        return fail("online: clock of " + describe(e) +
+                    " differs from the offline sweep");
+      }
+    }
+    if (options.mask & kInvStability) {
+      // A second linearization of the same trace (the replay helper's
+      // order) must stamp identical clocks: clocks are a function of the
+      // poset, not of the schedule.
+      const OnlineSystem alt = replay(*exec);
+      for (const EventId& e : order) {
+        if (alt.clock_of(e) != sys.clock_of(e)) {
+          return fail("stability: clock of " + describe(e) +
+                      " depends on the linearization");
+        }
+      }
+    }
+  }
+
+  const unsigned monitor_legs =
+      options.mask & (kInvMonitor | kInvStability | kInvCompaction |
+                      kInvRecovery);
+  if (monitor_legs == 0) return result;
+
+  // Monitor legs need disjoint actions; shared events go to X and an empty
+  // remainder makes them vacuous (see invariants.hpp).
+  std::vector<EventId> y_only;
+  for (const EventId& e : y.events()) {
+    if (!x.contains(e)) y_only.push_back(e);
+  }
+  if (y_only.empty()) return result;
+  const std::set<EventId> x_set(x.events().begin(), x.events().end());
+  const std::set<EventId> y_set(y_only.begin(), y_only.end());
+
+  const auto feed = [&](OnlineMonitor& mon, const WireMessage& report) {
+    if (x_set.count(report.source)) {
+      mon.ingest("X", report);
+    } else if (y_set.count(report.source)) {
+      mon.ingest("Y", report);
+    } else {
+      mon.observe(report);
+    }
+  };
+  const auto verdicts_of = [&](OnlineMonitor& mon) {
+    std::vector<Firing> fired;
+    for (const RelationId& id : ids) {
+      mon.watch(id, "X", "Y",
+                [&fired](const std::string&, const std::string&, bool holds,
+                         Confidence conf) { fired.push_back({holds, conf}); });
+    }
+    return fired;
+  };
+  const auto run_monitor = [&](std::span<const WireMessage> reports) {
+    OnlineMonitor mon(u.process_count());
+    mon.begin("X");
+    mon.begin("Y");
+    for (const WireMessage& r : reports) feed(mon, r);
+    mon.complete("X");
+    mon.complete("Y");
+    return verdicts_of(mon);
+  };
+
+  std::vector<WireMessage> reports;
+  reports.reserve(order.size());
+  for (const EventId& e : order) reports.push_back(sys.wire_of(e));
+
+  const std::vector<Firing> clean = run_monitor(reports);
+  if (clean.size() != 32) {
+    return fail("monitor: expected 32 immediate firings, got " +
+                std::to_string(clean.size()));
+  }
+  if (options.mask & kInvMonitor) {
+    // The monitor's "Y" action holds only the Y-only members (shared events
+    // were routed to X), so the offline reference is r(X, Y \ X).
+    RelationEvaluator mon_eval(ts);
+    const EventHandle mx = mon_eval.add_event(x);
+    const EventHandle my =
+        mon_eval.add_event(NonatomicEvent(*exec, y_only, "Y"));
+    for (std::size_t i = 0; i < 32; ++i) {
+      if (clean[i].conf != Confidence::Definite) {
+        return fail("monitor: " + to_string(ids[i]) + " verdict not Definite");
+      }
+      if (clean[i].holds != mon_eval.holds(ids[i], mx, my)) {
+        return fail("monitor: " + to_string(ids[i]) +
+                    " online verdict differs from offline");
+      }
+    }
+  }
+
+  if (options.mask & kInvStability) {
+    // Reversed report order: every gap opens and then self-closes, so the
+    // verdicts must come out bit-identical — they depend on the trace, not
+    // on the feed schedule.
+    std::vector<WireMessage> reversed(reports.rbegin(), reports.rend());
+    const std::vector<Firing> alt = run_monitor(reversed);
+    if (alt.size() != 32) {
+      return fail("stability: reversed feed fired " +
+                  std::to_string(alt.size()) + " watches, expected 32");
+    }
+    for (std::size_t i = 0; i < 32; ++i) {
+      if (!(alt[i] == clean[i]) || alt[i].conf != Confidence::Definite) {
+        return fail("stability: " + to_string(ids[i]) +
+                    " verdict depends on the feed order");
+      }
+    }
+  }
+
+  if (options.mask & kInvRecovery) {
+    Xoshiro256StarStar rng(options.fault_seed ^ 0x5851f42d4c957f2dULL);
+    LinkFaultConfig link;
+    link.drop_probability = 0.05 + 0.30 * rng.uniform01();
+    link.duplicate_probability = 0.05 + 0.30 * rng.uniform01();
+    link.reorder_probability = 0.05 + 0.30 * rng.uniform01();
+    link.min_delay = 1;
+    link.max_delay = static_cast<Duration>(1 + rng.below(60));
+    FaultyChannel channel(link, options.fault_seed ^ 0x9e3779b97f4a7c15ULL);
+    TimePoint t = 0;
+    for (const WireMessage& r : reports) channel.push(r, t += 5);
+    OnlineMonitor faulty(u.process_count());
+    faulty.begin("X");
+    faulty.begin("Y");
+    for (const Arrival& a : channel.drain()) feed(faulty, a.message);
+    faulty.checkpoint(sys.snapshot());
+    int rounds = 0;
+    while (faulty.missing_report_count() > 0) {
+      if (++rounds > 64) return fail("recovery: resync failed to converge");
+      for (const WireMessage& w : sys.serve(faulty.resync_request())) {
+        feed(faulty, w);
+      }
+    }
+    faulty.complete("X");
+    faulty.complete("Y");
+    const std::vector<Firing> recovered = verdicts_of(faulty);
+    if (recovered.size() != 32) {
+      return fail("recovery: fired " + std::to_string(recovered.size()) +
+                  " watches, expected 32");
+    }
+    for (std::size_t i = 0; i < 32; ++i) {
+      if (recovered[i].conf != Confidence::Definite ||
+          !(recovered[i] == clean[i])) {
+        return fail("recovery: " + to_string(ids[i]) +
+                    " recovered verdict differs from clean");
+      }
+    }
+  }
+
+  if (options.mask & kInvCompaction) {
+    // Lossy chunked feed with the authoritative log compacted at the
+    // monitor's watermark pin between chunks, against the clean verdicts.
+    OnlineSystem subject(u.process_count());
+    drive_system(u, s, subject);
+    Xoshiro256StarStar rng(options.fault_seed ^ 0xda3e39cb94b95bdbULL);
+    LinkFaultConfig link;
+    link.drop_probability = 0.05 + 0.30 * rng.uniform01();
+    link.duplicate_probability = 0.05 + 0.30 * rng.uniform01();
+    link.reorder_probability = 0.05 + 0.30 * rng.uniform01();
+    link.min_delay = 1;
+    link.max_delay = static_cast<Duration>(1 + rng.below(60));
+    FaultyChannel channel(link, options.fault_seed ^ 1);
+    TimePoint t = 0;
+    for (const WireMessage& r : reports) channel.push(r, t += 5);
+    OnlineMonitor mon(u.process_count());
+    mon.begin("X");
+    mon.begin("Y");
+    TimePoint cursor = 0;
+    while (true) {
+      cursor += 64;
+      for (const Arrival& a : channel.pop_ready(cursor)) feed(mon, a.message);
+      mon.checkpoint(subject.snapshot());
+      int rounds = 0;
+      while (mon.missing_report_count() > 0) {
+        if (++rounds > 512) {
+          return fail("compaction: chunked resync failed to converge");
+        }
+        for (const WireMessage& w : subject.serve(mon.resync_request(8))) {
+          feed(mon, w);
+        }
+      }
+      const VectorClock pins[] = {mon.watermark_pin()};
+      subject.compact(low_watermark(pins));
+      if (channel.in_transit() == 0) break;
+    }
+    mon.complete("X");
+    mon.complete("Y");
+    const std::vector<Firing> compacted = verdicts_of(mon);
+    if (compacted.size() != 32) {
+      return fail("compaction: fired " + std::to_string(compacted.size()) +
+                  " watches, expected 32");
+    }
+    for (std::size_t i = 0; i < 32; ++i) {
+      if (compacted[i].conf != Confidence::Definite ||
+          !(compacted[i] == clean[i])) {
+        return fail("compaction: " + to_string(ids[i]) +
+                    " compacted verdict differs from clean");
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace syncon::explore

@@ -1,0 +1,81 @@
+// The per-schedule invariant battery (DESIGN.md §3.14).
+//
+// Once the explorer hands over one canonical schedule per inequivalent
+// trace, every cross-layer identity the repository claims becomes provable
+// on *every* poset of the universe, not just the sampled one:
+//
+//   relations   all 32 relations × both argument orders: Theorem 20 fast
+//               path ≡ naive proxy quantification on the induced execution
+//               (catches fast-path bugs like the planted wrong_r2 hook on
+//               every poset, deterministically).
+//   online      OnlineSystem driven step-by-step by the schedule itself:
+//               every logged clock ≡ the offline Timestamps sweep.
+//   monitor     OnlineMonitor fed the schedule's report order: 32 Definite
+//               verdicts ≡ the offline fast evaluator.
+//   stability   a second linearization of the *same* trace (reversed feed,
+//               replay-ordered system): bit-identical verdicts and clocks —
+//               verdicts are a function of the poset, never the schedule.
+//   compaction  lossy chunked feed with the log compacted at the watermark
+//               pin ≡ the clean uncompacted verdicts.
+//   recovery    lossy feed + checkpoint/resync recovery ≡ clean verdicts,
+//               all Definite.
+//
+// The monitor-based legs are skipped (vacuously) when Y ⊆ X leaves no
+// Y-only member, since the monitor forbids two actions claiming one event.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "explore/universe.hpp"
+
+namespace syncon::explore {
+
+enum : unsigned {
+  kInvRelations = 1u << 0,
+  kInvOnline = 1u << 1,
+  kInvMonitor = 1u << 2,
+  kInvStability = 1u << 3,
+  kInvCompaction = 1u << 4,
+  kInvRecovery = 1u << 5,
+};
+
+/// The cheap always-on legs (what `schedule_invariance` runs per trace).
+inline constexpr unsigned kInvCore =
+    kInvRelations | kInvOnline | kInvMonitor | kInvStability;
+inline constexpr unsigned kInvAll =
+    kInvCore | kInvCompaction | kInvRecovery;
+
+/// Parses a comma-separated invariant list ("relations,online,monitor,
+/// stability,compaction,recovery", plus the aliases "core" and "all").
+/// nullopt on an unknown name.
+std::optional<unsigned> invariant_mask_from_csv(std::string_view csv);
+
+struct InvariantOptions {
+  unsigned mask = kInvCore;
+  /// Seeds the fault plans of the compaction / recovery legs.
+  std::uint64_t fault_seed = 0;
+};
+
+struct ScheduleCheckResult {
+  bool passed = true;
+  /// On failure: which leg / relation / event diverged.
+  std::string message;
+  /// The 64 offline verdicts (32 relations × both orders) of the schedule's
+  /// induced poset — the payload DPOR-vs-naive comparisons assert on.
+  std::vector<bool> verdicts;
+};
+
+/// Runs the selected invariant legs on one complete schedule. Pure function
+/// of (universe, schedule, members, options) — safe to call concurrently
+/// from the explorer's parallel frontier. X/Y member ids refer to per-op
+/// events, which exist in every schedule of the universe.
+ScheduleCheckResult check_schedule(const Universe& u, const Schedule& s,
+                                   const std::vector<EventId>& x_members,
+                                   const std::vector<EventId>& y_members,
+                                   const InvariantOptions& options = {});
+
+}  // namespace syncon::explore

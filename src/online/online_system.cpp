@@ -142,6 +142,12 @@ EventId OnlineSystem::advance(ProcessId p,
       }
     }
   }
+  // Delivery within a gather batch is set-like: merge_max commutes and
+  // witness() is idempotent, so the only batch-order-dependent state would
+  // be this source list. Canonicalize it so the logged event — and with it
+  // sources_of, WAL records, and to_execution() — is a pure function of the
+  // delivered *set*, not of the arrival permutation.
+  std::sort(logged.sources.begin(), logged.sources.end());
   // The paper's axiom ⊥_i ≺ e lifts every component to at least 1.
   for (std::size_t i = 0; i < clock.size(); ++i) {
     if (clock.at(i) == 0) clock.set(i, 1);
@@ -340,6 +346,10 @@ bool OnlineSystem::restore_event(EventId e, const VectorClock& clock,
     LoggedEvent logged;
     logged.clock = clock;
     logged.sources.assign(sources.begin(), sources.end());
+    // WAL records written before source-order canonicalization may carry an
+    // arrival permutation; normalize on replay so restored and live logs
+    // agree byte for byte.
+    std::sort(logged.sources.begin(), logged.sources.end());
     logged.time = time;
     clocks_[p] = clock;
     log_[p].push_back(std::move(logged));

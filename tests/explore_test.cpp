@@ -1,0 +1,272 @@
+// Explorer internals (DESIGN.md §3.14): canonical-schedule enumeration
+// counts on a hand-counted universe, DPOR-vs-naive equivalence, the
+// SYNCON_TEST_ITERS dial, the parallel frontier, the planted-bug loop, and
+// the batch-order canonicalization regression the explorer depends on.
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/driver.hpp"
+#include "explore/explorer.hpp"
+#include "explore/invariants.hpp"
+#include "helpers.hpp"
+#include "online/online_system.hpp"
+#include "relations/fast.hpp"
+
+namespace syncon::explore {
+namespace {
+
+using check::CheckCase;
+using check::DriverOptions;
+using check::DriverReport;
+using check::GenLimits;
+
+// p0 runs three sends, p1 three arity-1 receives. Messages are
+// interchangeable in *slots* but not in *sources*, so the inequivalent
+// schedules are exactly the 3! = 6 bindings of messages to receives.
+Universe pipeline_universe() {
+  ExecutionBuilder b(2);
+  const MessageToken m1 = b.send(0);
+  const MessageToken m2 = b.send(0);
+  const MessageToken m3 = b.send(0);
+  b.receive(1, m1);
+  b.receive(1, m2);
+  b.receive(1, m3);
+  return universe_from_execution(b.build());
+}
+
+/// Sorted multiset of 64-bit verdict strings across all explored traces —
+/// the payload DPOR and naive enumeration must agree on.
+std::multiset<std::string> verdict_set(const Universe& u,
+                                       const ExploreOptions& options,
+                                       const std::vector<EventId>& x,
+                                       const std::vector<EventId>& y,
+                                       ExploreStats* stats_out = nullptr) {
+  std::multiset<std::string> verdicts;
+  std::mutex mu;
+  InvariantOptions inv;
+  inv.mask = 0;  // verdict payload only
+  const ExploreStats stats =
+      explore(u, options, [&](const Schedule& s) {
+        const ScheduleCheckResult r = check_schedule(u, s, x, y, inv);
+        std::string bits;
+        bits.reserve(r.verdicts.size());
+        for (const bool v : r.verdicts) bits.push_back(v ? '1' : '0');
+        const std::lock_guard<std::mutex> lock(mu);
+        verdicts.insert(std::move(bits));
+        return true;
+      });
+  if (stats_out) *stats_out = stats;
+  return verdicts;
+}
+
+TEST(ExploreUniverseTest, HandCountedPipelineHasExactlySixClasses) {
+  const Universe u = pipeline_universe();
+  EXPECT_EQ(u.total_ops(), 6u);
+  EXPECT_EQ(u.total_steps(), 6u);  // 3 exec (sends) + 3 deliveries
+
+  std::size_t callbacks = 0;
+  const ExploreStats stats =
+      explore(u, {}, [&](const Schedule& s) {
+        ++callbacks;
+        // Every binding is a permutation: all three receives bound.
+        EXPECT_EQ(s.binding.size(), 3u);
+        return true;
+      });
+  EXPECT_EQ(stats.traces_visited, 6u);
+  EXPECT_EQ(callbacks, 6u);
+  // Arity-1 receives make canonical words 1:1 with bindings.
+  EXPECT_EQ(stats.schedules_executed, 6u);
+  EXPECT_EQ(stats.duplicate_traces, 0u);
+  EXPECT_FALSE(stats.budget_exhausted);
+}
+
+TEST(ExploreUniverseTest, DporVisitsStrictlyFewerSchedulesThanNaive) {
+  const Universe u = pipeline_universe();
+  const std::vector<EventId> x{{0, 1}, {0, 2}, {0, 3}};
+  const std::vector<EventId> y{{1, 1}, {1, 2}, {1, 3}};
+
+  ExploreStats dpor_stats, naive_stats;
+  const std::multiset<std::string> dpor_verdicts =
+      verdict_set(u, {}, x, y, &dpor_stats);
+  ExploreOptions naive;
+  naive.dpor = false;
+  const std::multiset<std::string> naive_verdicts =
+      verdict_set(u, naive, x, y, &naive_stats);
+
+  EXPECT_LT(dpor_stats.schedules_executed, naive_stats.schedules_executed);
+  EXPECT_EQ(dpor_stats.traces_visited, naive_stats.traces_visited);
+  EXPECT_EQ(dpor_verdicts, naive_verdicts);
+  EXPECT_EQ(naive_stats.prefixes_pruned, 0u);
+}
+
+TEST(ExploreUniverseTest, GeneratedUniversesAgreeAcrossModes) {
+  GenLimits limits;
+  limits.workload.min_processes = 2;
+  limits.workload.max_processes = 3;
+  limits.workload.min_events_per_process = 2;
+  limits.workload.max_events_per_process = 3;
+  // The SYNCON_TEST_ITERS dial scales how many universes the sweep covers.
+  const int iters = testing::test_iters(6);
+  int compared = 0;
+  for (int i = 0; compared < iters && i < 20 * iters; ++i) {
+    const std::uint64_t seed =
+        check::case_seed_for(20260808, static_cast<std::size_t>(i));
+    SYNCON_SEED_TRACE(seed);
+    const CheckCase c = check::generate_case(seed, limits);
+    if (c.messages.size() > 6) continue;  // keep naive enumeration bounded
+    const auto m = check::materialize(c);
+    if (!m) continue;
+    const Universe u = universe_from_execution(*m->exec);
+
+    ExploreStats dpor_stats, naive_stats;
+    const std::multiset<std::string> dpor_verdicts =
+        verdict_set(u, {}, c.x_members, c.y_members, &dpor_stats);
+    ExploreOptions naive;
+    naive.dpor = false;
+    const std::multiset<std::string> naive_verdicts =
+        verdict_set(u, naive, c.x_members, c.y_members, &naive_stats);
+
+    ASSERT_EQ(dpor_stats.traces_visited, naive_stats.traces_visited);
+    ASSERT_LE(dpor_stats.schedules_executed, naive_stats.schedules_executed);
+    ASSERT_EQ(dpor_verdicts, naive_verdicts);
+    ++compared;
+  }
+  EXPECT_GT(compared, 0);
+}
+
+TEST(ExploreUniverseTest, ParallelFrontierMatchesSerial) {
+  const Universe u = pipeline_universe();
+  const std::vector<EventId> x{{0, 1}, {0, 2}, {0, 3}};
+  const std::vector<EventId> y{{1, 1}, {1, 2}, {1, 3}};
+
+  ExploreStats serial_stats, parallel_stats;
+  const std::multiset<std::string> serial_verdicts =
+      verdict_set(u, {}, x, y, &serial_stats);
+  ExploreOptions par;
+  par.parallel = true;
+  const std::multiset<std::string> parallel_verdicts =
+      verdict_set(u, par, x, y, &parallel_stats);
+
+  EXPECT_EQ(parallel_stats.traces_visited, serial_stats.traces_visited);
+  EXPECT_EQ(parallel_stats.schedules_executed, serial_stats.schedules_executed);
+  EXPECT_EQ(parallel_verdicts, serial_verdicts);
+}
+
+TEST(ExploreInvariantTest, CoreBatteryHoldsOnSmallGeneratedUniverses) {
+  GenLimits limits;
+  limits.workload.min_processes = 2;
+  limits.workload.max_processes = 4;
+  limits.workload.min_events_per_process = 2;
+  limits.workload.max_events_per_process = 4;
+  const check::ScheduleInvarianceConfig gate =
+      check::schedule_invariance_config();
+  const int iters = testing::test_iters(8);
+  int explored = 0;
+  for (int i = 0; explored < iters && i < 30 * iters; ++i) {
+    const std::uint64_t seed =
+        check::case_seed_for(77, static_cast<std::size_t>(i));
+    SYNCON_SEED_TRACE(seed);
+    const CheckCase c = check::generate_case(seed, limits);
+    if (c.process_count() > gate.max_processes ||
+        c.messages.size() > gate.max_messages ||
+        c.total_events() > gate.max_events) {
+      continue;
+    }
+    const check::PropertyResult result = check::run_property_on_case(
+        *check::find_property("schedule_invariance"), c);
+    ASSERT_TRUE(result.passed) << result.message;
+    ++explored;
+  }
+  EXPECT_GT(explored, 0);
+}
+
+// The planted-bug loop: with the wrong_r2 hook armed, exhaustive
+// schedule_invariance must catch the fast-path divergence — through full
+// enumeration of every explored universe, not through sampling luck.
+struct PlantedBug {
+  PlantedBug() { fast_debug_hooks().wrong_r2 = true; }
+  ~PlantedBug() { fast_debug_hooks().wrong_r2 = false; }
+};
+
+TEST(ExploreInvariantTest, PlantedWrongR2IsCaughtExhaustively) {
+  const PlantedBug plant;
+  DriverOptions options;
+  options.seed = 424242;
+  options.max_cases = 60;
+  options.properties = {"schedule_invariance"};
+  options.exhaustive = true;
+  options.stop_after_failures = 1;
+  options.limits.workload.min_processes = 2;
+  options.limits.workload.max_processes = 4;
+  options.limits.workload.min_events_per_process = 2;
+  options.limits.workload.max_events_per_process = 4;
+  const DriverReport report = check::run_conformance(options);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].property, "schedule_invariance");
+  EXPECT_NE(report.failures[0].detail.find("relations"), std::string::npos)
+      << report.failures[0].detail;
+  // The minimized repro still fails, and the fixed library passes it.
+  EXPECT_FALSE(check::run_property_on_case(
+                   *check::find_property("schedule_invariance"),
+                   report.failures[0].minimized)
+                   .passed);
+  fast_debug_hooks().wrong_r2 = false;
+  EXPECT_TRUE(check::run_property_on_case(
+                  *check::find_property("schedule_invariance"),
+                  report.failures[0].minimized)
+                  .passed);
+  fast_debug_hooks().wrong_r2 = true;  // PlantedBug dtor restores false
+}
+
+// Satellite regression: delivery within a gather batch must be set-like.
+// Permuting the batch order may not leak into the receive's source list,
+// the clocks, or the reconstructed execution (the explorer relies on this —
+// schedules of one trace must replay to bit-identical online state).
+TEST(ExploreOnlineTest, BatchOrderPermutationIsCanonicalized) {
+  struct Run {
+    Execution exec;
+    EventId recv;
+    std::vector<EventId> sources;
+    VectorClock clock;
+  };
+  const auto run = [](const std::vector<std::size_t>& order) {
+    OnlineSystem sys(4);
+    std::vector<WireMessage> wires;
+    for (ProcessId p = 1; p <= 3; ++p) wires.push_back(sys.send(p));
+    std::vector<WireMessage> batch;
+    for (const std::size_t i : order) batch.push_back(wires[i]);
+    const EventId recv = sys.deliver_all(0, batch);
+    const auto span = sys.sources_of(recv);
+    return Run{sys.to_execution(), recv,
+               std::vector<EventId>(span.begin(), span.end()),
+               sys.clock_of(recv)};
+  };
+
+  const Run a = run({0, 1, 2});
+  const Run b = run({2, 0, 1});
+  const Run c = run({1, 2, 0});
+  EXPECT_EQ(a.recv, b.recv);
+  EXPECT_EQ(a.recv, c.recv);
+  EXPECT_EQ(a.sources, b.sources);
+  EXPECT_EQ(a.sources, c.sources);
+  EXPECT_EQ(a.clock, b.clock);
+  EXPECT_EQ(a.clock, c.clock);
+
+  const auto incoming = [](const Execution& e, EventId recv) {
+    const auto span = e.incoming(recv);
+    return std::vector<EventId>(span.begin(), span.end());
+  };
+  EXPECT_EQ(incoming(a.exec, a.recv), incoming(b.exec, b.recv));
+  EXPECT_EQ(incoming(a.exec, a.recv), incoming(c.exec, c.recv));
+  EXPECT_EQ(a.exec.messages(), b.exec.messages());
+  EXPECT_EQ(a.exec.messages(), c.exec.messages());
+
+  const Timestamps ts_a(a.exec), ts_b(b.exec);
+  EXPECT_EQ(ts_a.forward_ref(a.recv), ts_b.forward_ref(b.recv));
+}
+
+}  // namespace
+}  // namespace syncon::explore

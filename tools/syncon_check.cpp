@@ -102,6 +102,9 @@ int main(int argc, char** argv) {
   cli.add_option("repro", "", "replay a repro file saved from a failure");
   cli.add_flag("list", "list the registered properties and exit");
   cli.add_flag("no-shrink", "report failures without minimizing them");
+  cli.add_flag("exhaustive",
+               "force schedule_invariance into the property set and lift "
+               "its schedule budget (full enumeration under the size gate)");
   if (!cli.parse(argc, argv)) return 2;
 
   if (cli.get_flag("list")) {
@@ -147,6 +150,7 @@ int main(int argc, char** argv) {
   options.shrink_failures = shrink;
   options.stop_after_failures =
       static_cast<std::size_t>(cli.get_uint("max-failures"));
+  options.exhaustive = cli.get_flag("exhaustive");
   if (options.max_cases == 0 && options.budget_seconds <= 0) {
     std::cerr << "--cases 0 needs a --minutes budget\n";
     return 2;
