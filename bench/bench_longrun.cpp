@@ -19,6 +19,11 @@
 // /metrics + /flight scrapes on 127.0.0.1 during the plateau phase;
 // SYNCON_CAUSAL_TRACE captures the identity phase's clean run with full
 // observability and writes its causal span trace as OTLP-style JSON.
+//
+// Service phase (DESIGN.md §3.15, off by default): SYNCON_TENANTS=N runs N
+// scripted faulty tenants through a sharded MonitorDaemon under a binding
+// memory budget and folds the per-tenant verdict-identity result into the
+// exit status (SYNCON_SERVICE_SHARDS / SYNCON_SERVICE_BUDGET to dial).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +33,10 @@
 #include "model/timestamps.hpp"
 #include "obs/causal_trace.hpp"
 #include "obs/serve.hpp"
+#include "service/daemon.hpp"
+#include "service/load.hpp"
 #include "sim/soak.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -190,6 +198,61 @@ int run() {
       .add_cell(std::string(identical ? "yes" : "NO"));
   std::printf("%s\n", id_table.to_string().c_str());
 
+  // --- phase 3 (opt-in): multi-tenant service soak ---
+  bool service_ok = true;
+  if (const std::uint64_t tenants = env_u64("SYNCON_TENANTS", 0);
+      tenants > 0) {
+    service::DaemonOptions daemon_options;
+    daemon_options.shards =
+        static_cast<std::size_t>(env_u64("SYNCON_SERVICE_SHARDS", 8));
+    daemon_options.memory_budget_events =
+        static_cast<std::size_t>(env_u64("SYNCON_SERVICE_BUDGET", 4096));
+    service::MonitorDaemon daemon(daemon_options, ThreadPool::shared());
+
+    service::ServiceLoadConfig load;
+    load.tenants = static_cast<std::size_t>(tenants);
+    load.seed = cfg.seed;
+    load.release_finished = true;
+    load.workload.report_link = cfg.report_link;
+    const auto s0 = std::chrono::steady_clock::now();
+    const service::ServiceLoadResult svc = run_service_load(load, daemon);
+    const double svc_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - s0)
+            .count();
+    daemon.publish_metrics();
+    service_ok = svc.identity_ok && svc.daemon.frames_quarantined == 0 &&
+                 (daemon_options.memory_budget_events == 0 ||
+                  svc.daemon.reclaimed_events > 0);
+
+    TextTable svc_table({"service phase", "value"});
+    svc_table.new_row().add_cell(std::string("tenants")).add_cell(tenants);
+    svc_table.new_row()
+        .add_cell(std::string("events / frames"))
+        .add_cell(with_thousands(svc.total_events) + " / " +
+                  with_thousands(svc.total_frames));
+    svc_table.new_row()
+        .add_cell(std::string("verdicts (all bit-identical)"))
+        .add_cell(std::to_string(svc.verdicts_total) + " / " +
+                  std::string(svc.identity_ok ? "yes" : "NO"));
+    svc_table.new_row()
+        .add_cell(std::string("live-log peak / reclaimed"))
+        .add_cell(std::to_string(svc.daemon.live_log_peak) + " / " +
+                  with_thousands(svc.daemon.reclaimed_events));
+    svc_table.new_row()
+        .add_cell(std::string("frames/s"))
+        .add_cell(with_thousands(static_cast<std::uint64_t>(
+            svc_secs > 0 ? static_cast<double>(svc.total_frames) / svc_secs
+                         : 0)));
+    std::printf("%s\n", svc_table.to_string().c_str());
+
+    registry.gauge("syncon_longrun_service_identity")
+        .set(svc.identity_ok ? 1 : 0);
+    registry.gauge("syncon_longrun_service_tenants")
+        .set(static_cast<std::int64_t>(svc.tenants_run));
+    registry.gauge("syncon_longrun_service_reclaimed")
+        .set(static_cast<std::int64_t>(svc.daemon.reclaimed_events));
+  }
+
   registry.gauge("syncon_longrun_executed_events")
       .set(static_cast<std::int64_t>(soak.executed_events));
   registry.gauge("syncon_longrun_live_log_peak")
@@ -204,7 +267,7 @@ int run() {
       .set(static_cast<std::int64_t>(soak.surface_replies));
 
   const bool ok = plateau_ok && identical && soak.late_joiner_converged &&
-                  soak.reclaimed_events > 0;
+                  soak.reclaimed_events > 0 && service_ok;
   if (!ok) std::printf("bench_longrun: FAILED retention guarantees\n");
   return ok ? 0 : 1;
 }

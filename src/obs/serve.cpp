@@ -6,6 +6,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <string_view>
@@ -53,8 +55,15 @@ Response route(std::string_view path, const std::string& run_label) {
 
 void write_all(int fd, std::string_view data) {
   while (!data.empty()) {
-    const ssize_t n = ::write(fd, data.data(), data.size());
-    if (n <= 0) return;  // peer went away; nothing to salvage
+    // MSG_NOSIGNAL: a scraper closing mid-response must surface as EPIPE,
+    // not a process-killing SIGPIPE — this server lives inside long-running
+    // daemons that must outlive any one client.
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // a signal is not a disconnect
+      return;                        // peer went away; nothing to salvage
+    }
+    if (n == 0) return;
     data.remove_prefix(static_cast<std::size_t>(n));
   }
 }
@@ -108,13 +117,32 @@ std::size_t ScrapeServer::serve_pending() {
 
 void ScrapeServer::handle_connection(int client) {
   // Read until the end of the request head (or a sanity cap); only the
-  // request line matters — no header the routes care about.
+  // request line matters — no header the routes care about. Every wait is
+  // bounded by request_timeout_ms so a silent client cannot wedge the
+  // owner's serve loop, and EINTR (from e.g. a profiler's timer signal)
+  // restarts the wait instead of truncating the request.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.request_timeout_ms);
   std::string request;
   char buf[2048];
   while (request.size() < 16 * 1024 &&
          request.find("\r\n\r\n") == std::string::npos) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return;  // silent client: drop the connection
+    pollfd pfd{client, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) return;  // timed out waiting for bytes
     const ssize_t n = ::read(client, buf, sizeof(buf));
-    if (n <= 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
     request.append(buf, static_cast<std::size_t>(n));
   }
   std::string_view line(request);

@@ -29,6 +29,10 @@ class ScrapeServer {
     std::uint16_t port = 0;  // 0 → kernel-assigned ephemeral port
     std::string run_label = "syncon";
     int listen_backlog = 16;
+    /// Per-connection budget for reading the request head. A client that
+    /// connects but never sends must not stall the owner's loop forever —
+    /// the connection is dropped once the budget elapses.
+    int request_timeout_ms = 5000;
   };
 
   ScrapeServer() : ScrapeServer(Options{}) {}

@@ -289,4 +289,288 @@ SoakResult run_soak(const SoakConfig& config) {
   return result;
 }
 
+// --- multi-tenant tenant scripts ---------------------------------------------
+
+TenantSessionCore::TenantSessionCore(std::size_t processes,
+                                     std::size_t resync_chunk)
+    : sys_(processes), monitor_(processes), resync_chunk_(resync_chunk) {
+  SYNCON_REQUIRE(resync_chunk_ > 0, "resync chunk must be positive");
+}
+
+void TenantSessionCore::route_report(const std::string& label,
+                                     const WireMessage& report) {
+  if (!label.empty() &&
+      (monitor_.is_open(label) || monitor_.is_complete(label))) {
+    monitor_.try_ingest(label, report);
+  } else {
+    monitor_.try_observe(report);
+  }
+}
+
+void TenantSessionCore::apply(const TenantOp& op) {
+  try {
+    apply_checked(op);
+  } catch (const ContractViolation&) {
+    // A corrupted or spliced stream must degrade this tenant only — count
+    // and carry on, exactly like the monitor's own wire quarantine.
+    ++quarantined_ops_;
+  }
+  ++applied_;
+}
+
+void TenantSessionCore::apply_checked(const TenantOp& op) {
+  switch (op.kind) {
+    case TenantOp::Kind::kBegin:
+      monitor_.begin(op.label);
+      break;
+    case TenantOp::Kind::kWatch:
+      monitor_.watch(op.relation, op.label, op.label2,
+                     [this](const std::string& x, const std::string& y,
+                            bool holds, Confidence conf) {
+                       if (conf != Confidence::Definite) return;
+                       definite_labels_.insert(x);
+                       definite_labels_.insert(y);
+                       verdicts_.push_back(x + "|" + y + "|" +
+                                           (holds ? "holds" : "fails"));
+                     });
+      break;
+    case TenantOp::Kind::kComplete:
+      monitor_.complete(op.label);
+      break;
+    case TenantOp::Kind::kForget: {
+      monitor_.forget(op.label);
+      definite_labels_.erase(op.label);
+      const auto it = events_of_label_.find(op.label);
+      if (it != events_of_label_.end()) {
+        for (const EventId& e : it->second) label_of_.erase(e);
+        events_of_label_.erase(it);
+      }
+      break;
+    }
+    case TenantOp::Kind::kEvent:
+      sys_.restore_event(op.event, op.clock, op.sources, op.time);
+      if (!op.label.empty()) {
+        label_of_[op.event] = op.label;
+        events_of_label_[op.label].push_back(op.event);
+      }
+      break;
+    case TenantOp::Kind::kReport:
+      route_report(op.label, WireMessage{op.event, op.clock});
+      break;
+    case TenantOp::Kind::kCheckpoint: {
+      monitor_.checkpoint(op.clock);
+      // Local resync loop, served from the replica. The no-progress guard
+      // matters on a degraded stream: if journal frames were quarantined the
+      // replica cannot serve everything the checkpoint claims, and the gaps
+      // must stay open (PendingGap) instead of spinning forever.
+      std::size_t missing = monitor_.missing_report_count();
+      while (missing > 0) {
+        const RetransmitRequest request =
+            monitor_.resync_request(resync_chunk_);
+        if (request.empty()) break;
+        for (const WireMessage& reply : sys_.serve(request)) {
+          const auto it = label_of_.find(reply.source);
+          route_report(it == label_of_.end() ? std::string() : it->second,
+                       reply);
+        }
+        const std::size_t after = monitor_.missing_report_count();
+        if (after >= missing) break;
+        missing = after;
+      }
+      break;
+    }
+  }
+}
+
+std::size_t TenantSessionCore::compact_at_pin() {
+  return sys_.compact(monitor_.watermark_pin());
+}
+
+TenantScript generate_tenant_script(const TenantWorkload& workload) {
+  const std::size_t n_proc = workload.processes;
+  SYNCON_REQUIRE(n_proc >= 2, "a tenant ring needs at least two processes");
+  SYNCON_REQUIRE(workload.action_every > 0 && workload.recover_every > 0,
+                 "tenant cadences must be positive");
+
+  TenantScript script;
+  script.processes = n_proc;
+  script.resync_chunk = workload.resync_chunk;
+
+  OnlineSystem sys(n_proc);  // the tenant's authoritative execution
+  // The generation-time reference consumer: fed every op as it is emitted,
+  // so script.reference_verdicts is by construction the standalone outcome.
+  TenantSessionCore core(n_proc, workload.resync_chunk);
+
+  std::vector<FaultyChannel> reports;
+  reports.reserve(n_proc);
+  for (std::size_t p = 0; p < n_proc; ++p) {
+    reports.emplace_back(workload.report_link,
+                         workload.seed + 0x9e3779b9u * (p + 1));
+  }
+
+  std::int64_t stamp = 0;
+  TimePoint now = 0;
+  constexpr Duration kCycleStep = 8;
+
+  std::unordered_map<EventId, std::string> label_of;
+  std::unordered_map<std::string, std::size_t> expected_events;
+  std::deque<PendingPair> pairs;
+  std::uint64_t next_pair = 0;
+
+  const auto emit = [&](TenantOp op) {
+    core.apply(op);
+    script.ops.push_back(std::move(op));
+  };
+
+  const auto emit_event = [&](EventId e, const std::string& label) {
+    TenantOp op;
+    op.kind = TenantOp::Kind::kEvent;
+    op.label = label;
+    op.event = e;
+    op.clock = sys.clock_of(e);
+    const std::span<const EventId> sources = sys.sources_of(e);
+    op.sources.assign(sources.begin(), sources.end());
+    op.time = sys.time_of(e);
+    emit(std::move(op));
+  };
+
+  const auto offer_report = [&](EventId e) {
+    reports[e.process].push(WireMessage{e, sys.clock_of(e)}, now);
+  };
+
+  const auto emit_report = [&](const WireMessage& r) {
+    TenantOp op;
+    op.kind = TenantOp::Kind::kReport;
+    op.event = r.source;
+    op.clock = r.clock;
+    const auto it = label_of.find(r.source);
+    if (it != label_of.end()) op.label = it->second;
+    emit(std::move(op));
+  };
+
+  const auto emit_label_op = [&](TenantOp::Kind kind,
+                                 const std::string& label) {
+    TenantOp op;
+    op.kind = kind;
+    op.label = label;
+    emit(std::move(op));
+  };
+
+  const auto emit_checkpoint = [&]() {
+    TenantOp op;
+    op.kind = TenantOp::Kind::kCheckpoint;
+    op.clock = sys.snapshot();
+    emit(std::move(op));
+  };
+
+  const auto advance_pairs = [&]() {
+    for (PendingPair& pair : pairs) {
+      if (pair.completed) continue;
+      const OnlineMonitor& monitor = core.monitor();
+      const bool ready =
+          monitor.is_open(pair.a) && monitor.is_open(pair.b) &&
+          monitor.recorded_events(pair.a) == expected_events[pair.a] &&
+          monitor.recorded_events(pair.b) == expected_events[pair.b];
+      if (!ready) break;  // strictly in opening order — see PendingPair
+      emit_label_op(TenantOp::Kind::kComplete, pair.a);
+      emit_label_op(TenantOp::Kind::kComplete, pair.b);
+      pair.completed = true;
+      TenantOp watch;
+      watch.kind = TenantOp::Kind::kWatch;
+      watch.relation = {Relation::R3, ProxyKind::Begin, ProxyKind::End};
+      watch.label = pair.a;
+      watch.label2 = pair.b;
+      emit(std::move(watch));
+    }
+    while (!pairs.empty() && pairs.front().completed &&
+           core.definite(pairs.front().a)) {
+      const PendingPair& pair = pairs.front();
+      emit_label_op(TenantOp::Kind::kForget, pair.a);
+      emit_label_op(TenantOp::Kind::kForget, pair.b);
+      expected_events.erase(pair.a);
+      expected_events.erase(pair.b);
+      for (const EventId& e : pair.events) label_of.erase(e);
+      pairs.pop_front();
+    }
+  };
+
+  for (std::uint64_t cycle = 0; cycle < workload.cycles; ++cycle) {
+    now += kCycleStep;
+
+    if (cycle % workload.action_every == 0) {
+      PendingPair pair;
+      pair.n = next_pair++;
+      pair.a = "A#" + std::to_string(pair.n);
+      pair.b = "B#" + std::to_string(pair.n);
+      emit_label_op(TenantOp::Kind::kBegin, pair.a);
+      emit_label_op(TenantOp::Kind::kBegin, pair.b);
+      const ProcessId pa = static_cast<ProcessId>(pair.n % n_proc);
+      const ProcessId offsets[2][2] = {{0, 1}, {2, 3}};
+      const std::string* labels[2] = {&pair.a, &pair.b};
+      for (int which = 0; which < 2; ++which) {
+        for (const ProcessId off : offsets[which]) {
+          const ProcessId p = (pa + off) % static_cast<ProcessId>(n_proc);
+          const EventId e = sys.local(p, ++stamp);
+          label_of.emplace(e, *labels[which]);
+          pair.events.push_back(e);
+          ++expected_events[*labels[which]];
+          emit_event(e, *labels[which]);
+          offer_report(e);
+        }
+      }
+      pairs.push_back(std::move(pair));
+    }
+
+    // Ring traffic on a reliable application network: the tenant's journal
+    // stream is its WAL, so the execution itself is never in question —
+    // only the report feed is lossy.
+    for (ProcessId p = 0; p < n_proc; ++p) {
+      const ProcessId succ = (p + 1) % static_cast<ProcessId>(n_proc);
+      const WireMessage w = sys.send(p, ++stamp);
+      emit_event(w.source, std::string());
+      offer_report(w.source);
+      const EventId e = sys.deliver(succ, w, ++stamp);
+      emit_event(e, std::string());
+      offer_report(e);
+    }
+
+    for (ProcessId p = 0; p < n_proc; ++p) {
+      for (const Arrival& a : reports[p].pop_ready(now)) {
+        emit_report(a.message);
+      }
+    }
+    advance_pairs();
+
+    if (cycle > 0 && cycle % workload.recover_every == 0) {
+      emit_checkpoint();
+      advance_pairs();
+    }
+  }
+
+  // Drain and settle: the final checkpoint's resync recovers every dropped
+  // report (the reference replica holds the full journal), so every pair
+  // completes and fires Definite.
+  for (ProcessId p = 0; p < n_proc; ++p) {
+    for (const Arrival& a : reports[p].drain()) emit_report(a.message);
+  }
+  emit_checkpoint();
+  advance_pairs();
+  for (int round = 0; round < 8 && !pairs.empty(); ++round) {
+    emit_checkpoint();
+    advance_pairs();
+  }
+  SYNCON_REQUIRE(pairs.empty(), "tenant generation failed to settle");
+
+  script.executed_events = sys.total_executed();
+  script.reference_verdicts = core.definite_verdicts();
+  script.reference_quarantined = core.quarantined();
+  return script;
+}
+
+std::vector<std::string> run_tenant_script(const TenantScript& script) {
+  TenantSessionCore core(script.processes, script.resync_chunk);
+  for (const TenantOp& op : script.ops) core.apply(op);
+  return core.definite_verdicts();
+}
+
 }  // namespace syncon

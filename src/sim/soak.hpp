@@ -19,11 +19,14 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "model/execution.hpp"
 #include "obs/flight.hpp"
 #include "obs/latency.hpp"
+#include "online/online_monitor.hpp"
 #include "sim/faulty_channel.hpp"
 
 namespace syncon {
@@ -100,5 +103,137 @@ struct SoakResult {
 /// Runs the soak scenario. Deterministic: same config → same result,
 /// bit for bit.
 SoakResult run_soak(const SoakConfig& config);
+
+// --- multi-tenant tenant scripts (DESIGN.md §3.15) ---------------------------
+//
+// One *tenant* is one independently monitored execution. Its entire monitor-
+// side traffic — action lifecycle, journaled events, lossy event reports,
+// checkpoint broadcasts — is flattened into a deterministic op sequence
+// (TenantScript) that can be applied anywhere: directly (the standalone
+// offline baseline), or encoded through the service wire codec into a
+// sharded daemon. Verdict identity between those two consumers is the
+// service's headline guarantee: framing, sharding, backpressure and
+// memory-budget compaction must not perturb any tenant's verdict stream.
+
+/// One monitor-side operation of a tenant's feed. The op carries everything
+/// its application needs — ops are self-contained so a session can be fed
+/// from a wire decoder with no side channel.
+struct TenantOp {
+  enum class Kind : std::uint8_t {
+    kBegin,       ///< open action `label`
+    kWatch,       ///< watch `relation`(label, label2)
+    kComplete,    ///< complete action `label`
+    kForget,      ///< forget action `label` (and its event→label routes)
+    kEvent,       ///< journal replay: restore_event(event, clock, sources, time)
+    kReport,      ///< lossy report of `event` (route to `label`, or observe)
+    kCheckpoint,  ///< authoritative snapshot `clock` + resync-to-convergence
+  };
+
+  Kind kind = Kind::kEvent;
+  std::string label;              ///< see Kind (empty = unroutable report)
+  std::string label2;             ///< kWatch: the y action
+  RelationId relation{};          ///< kWatch
+  EventId event{};                ///< kEvent / kReport
+  VectorClock clock;              ///< kEvent / kReport / kCheckpoint
+  std::vector<EventId> sources;   ///< kEvent: journaled receive sources
+  std::int64_t time = OnlineSystem::kNoTime;  ///< kEvent
+
+  friend bool operator==(const TenantOp&, const TenantOp&) = default;
+};
+
+/// Knobs of one tenant's generated workload. Deterministic in (fields, seed).
+struct TenantWorkload {
+  std::size_t processes = 3;
+  std::uint64_t cycles = 18;
+  std::uint64_t action_every = 4;
+  std::uint64_t recover_every = 8;
+  std::size_t resync_chunk = 64;
+  /// Faults on the event-report feed (the journal stream stays reliable —
+  /// it is the authoritative WAL-shaped stream).
+  LinkFaultConfig report_link;
+  std::uint64_t seed = 1;
+};
+
+/// One tenant's flattened traffic plus the reference outcome of applying it.
+struct TenantScript {
+  std::size_t processes = 0;
+  std::size_t resync_chunk = 0;
+  std::vector<TenantOp> ops;
+  std::uint64_t executed_events = 0;
+  /// Definite verdict log of the generation-time reference session — the
+  /// bit-identity baseline every other consumer is compared against.
+  std::vector<std::string> reference_verdicts;
+  std::uint64_t reference_quarantined = 0;
+};
+
+/// The per-tenant session state machine: a replica OnlineSystem (rebuilt
+/// from kEvent ops, serves resyncs and retention) plus a feed-only
+/// OnlineMonitor. Ops are applied in stream order; any op whose contract
+/// fails (a corrupted or spliced wire stream) is quarantined — counted,
+/// never fatal, never visible to other sessions. Not movable: watch
+/// callbacks capture `this`.
+class TenantSessionCore {
+ public:
+  explicit TenantSessionCore(std::size_t processes,
+                             std::size_t resync_chunk = 64);
+
+  TenantSessionCore(const TenantSessionCore&) = delete;
+  TenantSessionCore& operator=(const TenantSessionCore&) = delete;
+
+  /// Applies one op; a ContractViolation quarantines the op instead of
+  /// propagating.
+  void apply(const TenantOp& op);
+
+  /// "x|y|holds" per Definite watch firing, in firing order.
+  const std::vector<std::string>& definite_verdicts() const {
+    return verdicts_;
+  }
+  /// True once a Definite verdict has fired for the labeled action.
+  bool definite(const std::string& label) const {
+    return definite_labels_.count(label) != 0;
+  }
+
+  /// Ops + reports rejected so far (session-level contract catches plus the
+  /// monitor's own wire quarantine).
+  std::uint64_t quarantined() const {
+    return quarantined_ops_ + monitor_.quarantined();
+  }
+  std::uint64_t ops_applied() const { return applied_; }
+
+  /// Compacts the replica log at the monitor's retention pin; returns log
+  /// entries reclaimed. Safe at any op boundary: the pin keeps every event
+  /// a future resync or open action can still need (DESIGN.md §3.10).
+  std::size_t compact_at_pin();
+
+  const OnlineSystem& system() const { return sys_; }
+  const OnlineMonitor& monitor() const { return monitor_; }
+
+ private:
+  void apply_checked(const TenantOp& op);
+  /// try_ingest when the label names a live action, try_observe otherwise —
+  /// the routing rule shared by the report feed and the resync loop.
+  void route_report(const std::string& label, const WireMessage& report);
+
+  OnlineSystem sys_;
+  OnlineMonitor monitor_;
+  std::size_t resync_chunk_;
+  std::unordered_map<EventId, std::string> label_of_;
+  std::unordered_map<std::string, std::vector<EventId>> events_of_label_;
+  std::unordered_set<std::string> definite_labels_;
+  std::vector<std::string> verdicts_;
+  std::uint64_t quarantined_ops_ = 0;
+  std::uint64_t applied_ = 0;
+};
+
+/// Generates one tenant's script: a ring + tracked-action-pair workload
+/// (run_soak's shape, sized per tenant) with seeded faults on the report
+/// feed, flattened to ops. Deterministic: same workload → same script and
+/// the same reference verdicts, bit for bit.
+TenantScript generate_tenant_script(const TenantWorkload& workload);
+
+/// The standalone offline baseline: applies the script to a fresh session
+/// and returns its Definite verdict log (equals reference_verdicts — and
+/// must equal any daemon-hosted replay of the same script).
+std::vector<std::string> run_tenant_script(const TenantScript& script);
 
 }  // namespace syncon

@@ -32,6 +32,18 @@ class ThreadPool {
   /// pool via submit — use parallel_for for exception propagation.
   void submit(std::function<void()> task);
 
+  /// Blocks until every task submitted so far has finished — the queue is
+  /// empty AND no worker is mid-task. The completion barrier submit lacks:
+  /// an owner tearing down state that queued tasks reference (daemon
+  /// sessions, shared accumulators) must drain first or the workers race
+  /// the destructor. Must be called from outside the pool (a worker calling
+  /// drain on its own pool would wait for itself). Tasks submitted
+  /// concurrently with drain may or may not be covered.
+  void drain();
+
+  /// Tasks currently queued or running (a snapshot; racy by nature).
+  std::size_t pending() const;
+
   /// Runs body(shard, begin, end) for shard = 0..shards-1 over a static
   /// contiguous partition of [0, count), blocking until all shards finish.
   /// `shards` defaults (0) to thread_count(). The calling thread executes
@@ -50,10 +62,12 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
+  std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  std::size_t active_ = 0;  // tasks popped but not yet finished
   bool stopping_ = false;
 };
 

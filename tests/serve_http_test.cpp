@@ -1,0 +1,198 @@
+// Regression tests for the scrape-path fixes that keep a long-running
+// daemon alive under hostile clients:
+//   - EINTR mid-write/mid-read must not truncate a response or drop a
+//     request (a profiler's timer signal is not a disconnect),
+//   - a client closing mid-response must not raise SIGPIPE and kill the
+//     process,
+//   - a client that connects but never sends must not stall serve_once
+//     past Options::request_timeout_ms.
+#include "obs/serve.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace syncon {
+namespace {
+
+// Pads the global registry so /metrics is far larger than any socket
+// buffer: a response this size cannot be delivered in one write, which is
+// what exposes short-write, EINTR, and SIGPIPE handling.
+void inflate_registry() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  auto& registry = obs::MetricRegistry::global();
+  for (int i = 0; i < 10000; ++i) {
+    registry.counter("syncon_serve_http_pad_" + std::to_string(i) + "_total")
+        .add(1);
+  }
+}
+
+int connect_to(std::uint16_t port, int rcvbuf_bytes = 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (rcvbuf_bytes > 0) {
+    // Set before connect so the window is negotiated small; a tiny client
+    // window is what forces the server to block mid-response.
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+void send_get(int fd, const char* path) {
+  const std::string request = std::string("GET ") + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+}
+
+std::size_t parse_content_length(const std::string& response) {
+  const std::size_t at = response.find("Content-Length: ");
+  if (at == std::string::npos) return 0;
+  return static_cast<std::size_t>(
+      std::stoull(response.substr(at + std::strlen("Content-Length: "))));
+}
+
+std::string scrape(obs::ScrapeServer& server, const char* path) {
+  const int fd = connect_to(server.port());
+  send_get(fd, path);
+  EXPECT_TRUE(server.serve_once(2000));
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof buffer)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+void noop_handler(int) {}
+
+TEST(ServeHttpTest, LargeBodySurvivesEintrStorm) {
+  inflate_registry();
+  obs::ScrapeServer server;
+  ASSERT_TRUE(server.ok());
+
+  // SIGALRM with no SA_RESTART: every blocked read/poll/send in the server
+  // thread returns EINTR when the interval timer fires. The old code
+  // treated that as peer-gone and truncated the response.
+  struct sigaction action{};
+  action.sa_handler = noop_handler;
+  struct sigaction previous{};
+  ASSERT_EQ(::sigaction(SIGALRM, &action, &previous), 0);
+
+  // Keep SIGALRM away from this (client) thread so delivery lands on the
+  // serving thread, which unblocks it for itself below.
+  sigset_t alarm_set;
+  sigemptyset(&alarm_set);
+  sigaddset(&alarm_set, SIGALRM);
+  ASSERT_EQ(::pthread_sigmask(SIG_BLOCK, &alarm_set, nullptr), 0);
+
+  std::thread server_thread([&] {
+    ::pthread_sigmask(SIG_UNBLOCK, &alarm_set, nullptr);
+    server.serve_once(10000);
+  });
+
+  itimerval storm{};
+  storm.it_interval.tv_usec = 5000;
+  storm.it_value.tv_usec = 5000;
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &storm, nullptr), 0);
+
+  // A slow reader with a tiny window keeps the server blocked in send for
+  // most of the transfer, maximising EINTR exposure.
+  const int fd = connect_to(server.port(), 4096);
+  send_get(fd, "/metrics");
+  std::string response;
+  char buffer[8192];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof buffer)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ::close(fd);
+  server_thread.join();
+
+  // Disarm, then unblock while the noop handler is still installed (a
+  // pending SIGALRM delivered at unblock must hit the handler, not the
+  // default terminate-the-process action), then restore.
+  itimerval off{};
+  ::setitimer(ITIMER_REAL, &off, nullptr);
+  ::pthread_sigmask(SIG_UNBLOCK, &alarm_set, nullptr);
+  ::sigaction(SIGALRM, &previous, nullptr);
+
+  const std::size_t header_end = response.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  const std::size_t body_size = response.size() - header_end - 4;
+  EXPECT_GT(body_size, 64u * 1024u) << "padding failed to inflate /metrics";
+  EXPECT_EQ(body_size, parse_content_length(response))
+      << "response truncated mid-body";
+  EXPECT_NE(response.find("200"), std::string::npos);
+}
+
+TEST(ServeHttpTest, ClientClosingMidResponseDoesNotKillProcess) {
+  inflate_registry();
+  obs::ScrapeServer server;
+  ASSERT_TRUE(server.ok());
+
+  std::thread server_thread([&] { server.serve_once(10000); });
+
+  const int fd = connect_to(server.port(), 4096);
+  send_get(fd, "/metrics");
+  // Read a few bytes so the server is committed to the transfer, then
+  // abort: SO_LINGER{1,0} turns close into an immediate RST, and the
+  // server's next write would raise SIGPIPE without MSG_NOSIGNAL —
+  // killing this whole test binary.
+  char buffer[256];
+  ::read(fd, buffer, sizeof buffer);
+  linger abort_now{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &abort_now, sizeof abort_now);
+  ::close(fd);
+  server_thread.join();
+
+  // Still alive, and the server still works for the next client.
+  const std::string response = scrape(server, "/healthz");
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_NE(response.find("ok"), std::string::npos);
+}
+
+TEST(ServeHttpTest, SilentClientCannotStallServeOnce) {
+  obs::ScrapeServer::Options options;
+  options.request_timeout_ms = 200;
+  obs::ScrapeServer server(options);
+  ASSERT_TRUE(server.ok());
+
+  // Connect but never send: the old blocking read stalled here forever.
+  const int silent = connect_to(server.port());
+  const auto t0 = std::chrono::steady_clock::now();
+  server.serve_once(1000);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  ::close(silent);
+
+  // The server has moved on and serves the next client normally.
+  const std::string response = scrape(server, "/healthz");
+  EXPECT_NE(response.find("200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace syncon

@@ -1,0 +1,211 @@
+// Tenant wire codec conformance (DESIGN.md §3.15): scripted tenant traffic
+// must survive the frame round-trip bit-for-bit, and every way a frame can
+// be damaged — truncation, bit flips, cross-position splices — must end in
+// quarantine: never an abort, never corruption of another frame's decode.
+#include "service/tenant_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/soak.hpp"
+
+namespace syncon {
+namespace {
+
+using service::FrameKind;
+using service::FrameView;
+using service::PeekStatus;
+using service::TenantFrameEncoder;
+using service::TenantStreamDecoder;
+
+TenantWorkload faulty_workload(std::uint64_t seed) {
+  TenantWorkload workload;
+  workload.report_link.drop_probability = 0.15;
+  workload.report_link.duplicate_probability = 0.1;
+  workload.report_link.reorder_probability = 0.2;
+  workload.report_link.min_delay = 1;
+  workload.report_link.max_delay = 24;
+  workload.seed = seed;
+  return workload;
+}
+
+/// Encodes a script as one frame per vector: hello first, then one per op.
+std::vector<std::vector<std::uint8_t>> encode_frames(
+    TenantFrameEncoder& encoder, std::uint64_t tenant,
+    const TenantScript& script) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.emplace_back();
+  encoder.encode_hello(tenant, script.processes, script.resync_chunk,
+                       frames.back());
+  for (const TenantOp& op : script.ops) {
+    frames.emplace_back();
+    encoder.encode_op(tenant, op, frames.back());
+  }
+  return frames;
+}
+
+TEST(ServiceCodecTest, ScriptReplayMatchesReferenceVerdicts) {
+  const TenantScript script = generate_tenant_script(faulty_workload(7));
+  EXPECT_GT(script.executed_events, 0u);
+  EXPECT_FALSE(script.reference_verdicts.empty());
+  EXPECT_EQ(script.reference_quarantined, 0u);
+  EXPECT_EQ(run_tenant_script(script), script.reference_verdicts);
+}
+
+TEST(ServiceCodecTest, RoundTripReproducesOpsAndVerdicts) {
+  const TenantScript script = generate_tenant_script(faulty_workload(11));
+  TenantFrameEncoder encoder;
+  const auto frames = encode_frames(encoder, 42, script);
+
+  TenantStreamDecoder decoder(script.processes, 0);  // hello is seq 0
+  TenantSessionCore core(script.processes, script.resync_chunk);
+  std::size_t op_index = 0;
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    FrameView view;
+    ASSERT_EQ(service::peek_frame(frames[i], view), PeekStatus::kOk);
+    EXPECT_EQ(view.tenant, 42u);
+    TenantOp op;
+    ASSERT_TRUE(decoder.decode(view, op)) << "frame " << i;
+    EXPECT_EQ(op, script.ops[op_index]) << "op " << op_index;
+    core.apply(op);
+    ++op_index;
+  }
+  EXPECT_EQ(op_index, script.ops.size());
+  EXPECT_EQ(core.definite_verdicts(), script.reference_verdicts);
+  EXPECT_EQ(core.quarantined(), 0u);
+}
+
+TEST(ServiceCodecTest, RoundTripPropertyOverSeeds) {
+  // Property-style sweep: different seeds shuffle the fault schedule and
+  // with it the op mix (report order, resync contents); every stream must
+  // reproduce its ops exactly.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 19u, 23u}) {
+    const TenantScript script = generate_tenant_script(faulty_workload(seed));
+    TenantFrameEncoder encoder;
+    const auto frames = encode_frames(encoder, seed, script);
+    TenantStreamDecoder decoder(script.processes, 0);
+    for (std::size_t i = 1; i < frames.size(); ++i) {
+      FrameView view;
+      ASSERT_EQ(service::peek_frame(frames[i], view), PeekStatus::kOk);
+      TenantOp op;
+      ASSERT_TRUE(decoder.decode(view, op)) << "seed " << seed;
+      ASSERT_EQ(op, script.ops[i - 1]) << "seed " << seed << " op " << i - 1;
+    }
+  }
+}
+
+TEST(ServiceCodecTest, TruncatedFramesAskForMoreBytes) {
+  const TenantScript script = generate_tenant_script(TenantWorkload{});
+  TenantFrameEncoder encoder;
+  const auto frames = encode_frames(encoder, 1, script);
+  const std::vector<std::uint8_t>& frame = frames[2];
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameView view;
+    const auto status = service::peek_frame(
+        std::span<const std::uint8_t>(frame.data(), cut), view);
+    EXPECT_EQ(status, PeekStatus::kNeedMore) << "cut at " << cut;
+  }
+}
+
+TEST(ServiceCodecTest, EveryBitFlipIsDetected) {
+  const TenantScript script = generate_tenant_script(TenantWorkload{});
+  TenantFrameEncoder encoder;
+  const auto frames = encode_frames(encoder, 1, script);
+  const std::vector<std::uint8_t>& frame = frames[3];
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> flipped = frame;
+      flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      FrameView view;
+      const auto status = service::peek_frame(flipped, view);
+      // A flipped length prefix may leave the scanner waiting for bytes
+      // that never come; everything else must fail the CRC. A clean parse
+      // of damaged bytes is the one unacceptable outcome.
+      EXPECT_NE(status, PeekStatus::kOk) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(ServiceCodecTest, ReplayedFrameIsQuarantinedWithoutStateDamage) {
+  const TenantScript script = generate_tenant_script(faulty_workload(5));
+  TenantFrameEncoder encoder;
+  const auto frames = encode_frames(encoder, 9, script);
+
+  TenantStreamDecoder decoder(script.processes, 0);
+  TenantSessionCore core(script.processes, script.resync_chunk);
+  std::uint64_t rejected = 0;
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    FrameView view;
+    ASSERT_EQ(service::peek_frame(frames[i], view), PeekStatus::kOk);
+    TenantOp op;
+    ASSERT_TRUE(decoder.decode(view, op));
+    core.apply(op);
+    // Replay every 7th frame immediately — a spliced-in duplicate. The
+    // sequence guard must reject it before it can touch the delta codecs.
+    if (i % 7 == 0) {
+      FrameView replay;
+      ASSERT_EQ(service::peek_frame(frames[i], replay), PeekStatus::kOk);
+      TenantOp ignored;
+      EXPECT_FALSE(decoder.decode(replay, ignored));
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  // The stream behind the splices decoded unharmed.
+  EXPECT_EQ(core.definite_verdicts(), script.reference_verdicts);
+  EXPECT_EQ(core.quarantined(), 0u);
+}
+
+TEST(ServiceCodecTest, CrossTenantSpliceCannotCrossStreams) {
+  // Two tenants, frames spliced between their byte streams: routing is by
+  // the payload's tenant tag, so a spliced frame lands at its *own*
+  // tenant's decoder — out of sequence there, quarantined there, and the
+  // victim stream never even sees it.
+  const TenantScript script_a = generate_tenant_script(faulty_workload(31));
+  const TenantScript script_b = generate_tenant_script(faulty_workload(37));
+  TenantFrameEncoder encoder;
+  const auto frames_a = encode_frames(encoder, 100, script_a);
+  const auto frames_b = encode_frames(encoder, 101, script_b);
+
+  TenantStreamDecoder decoder_a(script_a.processes, 0);
+  TenantStreamDecoder decoder_b(script_b.processes, 0);
+  TenantSessionCore core_a(script_a.processes, script_a.resync_chunk);
+  TenantSessionCore core_b(script_b.processes, script_b.resync_chunk);
+
+  const auto route = [&](const std::vector<std::uint8_t>& frame) -> bool {
+    FrameView view;
+    EXPECT_EQ(service::peek_frame(frame, view), PeekStatus::kOk);
+    if (view.kind == FrameKind::kHello) return true;
+    TenantOp op;
+    if (view.tenant == 100) {
+      if (!decoder_a.decode(view, op)) return false;
+      core_a.apply(op);
+    } else {
+      if (!decoder_b.decode(view, op)) return false;
+      core_b.apply(op);
+    }
+    return true;
+  };
+
+  std::uint64_t quarantined = 0;
+  const std::size_t n = std::min(frames_a.size(), frames_b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(route(frames_a[i]));
+    // Splice: a mid-stream frame of A re-sent while B's stream is read.
+    if (i > 4 && i % 5 == 0 && !route(frames_a[i - 3])) ++quarantined;
+    EXPECT_TRUE(route(frames_b[i]));
+  }
+  for (std::size_t i = n; i < frames_a.size(); ++i) EXPECT_TRUE(route(frames_a[i]));
+  for (std::size_t i = n; i < frames_b.size(); ++i) EXPECT_TRUE(route(frames_b[i]));
+
+  EXPECT_GT(quarantined, 0u);
+  EXPECT_EQ(core_a.definite_verdicts(), script_a.reference_verdicts);
+  EXPECT_EQ(core_b.definite_verdicts(), script_b.reference_verdicts);
+  EXPECT_EQ(core_a.quarantined(), 0u);
+  EXPECT_EQ(core_b.quarantined(), 0u);
+}
+
+}  // namespace
+}  // namespace syncon

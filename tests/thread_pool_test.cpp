@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "support/contracts.hpp"
@@ -36,6 +38,43 @@ TEST(ThreadPoolTest, SubmitRunsTasks) {
   std::unique_lock<std::mutex> lock(m);
   done.wait(lock, [&] { return remaining.load() == 0; });
   EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, DrainWaitsForQueuedAndRunningTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  // Slow head tasks keep workers busy so later submissions are still queued
+  // when drain starts — drain must cover both.
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      ran.fetch_add(1);
+    });
+  }
+  for (int i = 0; i < 40; ++i) {
+    pool.submit([&] { ran.fetch_add(1); });
+  }
+  pool.drain();
+  EXPECT_EQ(ran.load(), 42);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPoolTest, DrainOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.drain();  // nothing queued: must not block
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPoolTest, DrainIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 25; ++i) {
+      pool.submit([&] { ran.fetch_add(1); });
+    }
+    pool.drain();
+    EXPECT_EQ(ran.load(), (batch + 1) * 25);
+  }
 }
 
 TEST(ThreadPoolTest, ParallelForCoversEachIndexExactlyOnce) {

@@ -36,6 +36,7 @@
 #include "online/online_monitor.hpp"
 #include "sim/soak.hpp"
 #include "support/cli.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace syncon;
 
@@ -222,6 +223,10 @@ int main(int argc, char** argv) {
       if (!server.serve_once(1000)) continue;
     }
   }
+
+  // Let shared-pool work (batch evaluation spill-over) retire before static
+  // destruction starts tearing down the registries it records into.
+  ThreadPool::shared().drain();
 
   return status;
 }
